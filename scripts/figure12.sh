@@ -1,0 +1,5 @@
+#!/bin/sh
+# Reproduce the paper's Figure 12 (impact of the three thread-interference
+# analysis phases). Mirrors the original artifact's ./figure12.sh.
+cd "$(dirname "$0")/.." || exit 1
+exec dune exec bench/main.exe -- figure12

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Program statistics of the ten benchmark programs (paper Table 1).
+cd "$(dirname "$0")/.." || exit 1
+exec dune exec bench/main.exe -- table1

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Reproduce the paper's Table 2 (analysis time and memory, FSAM vs NonSparse).
+# Mirrors the original artifact's ./table2.sh. Optional: BUDGET=seconds.
+cd "$(dirname "$0")/.." || exit 1
+exec dune exec bench/main.exe -- table2 --budget "${BUDGET:-120}"

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Refresh the measured blocks in EXPERIMENTS.md from bench_output.txt."""
+import re
+
+bench = open("bench_output.txt").read()
+
+def section(start, stop):
+    i = bench.index(start)
+    j = bench.index(stop, i)
+    return bench[i:j]
+
+# Table 2 rows
+t2 = section("word_count     |", "-----\nGeometric")
+t2_rows = [l for l in t2.splitlines() if "|" in l]
+geo = re.search(r"Geometric mean over mutually-analyzable programs: (.*)", bench).group(1)
+
+# Figure 12 rows
+f12 = section("Figure 12", "(paper: value-flow")
+f12_rows = [l for l in f12.splitlines() if "|" in l and "FSAM (s)" not in l]
+
+exp = open("EXPERIMENTS.md").read()
+
+new_t2 = "Measured Table 2 (budget 120 s):\n\n```\n" + "\n".join(t2_rows) + \
+    "\n\nGeometric mean (mutually analyzable): " + geo + "\n```\n"
+exp = re.sub(r"Measured Table 2 \(budget 120 s\):\n\n```\n.*?\n```\n", new_t2, exp, flags=re.S)
+
+new_f12 = "```\n" + "\n".join(f12_rows) + "\n```\n"
+# replace the first ``` block after the Figure 12 header
+head = exp.index("## Figure 12")
+block = re.compile(r"```\n.*?\n```\n", re.S)
+m = block.search(exp, head)
+exp = exp[: m.start()] + new_f12 + exp[m.end() :]
+
+open("EXPERIMENTS.md", "w").write(exp)
+print("EXPERIMENTS.md synced")
