@@ -1,0 +1,310 @@
+(* fsam — command-line driver: analyze MiniC programs with FSAM, the
+   NonSparse baseline or Andersen's analysis; detect races; dump IR; run the
+   concrete interpreter; list and analyze the built-in benchmark suite. *)
+
+open Cmdliner
+module D = Fsam_core.Driver
+module Prog = Fsam_ir.Prog
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program source =
+  match Fsam_workloads.Suite.find source with
+  | Some spec -> spec.Fsam_workloads.Suite.build spec.Fsam_workloads.Suite.scale
+  | None -> Fsam_frontend.Lower.compile_string (read_file source)
+
+let config_of_string = function
+  | "full" -> Ok D.default_config
+  | "no-interleaving" -> Ok D.no_interleaving
+  | "no-value-flow" -> Ok D.no_value_flow
+  | "no-lock" -> Ok D.no_lock
+  | s -> Error (Printf.sprintf "unknown configuration %S" s)
+
+(* -- arguments ------------------------------------------------------------- *)
+
+let source_arg =
+  let doc =
+    "Program to analyze: a MiniC source file, or the name of a built-in \
+     benchmark (word_count, kmeans, radiosity, automount, ferret, bodytrack, \
+     httpd_server, mt_daapd, raytrace, x264)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let config_arg =
+  let doc = "Analysis configuration: full, no-interleaving, no-value-flow, no-lock." in
+  Arg.(value & opt string "full" & info [ "config" ] ~docv:"CONFIG" ~doc)
+
+let with_program f source =
+  match load_program source with
+  | prog -> f prog
+  | exception Fsam_frontend.Lexer.Error e | exception Fsam_frontend.Parser.Error e
+  | exception Fsam_frontend.Lower.Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1
+  | exception Sys_error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1
+
+(* -- analyze ---------------------------------------------------------------- *)
+
+let analyze source config_name engine dump_pts =
+  with_program
+    (fun prog ->
+      match engine with
+      | "andersen" ->
+        let m = Fsam_core.Measure.run (fun () -> Fsam_andersen.Solver.run prog) in
+        Format.printf "%a@." Fsam_andersen.Solver.pp_stats m.Fsam_core.Measure.value;
+        Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+          m.Fsam_core.Measure.live_mb;
+        if dump_pts then
+          for v = 0 to Prog.n_vars prog - 1 do
+            let pts = Fsam_andersen.Solver.pt_var m.Fsam_core.Measure.value v in
+            if not (Fsam_dsa.Iset.is_empty pts) then
+              Format.printf "pt(%s) = {%s}@." (Prog.var_name prog v)
+                (String.concat ", "
+                   (List.map (Prog.obj_name prog) (Fsam_dsa.Iset.elements pts)))
+          done
+      | "nonsparse" -> (
+        let m = Fsam_core.Measure.run (fun () -> D.run_nonsparse prog) in
+        match fst m.Fsam_core.Measure.value with
+        | Fsam_core.Nonsparse.Done ns ->
+          Format.printf "%a@." Fsam_core.Nonsparse.pp_stats ns;
+          Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+            m.Fsam_core.Measure.live_mb
+        | Fsam_core.Nonsparse.Timeout budget ->
+          Format.printf "nonsparse: OOT (budget %.0fs exceeded)@." budget)
+      | "fsam" -> (
+        match config_of_string config_name with
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+        | Ok config ->
+          let m = Fsam_core.Measure.run (fun () -> D.run ~config prog) in
+          let d = m.Fsam_core.Measure.value in
+          Format.printf "%a@." D.pp_summary d;
+          Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+            m.Fsam_core.Measure.live_mb;
+          if dump_pts then
+            for v = 0 to Prog.n_vars prog - 1 do
+              let names = D.pt_names d v in
+              if names <> [] then
+                Format.printf "pt(%s) = {%s}@." (Prog.var_name prog v)
+                  (String.concat ", " names)
+            done)
+      | e ->
+        Printf.eprintf "error: unknown engine %S (fsam, nonsparse, andersen)\n" e;
+        exit 1)
+    source
+
+let analyze_cmd =
+  let engine =
+    Arg.(value & opt string "fsam" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Analysis engine: fsam, nonsparse or andersen.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-pts" ] ~doc:"Print non-empty points-to sets.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
+    Term.(const analyze $ source_arg $ config_arg $ engine $ dump)
+
+(* -- races ------------------------------------------------------------------- *)
+
+let races source =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      let rs = Fsam_core.Races.detect d in
+      if rs = [] then Format.printf "no data races found@."
+      else begin
+        Format.printf "%d potential data race(s):@." (List.length rs);
+        List.iter (fun r -> Format.printf "  %a@." (Fsam_core.Races.pp_race d) r) rs
+      end)
+    source
+
+let races_cmd =
+  Cmd.v
+    (Cmd.info "races" ~doc:"Detect data races using FSAM's points-to results")
+    Term.(const races $ source_arg)
+
+(* -- deadlocks ---------------------------------------------------------------- *)
+
+let deadlocks source =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      let dls = Fsam_core.Deadlocks.detect d in
+      if dls = [] then Format.printf "no lock-order cycles found@."
+      else begin
+        Format.printf "%d potential deadlock(s):@." (List.length dls);
+        List.iter
+          (fun dl -> Format.printf "  %a@." (Fsam_core.Deadlocks.pp_deadlock d) dl)
+          dls
+      end)
+    source
+
+let deadlocks_cmd =
+  Cmd.v
+    (Cmd.info "deadlocks" ~doc:"Detect lock-order-cycle deadlocks")
+    Term.(const deadlocks $ source_arg)
+
+(* -- leaks --------------------------------------------------------------------- *)
+
+let leaks source =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      let fs = Fsam_core.Leaks.detect d in
+      if fs = [] then Format.printf "no memory-leak findings@."
+      else
+        List.iter (fun f -> Format.printf "%a@." (Fsam_core.Leaks.pp_finding d) f) fs)
+    source
+
+let leaks_cmd =
+  Cmd.v
+    (Cmd.info "leaks" ~doc:"Detect never-freed allocations and double frees")
+    Term.(const leaks $ source_arg)
+
+(* -- instrument ---------------------------------------------------------------- *)
+
+let instrument source =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      let r = Fsam_core.Instrument.analyze d in
+      Format.printf
+        "%d of %d loads/stores need dynamic race checks (%.1f%% of instrumentation \
+         removable)@."
+        r.Fsam_core.Instrument.instrumented r.Fsam_core.Instrument.total_accesses
+        (100. *. r.Fsam_core.Instrument.reduction))
+    source
+
+let instrument_cmd =
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Report which accesses a dynamic race detector must instrument")
+    Term.(const instrument $ source_arg)
+
+(* -- dump-ir ------------------------------------------------------------------ *)
+
+let dump_ir source =
+  with_program (fun prog -> Format.printf "%a@." Prog.pp prog) source
+
+let dump_ir_cmd =
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print the partial-SSA IR of a program")
+    Term.(const dump_ir $ source_arg)
+
+(* -- report ------------------------------------------------------------------- *)
+
+let report source =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      Format.printf "%a@." Fsam_core.Report.pp (Fsam_core.Report.build d))
+    source
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Full per-phase statistics of one FSAM run")
+    Term.(const report $ source_arg)
+
+(* -- dot ---------------------------------------------------------------------- *)
+
+let dot source what out =
+  with_program
+    (fun prog ->
+      let d = D.run prog in
+      let text =
+        match what with
+        | "svfg" -> Fsam_core.Dot.svfg d
+        | "callgraph" -> Fsam_core.Dot.call_graph d
+        | w when String.length w > 4 && String.sub w 0 4 = "cfg:" -> (
+          let fname = String.sub w 4 (String.length w - 4) in
+          match Prog.find_func prog fname with
+          | Some fid -> Fsam_core.Dot.cfg_of d fid
+          | None ->
+            Printf.eprintf "error: unknown function %S\n" fname;
+            exit 1)
+        | w ->
+          Printf.eprintf "error: unknown graph %S (svfg | callgraph | cfg:<fn>)\n" w;
+          exit 1
+      in
+      match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      | None -> print_string text)
+    source
+
+let dot_cmd =
+  let what =
+    Arg.(value & opt string "svfg" & info [ "graph" ] ~docv:"WHAT"
+           ~doc:"Graph to export: svfg, callgraph, or cfg:<function>.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export analysis graphs in Graphviz format")
+    Term.(const dot $ source_arg $ what $ out)
+
+(* -- interp ------------------------------------------------------------------- *)
+
+let interp source seed =
+  with_program
+    (fun prog ->
+      let r = Fsam_interp.Interp.run ~seed prog in
+      Format.printf "executed %d steps, %d points-to observations@." r.Fsam_interp.Interp.steps
+        (List.length r.Fsam_interp.Interp.observations))
+    source
+
+let interp_cmd =
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Execute a program under a random thread schedule")
+    Term.(const interp $ source_arg $ seed)
+
+(* -- list ---------------------------------------------------------------------- *)
+
+let list_benchmarks () =
+  List.iter
+    (fun (s : Fsam_workloads.Suite.spec) ->
+      let prog = s.build s.scale in
+      let stmts, funcs, forks, joins, locks = Fsam_workloads.Suite.program_stats prog in
+      Format.printf "%-14s %-45s stmts=%-6d funcs=%-4d forks=%d joins=%d locks=%d@." s.name
+        s.description stmts funcs forks joins locks)
+    Fsam_workloads.Suite.all
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark programs")
+    Term.(const list_benchmarks $ const ())
+
+let () =
+  let info =
+    Cmd.info "fsam" ~version:"1.0.0"
+      ~doc:"Sparse flow-sensitive pointer analysis for multithreaded programs (CGO'16)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            races_cmd;
+            deadlocks_cmd;
+            leaks_cmd;
+            instrument_cmd;
+            report_cmd;
+            dump_ir_cmd;
+            dot_cmd;
+            interp_cmd;
+            list_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/concurrency_clients.ml: Format Fsam_core Fsam_frontend Fsam_workloads List Option

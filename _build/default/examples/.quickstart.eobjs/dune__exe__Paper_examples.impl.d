@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Builder Format Fsam_andersen Fsam_core Fsam_ir Fsam_mta List Prog Stmt String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Format Fsam_andersen Fsam_core Fsam_dsa Fsam_ir Prog Stmt String

@@ -1,0 +1,1 @@
+examples/race_detection.ml: Format Fsam_core Fsam_frontend List

@@ -1,0 +1,1 @@
+examples/wordcount_minic.ml: Format Fsam_core Fsam_frontend Fsam_ir Fsam_mta List String

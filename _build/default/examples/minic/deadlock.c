@@ -1,0 +1,27 @@
+/* An AB-BA lock-order inversion: `fsam deadlocks examples/minic/deadlock.c`
+   reports the cycle. */
+
+lock_t lockA;
+lock_t lockB;
+int balance_a;
+int balance_b;
+thread_t t;
+
+void transfer_ab(int *arg) {
+  lock(&lockA);
+  lock(&lockB);
+  balance_a = arg;
+  unlock(&lockB);
+  unlock(&lockA);
+}
+
+int main() {
+  fork(&t, transfer_ab, &balance_b);
+  lock(&lockB);
+  lock(&lockA);
+  balance_b = &balance_a;
+  unlock(&lockA);
+  unlock(&lockB);
+  join(&t);
+  return 0;
+}

@@ -1,0 +1,25 @@
+/* Paper Figure 1(a): thread interference.
+   Expected: pt(c) = {y, z} — the spawned thread's store and main's store
+   both reach the load. */
+
+int x;
+int y;
+int z;
+
+void foo(int *fp, int *fq) {
+  *fp = fq;
+}
+
+int main() {
+  int *p;
+  int *q;
+  int *r;
+  int *c;
+  p = &x;
+  q = &y;
+  r = &z;
+  fork(null, foo, p, q);
+  *p = r;
+  c = *p;
+  return 0;
+}

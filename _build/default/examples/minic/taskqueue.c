@@ -1,0 +1,51 @@
+/* The radiosity task-queue pattern (paper Figure 13): enqueue and dequeue
+   protect the shared queue with the same lock, so the lock analysis filters
+   def-use edges between mid-section accesses of the two critical
+   sections. */
+
+struct Queue {
+  int *head;
+  int *tail;
+};
+
+struct Queue task_queue;
+lock_t q_lock;
+int task_a;
+int task_b;
+thread_t workers[4];
+
+void enqueue_task(int *task) {
+  lock(&q_lock);
+  task_queue.tail = task;
+  task_queue.head = task_queue.tail;
+  unlock(&q_lock);
+}
+
+int *dequeue_task() {
+  int *t;
+  lock(&q_lock);
+  t = task_queue.head;
+  task_queue.head = null;
+  unlock(&q_lock);
+  return t;
+}
+
+void worker(int *arg) {
+  int *t;
+  while (nondet()) {
+    t = dequeue_task();
+    enqueue_task(&task_b);
+  }
+}
+
+int main() {
+  int i;
+  enqueue_task(&task_a);
+  while (i < 4) {
+    fork(&workers[i], worker, null);
+  }
+  while (i < 4) {
+    join(&workers[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+/* The word_count pattern (paper Figure 11): a fixed number of slaves forked
+   and joined in two symmetric loops; the master post-processes after the
+   join loop. The symmetric fork/join recognition proves the post-processing
+   serial. */
+
+int buckets[16];
+int result;
+int *words;
+pthread_t tid[8];
+pthread_mutex_t bucket_lock;
+
+void wordcount_map(int *chunk) {
+  int *w;
+  pthread_mutex_lock(&bucket_lock);
+  w = words;
+  buckets[0] = w;
+  pthread_mutex_unlock(&bucket_lock);
+}
+
+int main() {
+  int i;
+  int *final;
+  words = &result;
+  while (i < 8) {
+    pthread_create(&tid[i], wordcount_map, words);
+  }
+  while (i < 8) {
+    pthread_join(&tid[i]);
+  }
+  final = buckets[0];
+  return 0;
+}

@@ -1,0 +1,54 @@
+(* Quickstart: build a tiny multithreaded program with the Builder API, run
+   the full FSAM pipeline, and query points-to results.
+
+     dune exec examples/quickstart.exe
+
+   The program is the paper's motivating example (Figure 1(a)):
+
+     main() { fork(t, foo); *p = r; c = *p; }     foo() { *p = q; }
+
+   with p = &x, q = &y, r = &z. The store in the spawned thread interleaves
+   with main's accesses, so c may point to y (stored by the thread) or z
+   (stored by main): pt(c) = {y, z}. *)
+
+open Fsam_ir
+module B = Builder
+module D = Fsam_core.Driver
+
+let () =
+  (* 1. Build the program. *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+  let fp = B.param b foo 0 and fq = B.param b foo 1 in
+  B.define b foo (fun fb -> B.store fb fp fq);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.fork fb (Stmt.Direct foo) [ p; q ];
+      B.store fb p r;
+      B.load fb c p);
+  let prog = B.finish b in
+
+  (* 2. Run FSAM: pre-analysis, thread model, MHP, locks, SVFG, sparse solve. *)
+  let d = D.run prog in
+
+  (* 3. Query the results. *)
+  Format.printf "Program:@.%a@." Prog.pp prog;
+  Format.printf "%a@.@." D.pp_summary d;
+  Format.printf "pt(c) = {%s}   (the paper's Figure 1(a) expects {y, z})@."
+    (String.concat ", " (D.pt_names d c));
+  Format.printf "alias(p, q) = %b, alias(c, q) = %b@." (D.alias d p q) (D.alias d c q);
+
+  (* 4. Compare with the flow-insensitive pre-analysis. *)
+  let anders = Fsam_andersen.Solver.pt_var d.D.ast c in
+  Format.printf "Andersen pt(c) = %a (flow-insensitive upper bound)@." Fsam_dsa.Iset.pp
+    anders

@@ -1,0 +1,88 @@
+(* Data-race detection on MiniC source — the first client application the
+   paper's conclusion proposes for FSAM.
+
+     dune exec examples/race_detection.exe
+
+   We analyze two versions of a radiosity-style shared task queue (paper
+   Figure 13): one where dequeue_task forgets to take the queue lock (a real
+   race), and the fixed version. FSAM's flow-sensitive points-to results +
+   MHP + lock analysis find the race in the first and prove the second
+   clean. *)
+
+module D = Fsam_core.Driver
+
+let racy_source =
+  {|
+  int task_queue;
+  int task_a;
+  int task_b;
+  lock_t q_lock;
+  thread_t tids[4];
+
+  void enqueue_task(int *task) {
+    lock(&q_lock);
+    task_queue = task;       /* write under the lock */
+    unlock(&q_lock);
+  }
+
+  void worker(int *arg) {
+    int *t;
+    t = task_queue;          /* BUG: read without the lock */
+    enqueue_task(&task_b);
+  }
+
+  int main() {
+    int i;
+    enqueue_task(&task_a);
+    while (i < 4) { fork(&tids[i], worker, null); }
+    while (i < 4) { join(&tids[i]); }
+    return 0;
+  }
+  |}
+
+let fixed_source =
+  {|
+  int task_queue;
+  int task_a;
+  int task_b;
+  lock_t q_lock;
+  thread_t tids[4];
+
+  void enqueue_task(int *task) {
+    lock(&q_lock);
+    task_queue = task;
+    unlock(&q_lock);
+  }
+
+  void worker(int *arg) {
+    int *t;
+    lock(&q_lock);
+    t = task_queue;          /* fixed: read under the lock */
+    unlock(&q_lock);
+    enqueue_task(&task_b);
+  }
+
+  int main() {
+    int i;
+    enqueue_task(&task_a);
+    while (i < 4) { fork(&tids[i], worker, null); }
+    while (i < 4) { join(&tids[i]); }
+    return 0;
+  }
+  |}
+
+let report name source =
+  let prog = Fsam_frontend.Lower.compile_string source in
+  let d = D.run prog in
+  let races = Fsam_core.Races.detect d in
+  Format.printf "== %s ==@." name;
+  if races = [] then Format.printf "no data races found@.@."
+  else begin
+    Format.printf "%d potential data race(s):@." (List.length races);
+    List.iter (fun r -> Format.printf "  %a@." (Fsam_core.Races.pp_race d) r) races;
+    Format.printf "@."
+  end
+
+let () =
+  report "racy task queue" racy_source;
+  report "fixed task queue" fixed_source

@@ -1,0 +1,73 @@
+(* The word_count pattern of the paper's Figure 11, written in MiniC and
+   analyzed end to end:
+
+     dune exec examples/wordcount_minic.exe
+
+   A fixed number of slave threads is forked and joined in two symmetric
+   loops. FSAM recognises the pattern (the paper uses LLVM's SCEV; we use a
+   structural check) and proves that the master's post-processing does not
+   happen in parallel with the slaves — the No-Interleaving configuration
+   cannot, which is exactly why the interleaving analysis matters for the
+   master-slave programs in the paper's Figure 12. *)
+
+module D = Fsam_core.Driver
+
+let source =
+  {|
+  int buckets;
+  int words;
+  int result;
+  thread_t tid[8];
+  lock_t bucket_lock;
+
+  void wordcount_map(int *out) {
+    int *w;
+    lock(&bucket_lock);
+    w = words;
+    buckets = w;             /* slave publishes into the shared buckets */
+    unlock(&bucket_lock);
+  }
+
+  int main() {
+    int i;
+    int *final;
+    words = &result;
+    while (i < 8) { fork(&tid[i], wordcount_map, null); }
+    while (i < 8) { join(&tid[i]); }
+    final = buckets;         /* master post-processing after the join loop */
+    return 0;
+  }
+  |}
+
+let pt_of d prog prefix =
+  let best = ref [] in
+  for v = 0 to Fsam_ir.Prog.n_vars prog - 1 do
+    let n = Fsam_ir.Prog.var_name prog v in
+    if
+      n = prefix
+      || String.length n > String.length prefix
+         && String.sub n 0 (String.length prefix + 1) = prefix ^ "#"
+    then begin
+      let names = D.pt_names d v in
+      if names <> [] then best := names
+    end
+  done;
+  !best
+
+let () =
+  let prog = Fsam_frontend.Lower.compile_string source in
+  let d = D.run prog in
+  Format.printf "%a@.@." D.pp_summary d;
+  Format.printf "slave threads are multi-forked: %b@."
+    (let tm = d.D.tm in
+     let multi = ref false in
+     for t = 0 to Fsam_mta.Threads.n_threads tm - 1 do
+       if Fsam_mta.Threads.is_multi tm t then multi := true
+     done;
+     !multi);
+  Format.printf "master's pt(final) = {%s}@."
+    (String.concat ", " (pt_of d prog "final"));
+  (* races: the bucket accesses are protected; slave vs slave on buckets is
+     lock-protected, so the program is clean *)
+  let races = Fsam_core.Races.detect d in
+  Format.printf "data races: %d@." (List.length races)

@@ -1,0 +1,1 @@
+lib/andersen/modref.ml: Array Fsam_dsa Fsam_graph Fsam_ir Func Iset List Prog Solver Stmt

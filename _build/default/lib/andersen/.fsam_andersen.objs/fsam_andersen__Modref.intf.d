@@ -1,0 +1,1 @@
+lib/andersen/modref.mli: Fsam_dsa Fsam_ir Prog Solver

@@ -1,0 +1,1 @@
+lib/andersen/solver.ml: Array Bitvec Format Fsam_dsa Fsam_graph Fsam_ir Func Hashtbl Iset List Memobj Option Prog Queue Stmt Uf

@@ -1,0 +1,1 @@
+lib/andersen/solver.mli: Format Fsam_dsa Fsam_graph Fsam_ir Prog Stmt

@@ -1,0 +1,1 @@
+lib/andersen/steens.ml: Array Fsam_dsa Fsam_ir Func Hashtbl Iset List Memobj Option Prog Stmt Uf

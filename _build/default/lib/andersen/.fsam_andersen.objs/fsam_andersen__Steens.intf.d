@@ -1,0 +1,1 @@
+lib/andersen/steens.mli: Fsam_dsa Fsam_ir Prog Stmt

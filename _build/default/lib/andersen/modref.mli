@@ -1,0 +1,25 @@
+open Fsam_ir
+
+(** Interprocedural mod/ref summaries over the pre-analysis points-to
+    information: for every function, the sets of abstract objects it may
+    write ([mod]) and read ([ref]) — directly or transitively through calls
+    {i and forks} (in the sequentialised program [Pseq] of paper §3.2 a fork
+    is a call, so a spawnee's side effects belong to the spawner's summary).
+
+    These summaries drive the [mu]/[chi] annotation of call, fork and join
+    sites in the memory-SSA construction. *)
+
+type t
+
+val compute : Prog.t -> Solver.t -> t
+
+val mod_of : t -> int -> Fsam_dsa.Iset.t
+(** Objects function [fid] may define. *)
+
+val ref_of : t -> int -> Fsam_dsa.Iset.t
+(** Objects function [fid] may use. *)
+
+val callsite_mod : t -> Solver.t -> fid:int -> idx:int -> Fsam_dsa.Iset.t
+(** Union of [mod] over the callees resolved at the given call/fork site. *)
+
+val callsite_ref : t -> Solver.t -> fid:int -> idx:int -> Fsam_dsa.Iset.t

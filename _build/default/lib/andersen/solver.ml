@@ -1,0 +1,360 @@
+open Fsam_dsa
+open Fsam_ir
+
+(* Constraint-graph nodes: top-level variables occupy ids [0, V); the cell of
+   object [o] is node [V + o]. The object table grows as field objects are
+   materialised, so all node-indexed state is growable. *)
+
+type callsite = {
+  cs_fid : int;
+  cs_idx : int;
+  cs_args : Stmt.var list;
+  cs_ret : Stmt.var option;
+  cs_fork : bool;
+}
+
+type t = {
+  prog : Prog.t;
+  nvars : int;
+  uf : Uf.t;
+  mutable pts : Iset.t array;
+  mutable prop : Iset.t array; (* portion of pts already propagated *)
+  mutable succs : Iset.t array; (* copy edges, stored on representatives *)
+  loads : (int, Stmt.var list) Hashtbl.t;
+  stores : (int, Stmt.var list) Hashtbl.t;
+  geps : (int, (Stmt.var * string) list) Hashtbl.t;
+  forks : (int, int list) Hashtbl.t; (* handle node -> fork ids *)
+  icalls : (int, callsite list) Hashtbl.t;
+  connected : (int * int * int, unit) Hashtbl.t; (* (cs_fid, cs_idx, callee) *)
+  cg : Fsam_graph.Digraph.t; (* includes fork edges *)
+  cg_nf : Fsam_graph.Digraph.t; (* plain call edges only *)
+  callee_tbl : (int * int, int list ref) Hashtbl.t; (* callsite -> callees *)
+  fork_tgts : int list ref array; (* fork id -> start procs *)
+  ret_tbl : Stmt.var list array; (* fid -> returned vars *)
+  queue : int Queue.t;
+  mutable in_queue : Bitvec.t;
+  mutable iterations : int;
+  mutable edges_since_collapse : int;
+}
+
+let node_of_var _t v = v
+let node_of_obj t o = t.nvars + o
+
+let ensure t n =
+  let len = Array.length t.pts in
+  if n >= len then begin
+    let cap = max (n + 1) (2 * len) in
+    let grow a init =
+      let b = Array.make cap init in
+      Array.blit a 0 b 0 len;
+      b
+    in
+    t.pts <- grow t.pts Iset.empty;
+    t.prop <- grow t.prop Iset.empty;
+    t.succs <- grow t.succs Iset.empty
+  end
+
+let rep t n =
+  ensure t n;
+  Uf.find t.uf n
+
+let push t n =
+  let n = rep t n in
+  if Bitvec.set_if_unset t.in_queue n then Queue.add n t.queue
+
+let add_pts t n set =
+  let n = rep t n in
+  let u = Iset.union t.pts.(n) set in
+  if not (u == t.pts.(n)) then begin
+    t.pts.(n) <- u;
+    push t n
+  end
+
+(* Append to a node-keyed constraint table. *)
+let tbl_add tbl n x =
+  Hashtbl.replace tbl n (x :: Option.value ~default:[] (Hashtbl.find_opt tbl n))
+
+let add_edge t u v =
+  let u = rep t u and v = rep t v in
+  if u <> v && not (Iset.mem v t.succs.(u)) then begin
+    t.succs.(u) <- Iset.add v t.succs.(u);
+    t.edges_since_collapse <- t.edges_since_collapse + 1;
+    (* flow everything u already knows into v *)
+    add_pts t v t.pts.(u)
+  end
+
+let connect t cs callee =
+  let key = (cs.cs_fid, cs.cs_idx, callee) in
+  if not (Hashtbl.mem t.connected key) then begin
+    Hashtbl.replace t.connected key ();
+    (match Hashtbl.find_opt t.callee_tbl (cs.cs_fid, cs.cs_idx) with
+    | Some l -> l := callee :: !l
+    | None -> Hashtbl.replace t.callee_tbl (cs.cs_fid, cs.cs_idx) (ref [ callee ]));
+    Fsam_graph.Digraph.add_edge t.cg cs.cs_fid callee;
+    if not cs.cs_fork then Fsam_graph.Digraph.add_edge t.cg_nf cs.cs_fid callee;
+    let f = Prog.func t.prog callee in
+    let rec bind args params =
+      match (args, params) with
+      | a :: args, p :: params ->
+        add_edge t (node_of_var t a) (node_of_var t p);
+        bind args params
+      | _ -> ()
+    in
+    bind cs.cs_args f.Func.params;
+    (match cs.cs_ret with
+    | Some r ->
+      List.iter (fun rv -> add_edge t (node_of_var t rv) (node_of_var t r)) t.ret_tbl.(callee)
+    | None -> ())
+  end
+
+let fork_of_stmt t cs fork_id callee =
+  connect t cs callee;
+  let l = t.fork_tgts.(fork_id) in
+  if not (List.mem callee !l) then l := callee :: !l
+
+(* Online cycle collapsing over the copy-edge graph. *)
+let collapse t =
+  let n = Array.length t.pts in
+  let g = Fsam_graph.Digraph.create ~size_hint:n () in
+  for u = 0 to n - 1 do
+    if Uf.find t.uf u = u then begin
+      Fsam_graph.Digraph.ensure_node g u;
+      Iset.iter
+        (fun v ->
+          let v = Uf.find t.uf v in
+          if v <> u then Fsam_graph.Digraph.add_edge g u v)
+        t.succs.(u)
+    end
+  done;
+  let r = Fsam_graph.Scc.compute g in
+  Array.iter
+    (fun members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        let keep = Uf.find t.uf first in
+        let merged_pts = ref t.pts.(keep) in
+        let merged_succs = ref t.succs.(keep) in
+        List.iter
+          (fun m ->
+            let m = Uf.find t.uf m in
+            if m <> keep then begin
+              merged_pts := Iset.union !merged_pts t.pts.(m);
+              merged_succs := Iset.union !merged_succs t.succs.(m);
+              (* move complex constraints onto the representative *)
+              let move tbl =
+                match Hashtbl.find_opt tbl m with
+                | Some l ->
+                  Hashtbl.remove tbl m;
+                  List.iter (fun x -> tbl_add tbl keep x) l
+                | None -> ()
+              in
+              move t.loads;
+              move t.stores;
+              move t.geps;
+              move t.forks;
+              move t.icalls;
+              t.pts.(m) <- Iset.empty;
+              t.prop.(m) <- Iset.empty;
+              t.succs.(m) <- Iset.empty;
+              ignore (Uf.union_to t.uf ~keep ~absorb:m)
+            end)
+          rest;
+        t.pts.(keep) <- !merged_pts;
+        (* conservatively forget propagation history of the merged node *)
+        t.prop.(keep) <- Iset.empty;
+        t.succs.(keep) <- Iset.remove keep !merged_succs;
+        push t keep)
+    r.Fsam_graph.Scc.comps;
+  t.edges_since_collapse <- 0
+
+let process t n =
+  let n = rep t n in
+  let delta = Iset.diff t.pts.(n) t.prop.(n) in
+  if not (Iset.is_empty delta) then begin
+    t.prop.(n) <- t.pts.(n);
+    t.iterations <- t.iterations + 1;
+    (* complex constraints *)
+    (match Hashtbl.find_opt t.loads n with
+    | Some dsts ->
+      Iset.iter
+        (fun o -> List.iter (fun p -> add_edge t (node_of_obj t o) (node_of_var t p)) dsts)
+        delta
+    | None -> ());
+    (match Hashtbl.find_opt t.stores n with
+    | Some srcs ->
+      Iset.iter
+        (fun o -> List.iter (fun q -> add_edge t (node_of_var t q) (node_of_obj t o)) srcs)
+        delta
+    | None -> ());
+    (match Hashtbl.find_opt t.geps n with
+    | Some gs ->
+      Iset.iter
+        (fun o ->
+          let info = Prog.obj t.prog o in
+          if not (Memobj.is_function info || Memobj.is_thread info) then
+            List.iter
+              (fun (p, field) ->
+                let fld = Prog.field_obj t.prog ~base:o ~field in
+                ensure t (node_of_obj t fld);
+                add_pts t (node_of_var t p) (Iset.singleton fld))
+              gs)
+        delta
+    | None -> ());
+    (match Hashtbl.find_opt t.forks n with
+    | Some fork_ids ->
+      Iset.iter
+        (fun o ->
+          List.iter
+            (fun k ->
+              let theta = Prog.thread_obj_of_fork t.prog k in
+              add_pts t (node_of_obj t o) (Iset.singleton theta))
+            fork_ids)
+        delta
+    | None -> ());
+    (match Hashtbl.find_opt t.icalls n with
+    | Some css ->
+      Iset.iter
+        (fun o ->
+          match (Prog.obj t.prog o).Memobj.kind with
+          | Memobj.Func fid ->
+            List.iter
+              (fun cs ->
+                if cs.cs_fork then begin
+                  (* recover the fork id from the statement *)
+                  match Func.stmt (Prog.func t.prog cs.cs_fid) cs.cs_idx with
+                  | Stmt.Fork { fork_id; _ } -> fork_of_stmt t cs fork_id fid
+                  | _ -> assert false
+                end
+                else connect t cs fid)
+              css
+          | _ -> ())
+        delta
+    | None -> ());
+    (* copy edges (snapshot: Iset is persistent, so edges added during the
+       complex phase above were already seeded with full pts at add time) *)
+    Iset.iter (fun m -> add_pts t m delta) t.succs.(n)
+  end
+
+let run prog =
+  let nvars = Prog.n_vars prog in
+  let size = nvars + Prog.n_objs prog + 64 in
+  let ret_tbl = Array.make (Prog.n_funcs prog) [] in
+  Prog.iter_funcs prog (fun f ->
+      let rets = ref [] in
+      Func.iter_stmts f (fun _ s ->
+          match s with Stmt.Return (Some v) -> rets := v :: !rets | _ -> ());
+      ret_tbl.(f.Func.fid) <- !rets);
+  let t =
+    {
+      prog;
+      nvars;
+      uf = Uf.create size;
+      pts = Array.make size Iset.empty;
+      prop = Array.make size Iset.empty;
+      succs = Array.make size Iset.empty;
+      loads = Hashtbl.create 256;
+      stores = Hashtbl.create 256;
+      geps = Hashtbl.create 64;
+      forks = Hashtbl.create 16;
+      icalls = Hashtbl.create 64;
+      connected = Hashtbl.create 64;
+      cg = Fsam_graph.Digraph.create ~size_hint:(Prog.n_funcs prog) ();
+      cg_nf = Fsam_graph.Digraph.create ~size_hint:(Prog.n_funcs prog) ();
+      callee_tbl = Hashtbl.create 64;
+      fork_tgts = Array.init (Prog.n_forks prog) (fun _ -> ref []);
+      ret_tbl;
+      queue = Queue.create ();
+      in_queue = Bitvec.create ~capacity:size ();
+      iterations = 0;
+      edges_since_collapse = 0;
+    }
+  in
+  Fsam_graph.Digraph.ensure_node t.cg (Prog.n_funcs prog - 1);
+  Fsam_graph.Digraph.ensure_node t.cg_nf (Prog.n_funcs prog - 1);
+  (* Initial constraints. *)
+  Prog.iter_funcs prog (fun f ->
+      let fid = f.Func.fid in
+      Func.iter_stmts f (fun idx s ->
+          match s with
+          | Stmt.Addr_of { dst; obj } -> add_pts t (node_of_var t dst) (Iset.singleton obj)
+          | Stmt.Copy { dst; src } -> add_edge t (node_of_var t src) (node_of_var t dst)
+          | Stmt.Phi { dst; srcs } ->
+            List.iter (fun s -> add_edge t (node_of_var t s) (node_of_var t dst)) srcs
+          | Stmt.Load { dst; src } -> tbl_add t.loads (node_of_var t src) dst
+          | Stmt.Store { dst; src } -> tbl_add t.stores (node_of_var t dst) src
+          | Stmt.Gep { dst; src; field } -> tbl_add t.geps (node_of_var t src) (dst, field)
+          | Stmt.Call { target; args; ret } -> (
+            let cs =
+              { cs_fid = fid; cs_idx = idx; cs_args = args; cs_ret = ret; cs_fork = false }
+            in
+            match target with
+            | Stmt.Direct f -> connect t cs f
+            | Stmt.Indirect v -> tbl_add t.icalls (node_of_var t v) cs)
+          | Stmt.Fork { handle; target; args; fork_id } -> (
+            (match handle with
+            | Some h -> tbl_add t.forks (node_of_var t h) fork_id
+            | None -> ());
+            let cs =
+              { cs_fid = fid; cs_idx = idx; cs_args = args; cs_ret = None; cs_fork = true }
+            in
+            match target with
+            | Stmt.Direct f -> fork_of_stmt t cs fork_id f
+            | Stmt.Indirect v -> tbl_add t.icalls (node_of_var t v) cs)
+          | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ()));
+  (* Fixpoint. *)
+  let collapse_threshold = max 512 (size / 2) in
+  while not (Queue.is_empty t.queue) do
+    let n = Queue.pop t.queue in
+    Bitvec.clear t.in_queue n;
+    process t n;
+    if t.edges_since_collapse > collapse_threshold then collapse t
+  done;
+  t
+
+(* Queries ----------------------------------------------------------------- *)
+
+let pt_var t v = t.pts.(rep t (node_of_var t v))
+let pt_obj t o = t.pts.(rep t (node_of_obj t o))
+let alias_targets t p q = Iset.inter (pt_var t p) (pt_var t q)
+
+let callees t ~fid ~idx =
+  match Hashtbl.find_opt t.callee_tbl (fid, idx) with Some l -> !l | None -> []
+
+let call_graph t = t.cg
+let call_graph_no_fork t = t.cg_nf
+let fork_targets t k = !(t.fork_tgts.(k))
+
+let join_threads t ~fid ~idx =
+  match Func.stmt (Prog.func t.prog fid) idx with
+  | Stmt.Join { handle } ->
+    let acc = ref [] in
+    Iset.iter
+      (fun o ->
+        Iset.iter
+          (fun o' ->
+            match Prog.fork_of_thread_obj t.prog o' with
+            | Some k -> if not (List.mem k !acc) then acc := k :: !acc
+            | None -> ())
+          (pt_obj t o))
+      (pt_var t handle);
+    List.sort compare !acc
+  | _ -> []
+
+let ret_vars t f = t.ret_tbl.(f)
+
+let reachable_funcs t =
+  Fsam_graph.Reach.from t.cg (Prog.main_fid t.prog)
+
+let n_solver_iterations t = t.iterations
+
+let total_pts_size t =
+  let total = ref 0 in
+  Array.iteri
+    (fun n s -> if Uf.find t.uf n = n then total := !total + Iset.cardinal s)
+    t.pts;
+  !total
+
+let pp_stats ppf t =
+  Format.fprintf ppf "andersen: %d iterations, %d pts entries, %d objects"
+    t.iterations (total_pts_size t) (Prog.n_objs t.prog)

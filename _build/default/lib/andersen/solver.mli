@@ -1,0 +1,59 @@
+open Fsam_ir
+
+(** Andersen's inclusion-based pointer analysis — FSAM's pre-analysis
+    (paper §1.2, §4.2).
+
+    Flow- and context-insensitive. Solved with worklist difference
+    propagation over a copy-edge constraint graph with online cycle
+    collapsing (the wave/deep-propagation family of [Pereira & Berlin,
+    CGO'09] that the paper's implementation uses). Field-sensitive: [Gep]
+    constraints materialise field objects; nested fields are flattened onto
+    the root object, which bounds derivations and plays the role of
+    positive-weight-cycle collapsing [Pearce et al.]. The call graph is
+    built on the fly: indirect call and fork targets are resolved as the
+    points-to sets of their function pointers grow. *)
+
+type t
+
+val run : Prog.t -> t
+
+(* Points-to queries ------------------------------------------------------ *)
+
+val pt_var : t -> Stmt.var -> Fsam_dsa.Iset.t
+(** Objects the top-level variable may point to. *)
+
+val pt_obj : t -> Stmt.obj -> Fsam_dsa.Iset.t
+(** Objects the cell of the given object may point to. *)
+
+val alias_targets : t -> Stmt.var -> Stmt.var -> Fsam_dsa.Iset.t
+(** The paper's [ASp] alias-target set: objects pointed to by both. *)
+
+(* Call graph ------------------------------------------------------------- *)
+
+val callees : t -> fid:int -> idx:int -> int list
+(** Resolved callees of the [Call] or [Fork] statement at [(fid, idx)]. *)
+
+val call_graph : t -> Fsam_graph.Digraph.t
+(** Function-level call graph including fork edges (caller -> start proc). *)
+
+val call_graph_no_fork : t -> Fsam_graph.Digraph.t
+(** Call graph with plain call edges only. *)
+
+val fork_targets : t -> int -> int list
+(** Start procedures of the given fork id. *)
+
+val join_threads : t -> fid:int -> idx:int -> int list
+(** Fork ids of the abstract threads that the [Join] at [(fid, idx)] may
+    join (resolved through the handle's points-to set). *)
+
+val ret_vars : t -> int -> Stmt.var list
+(** The variables returned by a function. *)
+
+val reachable_funcs : t -> Fsam_dsa.Bitvec.t
+(** Functions reachable from [main] in the call graph (incl. fork edges). *)
+
+(* Statistics ------------------------------------------------------------- *)
+
+val n_solver_iterations : t -> int
+val total_pts_size : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+open Fsam_dsa
+open Fsam_ir
+
+(* Nodes: variables in [0, V); the cell of object o at V + o (as in the
+   Andersen solver). Each union-find class carries (a) the set of abstract
+   objects whose cells belong to it, (b) an optional pointee class. *)
+
+type t = {
+  prog : Prog.t;
+  nvars : int;
+  uf : Uf.t;
+  objs_of : (int, Iset.t) Hashtbl.t; (* root -> objects in the class *)
+  pointee : (int, int) Hashtbl.t; (* root -> pointee root *)
+  mutable fresh : int; (* allocator for pointee classes past the node space *)
+}
+
+let node_of_var _t v = v
+let node_of_obj t o = t.nvars + o
+
+let root t n = Uf.find t.uf n
+let objs_at t r = Option.value ~default:Iset.empty (Hashtbl.find_opt t.objs_of r)
+
+(* Unify two classes, merging their object sets and recursively their
+   pointees (the heart of Steensgaard's algorithm). *)
+let rec unify t a b =
+  let ra = root t a and rb = root t b in
+  if ra = rb then ra
+  else begin
+    let pa = Hashtbl.find_opt t.pointee ra and pb = Hashtbl.find_opt t.pointee rb in
+    let oa = objs_at t ra and ob = objs_at t rb in
+    let r = Uf.union t.uf ra rb in
+    let merged = Iset.union oa ob in
+    if not (Iset.is_empty merged) then Hashtbl.replace t.objs_of r merged;
+    Hashtbl.remove t.objs_of (if r = ra then rb else ra);
+    (match (pa, pb) with
+    | None, None -> Hashtbl.remove t.pointee r
+    | Some p, None | None, Some p -> Hashtbl.replace t.pointee r (root t p)
+    | Some p1, Some p2 ->
+      (* unifying may invalidate roots: re-resolve afterwards *)
+      let p = unify t p1 p2 in
+      Hashtbl.replace t.pointee (root t r) p);
+    root t r
+  end
+
+(* The pointee class of [n], creating a fresh one if absent. Fresh classes
+   use node ids past the var/obj space. *)
+let pointee_of t n =
+  let r = root t n in
+  match Hashtbl.find_opt t.pointee r with
+  | Some p -> root t p
+  | None ->
+    t.fresh <- t.fresh + 1;
+    let fresh = t.nvars + Prog.n_objs t.prog + t.fresh in
+    let fr = root t fresh in
+    Hashtbl.replace t.pointee r fr;
+    fr
+
+let run prog =
+  let nvars = Prog.n_vars prog in
+  let t =
+    {
+      prog;
+      nvars;
+      uf = Uf.create (nvars + Prog.n_objs prog + 64);
+      objs_of = Hashtbl.create 256;
+      pointee = Hashtbl.create 256;
+      fresh = 0;
+    }
+  in
+  (* each object's cell class initially contains the object itself *)
+  Prog.iter_objs prog (fun o ->
+      Hashtbl.replace t.objs_of (root t (node_of_obj t o.Memobj.id))
+        (Iset.singleton o.Memobj.id));
+  let assign_addr p o =
+    (* p = &o: o's cell class becomes (part of) p's pointee *)
+    ignore (unify t (pointee_of t (node_of_var t p)) (node_of_obj t o))
+  in
+  let assign p q =
+    (* p = q: unify the pointees *)
+    ignore (unify t (pointee_of t (node_of_var t p)) (pointee_of t (node_of_var t q)))
+  in
+  let ret_vars = Array.make (Prog.n_funcs prog) [] in
+  Prog.iter_funcs prog (fun f ->
+      Func.iter_stmts f (fun _ s ->
+          match s with
+          | Stmt.Return (Some v) -> ret_vars.(f.Func.fid) <- v :: ret_vars.(f.Func.fid)
+          | _ -> ()));
+  (* two passes: the second resolves indirect calls through the classes built
+     by the first (iterate to a small fixpoint on the class count) *)
+  let resolve_callees fid idx target =
+    match target with
+    | Stmt.Direct f -> [ f ]
+    | Stmt.Indirect v ->
+      ignore (fid, idx);
+      Iset.fold
+        (fun o acc ->
+          match (Prog.obj prog o).Memobj.kind with
+          | Memobj.Func f -> f :: acc
+          | _ -> acc)
+        (objs_at t (pointee_of t (node_of_var t v)))
+        []
+  in
+  let pass () =
+    Prog.iter_funcs prog (fun f ->
+        let fid = f.Func.fid in
+        Func.iter_stmts f (fun idx s ->
+            match s with
+            | Stmt.Addr_of { dst; obj } -> assign_addr dst obj
+            | Stmt.Copy { dst; src } -> assign dst src
+            | Stmt.Phi { dst; srcs } -> List.iter (assign dst) srcs
+            | Stmt.Gep { dst; src; _ } ->
+              (* field-insensitive: the field cell is the base cell *)
+              assign dst src
+            | Stmt.Load { dst; src } ->
+              (* pointee(dst) ≡ pointee(pointee(src)) *)
+              ignore
+                (unify t
+                   (pointee_of t (node_of_var t dst))
+                   (pointee_of t (pointee_of t (node_of_var t src))))
+            | Stmt.Store { dst; src } ->
+              ignore
+                (unify t
+                   (pointee_of t (pointee_of t (node_of_var t dst)))
+                   (pointee_of t (node_of_var t src)))
+            | Stmt.Call { target; args; ret } ->
+              List.iter
+                (fun callee ->
+                  let cf = Prog.func prog callee in
+                  let rec bind a p =
+                    match (a, p) with
+                    | x :: a, y :: p ->
+                      assign y x;
+                      bind a p
+                    | _ -> ()
+                  in
+                  bind args cf.Func.params;
+                  match ret with
+                  | Some r -> List.iter (fun rv -> assign r rv) ret_vars.(callee)
+                  | None -> ())
+                (resolve_callees fid idx target)
+            | Stmt.Fork { handle; target; args; fork_id } ->
+              List.iter
+                (fun callee ->
+                  let cf = Prog.func prog callee in
+                  let rec bind a p =
+                    match (a, p) with
+                    | x :: a, y :: p ->
+                      assign y x;
+                      bind a p
+                    | _ -> ()
+                  in
+                  bind args cf.Func.params)
+                (resolve_callees fid idx target);
+              (match handle with
+              | Some h ->
+                (* the handle cells receive the thread object *)
+                let theta = Prog.thread_obj_of_fork prog fork_id in
+                ignore
+                  (unify t
+                     (pointee_of t (pointee_of t (node_of_var t h)))
+                     (node_of_obj t theta))
+              | None -> ())
+            | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ ->
+              ()))
+  in
+  let rec to_fixpoint budget =
+    let before = Uf.n_classes t.uf in
+    pass ();
+    if Uf.n_classes t.uf <> before && budget > 0 then to_fixpoint (budget - 1)
+  in
+  to_fixpoint 8;
+  t
+
+(* Field-insensitivity: a class holding object [o] stands for [o] and all
+   of its fields; a field object's cell is its base's cell. Queries expand
+   accordingly so results are directly comparable to (and supersets of) the
+   field-sensitive analyses'. *)
+let expand t s =
+  Iset.fold
+    (fun o acc ->
+      List.fold_left
+        (fun acc fo -> Iset.add fo acc)
+        (Iset.add o acc) (Prog.fields_of t.prog o))
+    s Iset.empty
+
+let pt_var t v = expand t (objs_at t (pointee_of t (node_of_var t v)))
+
+let pt_obj t o =
+  let base = Memobj.base_of (Prog.obj t.prog o) in
+  expand t (objs_at t (pointee_of t (node_of_obj t base)))
+
+let n_classes t = Uf.n_classes t.uf

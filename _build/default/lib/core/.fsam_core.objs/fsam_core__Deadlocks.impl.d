@@ -1,0 +1,1 @@
+lib/core/deadlocks.ml: Driver Format Fsam_dsa Fsam_ir Fsam_mta List Prog Sparse Stmt

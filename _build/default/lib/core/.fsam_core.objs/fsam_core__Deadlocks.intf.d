@@ -1,0 +1,1 @@
+lib/core/deadlocks.mli: Driver Format

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Buffer Driver Format Fsam_andersen Fsam_graph Fsam_ir Fsam_memssa Fsam_mta Func List Printf Prog String

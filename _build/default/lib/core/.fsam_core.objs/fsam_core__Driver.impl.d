@@ -1,0 +1,1 @@
+lib/core/driver.ml: Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_memssa Fsam_mta List Nonsparse Prog Singletons Sparse Sys Validate

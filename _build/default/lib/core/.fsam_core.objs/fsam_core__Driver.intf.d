@@ -1,0 +1,1 @@
+lib/core/driver.mli: Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_memssa Fsam_mta Nonsparse Prog Sparse Stmt

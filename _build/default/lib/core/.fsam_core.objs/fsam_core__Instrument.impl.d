@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Driver Fsam_dsa Fsam_ir Fsam_memssa Fsam_mta Hashtbl List Prog Stmt

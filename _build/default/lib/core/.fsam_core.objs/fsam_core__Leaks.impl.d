@@ -1,0 +1,1 @@
+lib/core/leaks.ml: Driver Format Fsam_dsa Fsam_ir Fsam_mta Func Iset List Memobj Prog Sparse Stmt

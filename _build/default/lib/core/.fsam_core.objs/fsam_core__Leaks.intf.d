@@ -1,0 +1,1 @@
+lib/core/leaks.mli: Driver Format

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Gc Sys

@@ -1,0 +1,1 @@
+lib/core/nonsparse.ml: Array Bitvec Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_mta Func Hashtbl Iset List Memobj Option Prog Queue Stmt Sys

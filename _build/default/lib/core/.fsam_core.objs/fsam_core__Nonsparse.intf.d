@@ -1,0 +1,1 @@
+lib/core/nonsparse.mli: Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_mta Prog Stmt

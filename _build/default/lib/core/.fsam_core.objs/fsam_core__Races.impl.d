@@ -1,0 +1,1 @@
+lib/core/races.ml: Driver Format Fsam_dsa Fsam_ir Fsam_mta Iset List Prog Sparse Stmt

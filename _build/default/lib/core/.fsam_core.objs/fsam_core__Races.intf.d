@@ -1,0 +1,1 @@
+lib/core/races.mli: Driver Format

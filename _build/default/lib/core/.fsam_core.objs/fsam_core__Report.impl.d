@@ -1,0 +1,1 @@
+lib/core/report.ml: Deadlocks Driver Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_memssa Fsam_mta Instrument List Prog Races Sparse

@@ -1,0 +1,1 @@
+lib/core/singletons.ml: Array Fsam_andersen Fsam_dsa Fsam_graph Fsam_ir Fsam_mta Iset List Memobj Prog

@@ -1,0 +1,1 @@
+lib/core/singletons.mli: Fsam_andersen Fsam_ir Fsam_mta Prog

@@ -1,0 +1,1 @@
+lib/core/sparse.ml: Array Bitvec Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_memssa Func Hashtbl Iset List Option Prog Queue Stmt

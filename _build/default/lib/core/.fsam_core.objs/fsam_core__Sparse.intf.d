@@ -1,0 +1,1 @@
+lib/core/sparse.mli: Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_memssa Prog Stmt

@@ -1,0 +1,78 @@
+open Fsam_ir
+module Svfg = Fsam_memssa.Svfg
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let stmt_label prog gid =
+  Format.asprintf "%d: %a" gid (Prog.pp_stmt prog) (Prog.stmt_at prog gid)
+
+let svfg d =
+  let prog = d.Driver.prog in
+  let g = d.Driver.svfg in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph svfg {\n  node [shape=box, fontsize=10];\n";
+  Svfg.iter_nodes g (fun i node ->
+      let label =
+        match node with
+        | Svfg.Stmt_node gid -> stmt_label prog gid
+        | Svfg.Formal_in (fid, o) ->
+          Printf.sprintf "formal-in %s / %s" (Prog.func prog fid).Func.fname
+            (Prog.obj_name prog o)
+        | Svfg.Formal_out (fid, o) ->
+          Printf.sprintf "formal-out %s / %s" (Prog.func prog fid).Func.fname
+            (Prog.obj_name prog o)
+        | Svfg.Call_chi (gid, o) ->
+          Printf.sprintf "chi@%d / %s" gid (Prog.obj_name prog o)
+      in
+      let style =
+        match node with Svfg.Stmt_node _ -> "" | _ -> ", style=dotted"
+      in
+      pr "  n%d [label=\"%s\"%s];\n" i (escape label) style);
+  (* classify thread-aware edges by racy marking: an edge between two
+     statements of MHP instances is drawn dashed red *)
+  Svfg.iter_nodes g (fun i node ->
+      List.iter
+        (fun (o, j) ->
+          let thread_aware =
+            match (node, Svfg.node g j) with
+            | Svfg.Stmt_node a, Svfg.Stmt_node b ->
+              Fsam_mta.Mhp.mhp_stmt d.Driver.mhp a b
+            | _ -> false
+          in
+          if thread_aware then
+            pr "  n%d -> n%d [label=\"%s\", color=red, style=dashed];\n" i j
+              (escape (Prog.obj_name prog o))
+          else
+            pr "  n%d -> n%d [label=\"%s\"];\n" i j (escape (Prog.obj_name prog o)))
+        (Svfg.o_succs g i));
+  pr "}\n";
+  Buffer.contents buf
+
+let call_graph d =
+  let prog = d.Driver.prog in
+  let cg = Fsam_andersen.Solver.call_graph d.Driver.ast in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph callgraph {\n";
+  Prog.iter_funcs prog (fun f ->
+      pr "  f%d [label=\"%s\"];\n" f.Func.fid (escape f.Func.fname));
+  Fsam_graph.Digraph.iter_edges cg (fun u v -> pr "  f%d -> f%d;\n" u v);
+  pr "}\n";
+  Buffer.contents buf
+
+let cfg_of d fid =
+  let prog = d.Driver.prog in
+  let f = Prog.func prog fid in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph cfg_%s {\n  node [shape=box, fontsize=10];\n" f.Func.fname;
+  Func.iter_stmts f (fun i s ->
+      pr "  s%d [label=\"%s\"];\n" i (escape (Format.asprintf "%d: %a" i (Prog.pp_stmt prog) s)));
+  Array.iteri (fun i succs -> List.iter (fun j -> pr "  s%d -> s%d;\n" i j) succs) f.Func.succ;
+  pr "}\n";
+  Buffer.contents buf

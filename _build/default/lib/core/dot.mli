@@ -1,0 +1,10 @@
+(** Graphviz (DOT) exports of the analysis data structures, for debugging
+    and for documentation figures — the counterpart of SVF's graph dumps.
+
+    Thread-aware SVFG edges are drawn dashed red, matching the red
+    inter-thread value-flows of the paper's Figures 6 and 9. *)
+
+val svfg : Driver.t -> string
+val call_graph : Driver.t -> string
+val cfg_of : Driver.t -> int -> string
+(** Statement-level CFG of one function. *)

@@ -1,0 +1,126 @@
+open Fsam_ir
+module A = Fsam_andersen.Solver
+module Modref = Fsam_andersen.Modref
+module Mta = Fsam_mta
+module Svfg = Fsam_memssa.Svfg
+
+type config = {
+  svfg : Svfg.config;
+  max_ctx_depth : int;
+  nonsparse_budget : float;
+}
+
+let default_config =
+  { svfg = Svfg.default_config; max_ctx_depth = 24; nonsparse_budget = 7200. }
+
+let no_interleaving =
+  { default_config with svfg = { Svfg.default_config with use_interleaving = false } }
+
+let no_value_flow =
+  { default_config with svfg = { Svfg.default_config with use_value_flow = false } }
+
+let no_lock = { default_config with svfg = { Svfg.default_config with use_lock = false } }
+
+type phase_times = {
+  t_pre : float;
+  t_thread_model : float;
+  t_interleaving : float;
+  t_lock : float;
+  t_svfg : float;
+  t_solve : float;
+}
+
+type t = {
+  prog : Prog.t;
+  ast : A.t;
+  modref : Modref.t;
+  icfg : Mta.Icfg.t;
+  tm : Mta.Threads.t;
+  mhp : Mta.Mhp.t;
+  locks : Mta.Locks.t;
+  pcg : Mta.Pcg.t;
+  svfg : Svfg.t;
+  sparse : Sparse.t;
+  times : phase_times;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run ?(config = default_config) prog =
+  Validate.check_exn prog;
+  let (ast, modref), t_pre =
+    timed (fun () ->
+        let ast = A.run prog in
+        (ast, Modref.compute prog ast))
+  in
+  let (icfg, tm), t_thread_model =
+    timed (fun () ->
+        let icfg = Mta.Icfg.build prog ast in
+        (icfg, Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg))
+  in
+  let mhp, t_interleaving = timed (fun () -> Mta.Mhp.compute tm) in
+  let locks, t_lock = timed (fun () -> Mta.Locks.compute prog ast tm) in
+  let pcg = Mta.Pcg.compute tm icfg in
+  let svfg, t_svfg =
+    timed (fun () -> Svfg.build ~config:config.svfg prog ast modref icfg tm mhp locks pcg)
+  in
+  let sparse, t_solve =
+    timed (fun () ->
+        let singleton = Singletons.compute prog ast tm icfg in
+        Sparse.solve prog ast svfg ~singleton)
+  in
+  {
+    prog;
+    ast;
+    modref;
+    icfg;
+    tm;
+    mhp;
+    locks;
+    pcg;
+    svfg;
+    sparse;
+    times = { t_pre; t_thread_model; t_interleaving; t_lock; t_svfg; t_solve };
+  }
+
+let run_nonsparse ?(config = default_config) prog =
+  Validate.check_exn prog;
+  let t0 = Sys.time () in
+  let ast = A.run prog in
+  let icfg = Mta.Icfg.build prog ast in
+  let tm = Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg in
+  let pcg = Mta.Pcg.compute tm icfg in
+  let singleton = Singletons.compute prog ast tm icfg in
+  let remaining = config.nonsparse_budget -. (Sys.time () -. t0) in
+  let outcome =
+    Nonsparse.solve ~budget_seconds:(max 0.1 remaining) prog ast icfg pcg ~singleton
+  in
+  (outcome, Sys.time () -. t0)
+
+let pt t v = Sparse.pt_top t.sparse v
+
+let pt_names t v =
+  List.sort compare (List.map (Prog.obj_name t.prog) (Fsam_dsa.Iset.elements (pt t v)))
+
+let alias t a b = not (Fsam_dsa.Iset.disjoint (pt t a) (pt t b))
+
+let total_time t =
+  t.times.t_pre +. t.times.t_thread_model +. t.times.t_interleaving +. t.times.t_lock
+  +. t.times.t_svfg +. t.times.t_solve
+
+let memory_entries t = Sparse.pts_entries t.sparse
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>FSAM summary:@,\
+    \  %a@,\
+    \  %a@,\
+    \  %a@,\
+    \  %a@,\
+     \  phases: pre %.3fs, threads %.3fs, mhp %.3fs, locks %.3fs, svfg %.3fs, solve %.3fs@]"
+    A.pp_stats t.ast Mta.Threads.pp_stats t.tm Svfg.pp_stats t.svfg Sparse.pp_stats t.sparse
+    t.times.t_pre t.times.t_thread_model t.times.t_interleaving t.times.t_lock t.times.t_svfg
+    t.times.t_solve

@@ -1,0 +1,63 @@
+open Fsam_ir
+
+(** End-to-end FSAM driver (the pipeline of paper Figure 2): pre-analysis →
+    thread-oblivious def-use → interleaving analysis → value-flow analysis →
+    lock analysis → sparse flow-sensitive solve. *)
+
+type config = {
+  svfg : Fsam_memssa.Svfg.config;
+  max_ctx_depth : int;
+  nonsparse_budget : float;  (** seconds before NonSparse reports OOT *)
+}
+
+val default_config : config
+val no_interleaving : config  (** paper §4.3 configuration (1) *)
+
+val no_value_flow : config  (** configuration (2) *)
+
+val no_lock : config  (** configuration (3) *)
+
+type phase_times = {
+  t_pre : float;  (** Andersen + mod/ref *)
+  t_thread_model : float;  (** ICFG + thread model *)
+  t_interleaving : float;  (** MHP analysis *)
+  t_lock : float;  (** lock-span analysis *)
+  t_svfg : float;  (** def-use construction incl. value-flow phase *)
+  t_solve : float;  (** sparse solve *)
+}
+
+type t = {
+  prog : Prog.t;
+  ast : Fsam_andersen.Solver.t;
+  modref : Fsam_andersen.Modref.t;
+  icfg : Fsam_mta.Icfg.t;
+  tm : Fsam_mta.Threads.t;
+  mhp : Fsam_mta.Mhp.t;
+  locks : Fsam_mta.Locks.t;
+  pcg : Fsam_mta.Pcg.t;
+  svfg : Fsam_memssa.Svfg.t;
+  sparse : Sparse.t;
+  times : phase_times;
+}
+
+val run : ?config:config -> Prog.t -> t
+(** Runs the full FSAM pipeline. The program must be in partial SSA
+    (checked). *)
+
+val run_nonsparse :
+  ?config:config -> Prog.t -> Nonsparse.outcome * float
+(** Runs the NonSparse baseline (pre-analysis + PCG + iterative data-flow);
+    returns the outcome and the total analysis time in seconds. *)
+
+(* Convenience queries ---------------------------------------------------- *)
+
+val pt : t -> Stmt.var -> Fsam_dsa.Iset.t
+val pt_names : t -> Stmt.var -> string list
+(** Object names, sorted — convenient in tests and examples. *)
+
+val alias : t -> Stmt.var -> Stmt.var -> bool
+(** May the two pointers alias (flow-sensitive result)? *)
+
+val total_time : t -> float
+val memory_entries : t -> int
+val pp_summary : Format.formatter -> t -> unit

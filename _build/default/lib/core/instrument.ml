@@ -1,0 +1,57 @@
+open Fsam_ir
+module Mta = Fsam_mta
+module Svfg = Fsam_memssa.Svfg
+
+type report = { total_accesses : int; instrumented : int; reduction : float }
+
+(* An access must keep its dynamic check when it is one end of a surviving
+   thread-aware def-use edge (an interfering MHP pair on a common object,
+   not ruled out by the lock analysis), or a store marked racy. *)
+let instrumented_set d =
+  let svfg = d.Driver.svfg in
+  let prog = d.Driver.prog in
+  let need = Hashtbl.create 64 in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Stmt.Store _ when not (Fsam_dsa.Iset.is_empty (Svfg.racy_objs svfg gid)) ->
+        Hashtbl.replace need gid ()
+      | _ -> ());
+  (* ends of thread-aware edges *)
+  Svfg.iter_nodes svfg (fun n node ->
+      match node with
+      | Svfg.Stmt_node gid ->
+        List.iter
+          (fun (o, m) ->
+            match Svfg.node svfg m with
+            | Svfg.Stmt_node gid' ->
+              (* a thread-aware edge always connects two accesses of distinct
+                 threads; conservatively treat any stmt-to-stmt o-edge whose
+                 endpoints may happen in parallel as one *)
+              if Mta.Mhp.mhp_stmt d.Driver.mhp gid gid' then begin
+                Hashtbl.replace need gid ();
+                Hashtbl.replace need gid' ()
+              end;
+              ignore o
+            | _ -> ())
+          (Svfg.o_succs svfg n)
+      | _ -> ());
+  need
+
+let must_instrument d gid = Hashtbl.mem (instrumented_set d) gid
+
+let analyze d =
+  let prog = d.Driver.prog in
+  let need = instrumented_set d in
+  let total = ref 0 and kept = ref 0 in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Stmt.Load _ | Stmt.Store _ ->
+        incr total;
+        if Hashtbl.mem need gid then incr kept
+      | _ -> ());
+  {
+    total_accesses = !total;
+    instrumented = !kept;
+    reduction =
+      (if !total = 0 then 0. else 1. -. (float_of_int !kept /. float_of_int !total));
+  }

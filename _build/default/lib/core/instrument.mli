@@ -1,0 +1,18 @@
+(** Static pre-filtering for dynamic race detectors — the paper's §6
+    proposes combining FSAM "with some dynamic analysis tools such as
+    Google's ThreadSanitizer to reduce their instrumentation overhead".
+
+    An access needs instrumentation only if it can actually participate in
+    an interfering MHP pair on some shared object; everything else can be
+    compiled without checks. *)
+
+type report = {
+  total_accesses : int;  (** loads + stores in the program *)
+  instrumented : int;  (** accesses that must keep their checks *)
+  reduction : float;  (** fraction of checks removed, in [0, 1] *)
+}
+
+val analyze : Driver.t -> report
+
+val must_instrument : Driver.t -> int -> bool
+(** Whether the load/store at this gid needs a dynamic check. *)

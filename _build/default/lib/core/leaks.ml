@@ -1,0 +1,66 @@
+open Fsam_dsa
+open Fsam_ir
+
+type finding = Never_freed of int | Double_free of int * int * int
+
+let is_free_call prog = function
+  | Stmt.Call { target = Stmt.Direct fid; args = [ _ ]; _ } ->
+    (Prog.func prog fid).Func.fname = "free"
+  | _ -> false
+
+let detect d =
+  let prog = d.Driver.prog in
+  (* free sites and the heap objects they may release *)
+  let free_sites = ref [] in
+  Prog.iter_stmts prog (fun gid _ s ->
+      if is_free_call prog s then
+        match s with
+        | Stmt.Call { args = [ a ]; _ } ->
+          let heap_targets =
+            Iset.filter
+              (fun o -> Memobj.is_heap (Prog.obj prog o))
+              (Sparse.pt_top d.Driver.sparse a)
+          in
+          free_sites := (gid, heap_targets) :: !free_sites
+        | _ -> ());
+  let freed =
+    List.fold_left (fun acc (_, s) -> Iset.union acc s) Iset.empty !free_sites
+  in
+  let findings = ref [] in
+  (* never freed: heap objects that appear in some pointer's points-to set
+     (i.e. were actually allocated on a reachable path per the analysis) *)
+  let live_heap = ref Iset.empty in
+  Prog.iter_stmts prog (fun _ _ s ->
+      match s with
+      | Stmt.Addr_of { obj; _ } when Memobj.is_heap (Prog.obj prog obj) ->
+        live_heap := Iset.add obj !live_heap
+      | _ -> ());
+  Iset.iter
+    (fun o -> if not (Iset.mem o freed) then findings := Never_freed o :: !findings)
+    !live_heap;
+  (* double free: two distinct free sites may release the same object, or a
+     single site sits in a loop *)
+  let rec pairs = function
+    | [] -> ()
+    | (g1, s1) :: rest ->
+      List.iter
+        (fun (g2, s2) ->
+          Iset.iter
+            (fun o -> if Iset.mem o s2 then findings := Double_free (o, g1, g2) :: !findings)
+            s1)
+        rest;
+      pairs rest
+  in
+  pairs !free_sites;
+  List.iter
+    (fun (g, s) ->
+      if Fsam_mta.Icfg.in_cfg_cycle d.Driver.icfg g then
+        Iset.iter (fun o -> findings := Double_free (o, g, g) :: !findings) s)
+    !free_sites;
+  List.sort_uniq compare !findings
+
+let pp_finding d ppf = function
+  | Never_freed o ->
+    Format.fprintf ppf "leak: %s is never freed" (Prog.obj_name d.Driver.prog o)
+  | Double_free (o, g1, g2) ->
+    Format.fprintf ppf "double free of %s (gids %d, %d)" (Prog.obj_name d.Driver.prog o) g1 g2

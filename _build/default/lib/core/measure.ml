@@ -1,0 +1,16 @@
+type 'a measured = { value : 'a; seconds : float; live_mb : float }
+
+let word_bytes = Sys.word_size / 8
+let words_to_mb w = float_of_int (w * word_bytes) /. (1024. *. 1024.)
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let run f =
+  let before = live_words () in
+  let t0 = Sys.time () in
+  let value = f () in
+  let seconds = Sys.time () -. t0 in
+  let after = live_words () in
+  { value; seconds; live_mb = words_to_mb (max 0 (after - before)) }

@@ -1,0 +1,9 @@
+(** Timing and memory measurement for the benchmark harness. Memory is
+    reported as the delta of live heap words across the measured computation
+    (after a major collection), converted to MB — a faithful stand-in for
+    the RSS numbers of the paper's Table 2 for {e relative} comparisons. *)
+
+type 'a measured = { value : 'a; seconds : float; live_mb : float }
+
+val run : (unit -> 'a) -> 'a measured
+val words_to_mb : int -> float

@@ -1,0 +1,227 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+module Mta = Fsam_mta
+
+type t = {
+  prog : Prog.t;
+  ptv : Iset.t array;
+  mem_in : (int, Iset.t) Hashtbl.t array; (* per gid: obj -> contents before *)
+  mutable iterations : int;
+}
+
+type outcome = Done of t | Timeout of float
+
+let pt_top t v = t.ptv.(v)
+
+let pt_obj_at t gid o =
+  Option.value ~default:Iset.empty (Hashtbl.find_opt t.mem_in.(gid) o)
+
+let n_iterations t = t.iterations
+
+let pts_entries t =
+  Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.ptv
+  + Array.fold_left
+      (fun acc tbl -> Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) tbl acc)
+      0 t.mem_in
+
+let pp_stats ppf t =
+  Format.fprintf ppf "nonsparse: %d iterations, %d pts entries" t.iterations (pts_entries t)
+
+let solve ?(budget_seconds = 7200.) prog ast icfg pcg ~singleton =
+  let n = Prog.n_stmts prog in
+  let t =
+    {
+      prog;
+      ptv = Array.make (Prog.n_vars prog) Iset.empty;
+      mem_in = Array.init n (fun _ -> Hashtbl.create 4);
+      iterations = 0;
+    }
+  in
+  let queue = Queue.create () in
+  let queued = Bitvec.create ~capacity:n () in
+  let push g = if Bitvec.set_if_unset queued g then Queue.add g queue in
+  let var_users = Array.make (Prog.n_vars prog) [] in
+  Prog.iter_funcs prog (fun f ->
+      Func.iter_stmts f (fun i s ->
+          let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
+          List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
+          match s with
+          | Stmt.Call { ret = Some _; _ } ->
+            List.iter
+              (fun callee ->
+                List.iter
+                  (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
+                  (A.ret_vars ast callee))
+              (A.callees ast ~fid:f.Func.fid ~idx:i)
+          | _ -> ()));
+  let add_var v set =
+    let u = Iset.union t.ptv.(v) set in
+    if not (u == t.ptv.(v)) then begin
+      t.ptv.(v) <- u;
+      List.iter push var_users.(v)
+    end
+  in
+  let join_into gid o set =
+    let tbl = t.mem_in.(gid) in
+    let cur = Option.value ~default:Iset.empty (Hashtbl.find_opt tbl o) in
+    let u = Iset.union cur set in
+    if not (u == cur) then begin
+      Hashtbl.replace tbl o u;
+      push gid
+    end
+  in
+  (* racy objects per store (PCG-level): no strong update on them *)
+  let stores_by_obj = Hashtbl.create 64 and accesses_by_obj = Hashtbl.create 64 in
+  let tbl_add tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Stmt.Load { src; _ } -> Iset.iter (fun o -> tbl_add accesses_by_obj o gid) (A.pt_var ast src)
+      | Stmt.Store { dst; _ } ->
+        Iset.iter
+          (fun o ->
+            tbl_add accesses_by_obj o gid;
+            tbl_add stores_by_obj o gid)
+          (A.pt_var ast dst)
+      | _ -> ());
+  let racy gid o =
+    List.exists
+      (fun g' -> g' <> gid && Mta.Pcg.mec_stmt pcg gid g')
+      (Option.value ~default:[] (Hashtbl.find_opt accesses_by_obj o))
+  in
+  (* statements of procedures that may execute concurrently with a given
+     function, for interference propagation *)
+  let mec_stmts_cache = Hashtbl.create 16 in
+  let mec_stmts fid =
+    match Hashtbl.find_opt mec_stmts_cache fid with
+    | Some l -> l
+    | None ->
+      let acc = ref [] in
+      Prog.iter_funcs prog (fun f ->
+          if Mta.Pcg.mec_proc pcg fid f.Func.fid then
+            Func.iter_stmts f (fun i _ ->
+                acc := Prog.gid prog ~fid:f.Func.fid ~idx:i :: !acc));
+      Hashtbl.replace mec_stmts_cache fid !acc;
+      !acc
+  in
+  (* successors in the ICFG plus fork -> spawnee-entry edges *)
+  let succs_of gid =
+    let base = List.map snd (Mta.Icfg.succs icfg gid) in
+    match Prog.stmt_at prog gid with
+    | Stmt.Fork _ ->
+      let fid, idx = Prog.of_gid prog gid in
+      List.map (fun f -> Mta.Icfg.entry_gid icfg f) (A.callees ast ~fid ~idx) @ base
+    | _ -> base
+  in
+  let start = Sys.time () in
+  let timed_out = ref false in
+  for g = 0 to n - 1 do
+    push g
+  done;
+  (try
+     while not (Queue.is_empty queue) do
+       let gid = Queue.pop queue in
+       Bitvec.clear queued gid;
+       t.iterations <- t.iterations + 1;
+       if t.iterations land 1023 = 0 && Sys.time () -. start > budget_seconds then begin
+         timed_out := true;
+         raise Exit
+       end;
+       let fid, idx = Prog.of_gid prog gid in
+       let in_tbl = t.mem_in.(gid) in
+       (* transfer: top-level effects and the out memory graph *)
+       let out_override : (int * Iset.t) list ref = ref [] in
+       (* bindings that differ from in *)
+       (match Prog.stmt_at prog gid with
+       | Stmt.Addr_of { dst; obj } -> add_var dst (Iset.singleton obj)
+       | Stmt.Copy { dst; src } -> add_var dst t.ptv.(src)
+       | Stmt.Phi { dst; srcs } -> List.iter (fun s -> add_var dst t.ptv.(s)) srcs
+       | Stmt.Gep { dst; src; field } ->
+         Iset.iter
+           (fun o ->
+             let info = Prog.obj prog o in
+             if not (Memobj.is_function info || Memobj.is_thread info) then
+               add_var dst (Iset.singleton (Prog.field_obj prog ~base:o ~field)))
+           t.ptv.(src)
+       | Stmt.Load { dst; src } ->
+         Iset.iter
+           (fun o ->
+             add_var dst (Option.value ~default:Iset.empty (Hashtbl.find_opt in_tbl o)))
+           t.ptv.(src)
+       | Stmt.Store { dst; src } ->
+         let targets = t.ptv.(dst) in
+         let strong =
+           match Iset.elements targets with
+           | [ o' ] -> if singleton o' && not (racy gid o') then Some o' else None
+           | _ -> None
+         in
+         Iset.iter
+           (fun o ->
+             let old = Option.value ~default:Iset.empty (Hashtbl.find_opt in_tbl o) in
+             let nw =
+               if strong = Some o then t.ptv.(src) else Iset.union old t.ptv.(src)
+             in
+             out_override := (o, nw) :: !out_override;
+             (* interference: the generated fact reaches every concurrent
+                statement *)
+             List.iter (fun g' -> join_into g' o nw) (mec_stmts fid))
+           targets
+       | _ -> ());
+       (* calls and forks: bind arguments / returns *)
+       (match Prog.stmt_at prog gid with
+       | Stmt.Call { args; ret; _ } ->
+         List.iter
+           (fun callee ->
+             let f = Prog.func prog callee in
+             let rec go a p =
+               match (a, p) with
+               | x :: a, y :: p ->
+                 add_var y t.ptv.(x);
+                 go a p
+               | _ -> ()
+             in
+             go args f.Func.params;
+             match ret with
+             | Some r -> List.iter (fun rv -> add_var r t.ptv.(rv)) (A.ret_vars ast callee)
+             | None -> ())
+           (A.callees ast ~fid ~idx)
+       | Stmt.Fork { args; handle; fork_id; _ } ->
+         List.iter
+           (fun callee ->
+             let f = Prog.func prog callee in
+             let rec go a p =
+               match (a, p) with
+               | x :: a, y :: p ->
+                 add_var y t.ptv.(x);
+                 go a p
+               | _ -> ()
+             in
+             go args f.Func.params)
+           (A.callees ast ~fid ~idx);
+         (match handle with
+         | Some h ->
+           let theta = Prog.thread_obj_of_fork prog fork_id in
+           Iset.iter
+             (fun o ->
+               let old = Option.value ~default:Iset.empty (Hashtbl.find_opt in_tbl o) in
+               out_override := (o, Iset.add theta old) :: !out_override)
+             t.ptv.(h)
+         | None -> ())
+       | _ -> ());
+       (* propagate the whole points-to graph to every successor *)
+       let succs = succs_of gid in
+       List.iter
+         (fun g' ->
+           Hashtbl.iter
+             (fun o set ->
+               match List.assoc_opt o !out_override with
+               | Some _ -> ()
+               | None -> join_into g' o set)
+             in_tbl;
+           List.iter (fun (o, set) -> join_into g' o set) !out_override)
+         succs
+     done
+   with Exit -> ());
+  if !timed_out then Timeout budget_seconds else Done t

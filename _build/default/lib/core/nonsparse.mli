@@ -1,0 +1,34 @@
+open Fsam_ir
+
+(** The traditional iterative data-flow flow-sensitive pointer analysis the
+    paper compares against (NonSparse, §4.3): a points-to graph is maintained
+    at {e every program point} and propagated along the ICFG edges; the
+    effect of every store is additionally propagated to all statements whose
+    procedures may execute concurrently (PCG), in the style of Rugina–Rinard
+    [25] extended with procedure-level MHP [14] — the "propagate to every
+    statement reachable or MHP" strawman of §1.1.
+
+    Runs under a wall-clock budget and reports OOT ([Timeout]) when it is
+    exceeded, as in the paper's Table 2 for [raytrace] and [x264]. *)
+
+type t
+
+type outcome = Done of t | Timeout of float
+
+val solve :
+  ?budget_seconds:float ->
+  Prog.t ->
+  Fsam_andersen.Solver.t ->
+  Fsam_mta.Icfg.t ->
+  Fsam_mta.Pcg.t ->
+  singleton:(int -> bool) ->
+  outcome
+
+val pt_top : t -> Stmt.var -> Fsam_dsa.Iset.t
+val pt_obj_at : t -> int -> int -> Fsam_dsa.Iset.t
+(** [pt_obj_at t gid o] — contents of [o] in the points-to graph {e before}
+    statement [gid]. *)
+
+val n_iterations : t -> int
+val pts_entries : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open Fsam_dsa
+open Fsam_ir
+module Mta = Fsam_mta
+
+type race = { store_gid : int; access_gid : int; obj : int; both_writes : bool }
+
+(* Flow-sensitive access sets: for a store, the objects it may write is the
+   solver's pt of its destination pointer; likewise for loads. *)
+let accesses d gid =
+  match Prog.stmt_at d.Driver.prog gid with
+  | Stmt.Store { dst; _ } -> Some (true, Sparse.pt_top d.Driver.sparse dst)
+  | Stmt.Load { src; _ } -> Some (false, Sparse.pt_top d.Driver.sparse src)
+  | _ -> None
+
+let protected d o gid gid' =
+  (* every MHP instance pair is covered by spans of a common lock *)
+  ignore o;
+  let pairs = Mta.Mhp.mhp_pairs_inst d.Driver.mhp gid gid' in
+  pairs <> []
+  && List.for_all (fun (i, j) -> Mta.Locks.common_lock d.Driver.locks i j <> []) pairs
+
+let detect d =
+  let prog = d.Driver.prog in
+  let stores = ref [] and loads = ref [] in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Stmt.Store _ -> stores := gid :: !stores
+      | Stmt.Load _ -> loads := gid :: !loads
+      | _ -> ());
+  let races = ref [] in
+  let consider s a =
+    match (accesses d s, accesses d a) with
+    | Some (true, os), Some (w', os') ->
+      let common = Iset.inter os os' in
+      if (not (Iset.is_empty common)) && Mta.Mhp.mhp_stmt d.Driver.mhp s a then
+        Iset.iter
+          (fun o ->
+            if not (protected d o s a) then
+              races := { store_gid = s; access_gid = a; obj = o; both_writes = w' } :: !races)
+          common
+    | _ -> ()
+  in
+  List.iter
+    (fun s ->
+      List.iter (fun a -> consider s a) !loads;
+      List.iter (fun a -> if s <= a then consider s a) !stores)
+    !stores;
+  List.sort_uniq compare !races
+
+let pp_race d ppf r =
+  let prog = d.Driver.prog in
+  Format.fprintf ppf "race on %s: %a [w] || %a [%s]" (Prog.obj_name prog r.obj)
+    (Prog.pp_stmt prog) (Prog.stmt_at prog r.store_gid) (Prog.pp_stmt prog)
+    (Prog.stmt_at prog r.access_gid)
+    (if r.both_writes then "w" else "r")

@@ -1,0 +1,18 @@
+(** A data-race detection client built on FSAM's results — the first client
+    the paper's conclusion proposes. A race is a pair of statements that may
+    happen in parallel, access a common abstract object (per the
+    flow-sensitive points-to sets, so FSAM's precision directly prunes
+    false positives), at least one of them a write, and not protected by a
+    common lock. *)
+
+type race = {
+  store_gid : int;
+  access_gid : int;
+  obj : int;
+  both_writes : bool;
+}
+
+val detect : Driver.t -> race list
+(** Deduplicated ([store_gid <= access_gid] for write-write pairs), sorted. *)
+
+val pp_race : Driver.t -> Format.formatter -> race -> unit

@@ -1,0 +1,43 @@
+(** A full introspection report of one FSAM run: per-phase statistics in the
+    order of the paper's Figure 2 pipeline, plus client summaries. Exposed
+    as [fsam report FILE] in the CLI. *)
+
+type t = {
+  (* program *)
+  r_stmts : int;
+  r_funcs : int;
+  r_vars : int;
+  r_objs : int;
+  (* pre-analysis *)
+  r_andersen_iters : int;
+  r_andersen_facts : int;
+  r_reachable_funcs : int;
+  (* thread model *)
+  r_threads : int;
+  r_multi_forked : int;
+  r_instances : int;
+  r_handled_join_insts : int;
+  (* interference analyses *)
+  r_mhp_iters : int;
+  r_mhp_facts : int;
+  r_lock_spans : int;
+  (* def-use graph *)
+  r_svfg_nodes : int;
+  r_svfg_edges : int;
+  r_thread_aware_edges : int;
+  (* solve *)
+  r_solver_iters : int;
+  r_pts_facts : int;
+  r_strong_updates : int;
+  r_weak_updates : int;
+  (* clients *)
+  r_races : int;
+  r_deadlocks : int;
+  r_instrumented : int;
+  r_accesses : int;
+  (* timing *)
+  r_times : Driver.phase_times;
+}
+
+val build : Driver.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+module Svfg = Fsam_memssa.Svfg
+
+type t = {
+  prog : Prog.t;
+  svfg : Svfg.t;
+  ptv : Iset.t array;
+  pto : (int * int, Iset.t) Hashtbl.t; (* (svfg node, obj) -> contents *)
+  mutable iterations : int;
+  mutable strong_updates : int; (* store-processing events that killed *)
+  mutable weak_updates : int;
+}
+
+let pt_top t v = t.ptv.(v)
+
+let pto_get t node o = Option.value ~default:Iset.empty (Hashtbl.find_opt t.pto (node, o))
+
+let pt_at_store t gid o =
+  match Svfg.node_id t.svfg (Svfg.Stmt_node gid) with
+  | Some n -> pto_get t n o
+  | None -> Iset.empty
+
+let pt_obj_anywhere t o =
+  Hashtbl.fold (fun (_, o') s acc -> if o' = o then Iset.union acc s else acc) t.pto Iset.empty
+
+let n_iterations t = t.iterations
+let n_strong_updates t = t.strong_updates
+let n_weak_updates t = t.weak_updates
+
+let pts_entries t =
+  Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.ptv
+  + Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) t.pto 0
+
+let solve prog ast svfg ~singleton =
+  let n_stmts = Prog.n_stmts prog in
+  let t =
+    {
+      prog;
+      svfg;
+      ptv = Array.make (Prog.n_vars prog) Iset.empty;
+      pto = Hashtbl.create 4096;
+      iterations = 0;
+      strong_updates = 0;
+      weak_updates = 0;
+    }
+  in
+  (* Work units: statement gids, then non-statement SVFG nodes. *)
+  let unit_of_node n =
+    match Svfg.node svfg n with Svfg.Stmt_node g -> g | _ -> n_stmts + n
+  in
+  let n_units = n_stmts + Svfg.n_nodes svfg in
+  let queue = Queue.create () in
+  let queued = Bitvec.create ~capacity:n_units () in
+  let push u = if Bitvec.set_if_unset queued u then Queue.add u queue in
+  (* var -> statements to reprocess when its points-to set grows *)
+  let var_users = Array.make (Prog.n_vars prog) [] in
+  Prog.iter_funcs prog (fun f ->
+      Func.iter_stmts f (fun i s ->
+          let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
+          List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
+          (* a call's result depends on the callees' returned variables *)
+          match s with
+          | Stmt.Call { ret = Some _; _ } ->
+            List.iter
+              (fun callee ->
+                List.iter
+                  (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
+                  (A.ret_vars ast callee))
+              (A.callees ast ~fid:f.Func.fid ~idx:i)
+          | _ -> ()))
+  ;
+  let add_var v set =
+    let u = Iset.union t.ptv.(v) set in
+    if not (u == t.ptv.(v)) then begin
+      t.ptv.(v) <- u;
+      List.iter push var_users.(v)
+    end
+  in
+  let add_obj node o set =
+    let cur = pto_get t node o in
+    let u = Iset.union cur set in
+    if not (u == cur) then begin
+      Hashtbl.replace t.pto (node, o) u;
+      List.iter
+        (fun (o', dst) -> if o' = o then push (unit_of_node dst))
+        (Svfg.o_succs svfg node)
+    end
+  in
+  let stmt_node gid = Svfg.node_id svfg (Svfg.Stmt_node gid) in
+  let bind_call gid fid idx args ret =
+    List.iter
+      (fun callee ->
+        let f = Prog.func prog callee in
+        let rec go args params =
+          match (args, params) with
+          | a :: args, p :: params ->
+            add_var p t.ptv.(a);
+            go args params
+          | _ -> ()
+        in
+        go args f.Func.params;
+        match ret with
+        | Some r -> List.iter (fun rv -> add_var r t.ptv.(rv)) (A.ret_vars ast callee)
+        | None -> ())
+      (A.callees ast ~fid ~idx);
+    ignore gid
+  in
+  let process gid =
+    let fid, idx = Prog.of_gid prog gid in
+    match Prog.stmt_at prog gid with
+    | Stmt.Addr_of { dst; obj } -> add_var dst (Iset.singleton obj)
+    | Stmt.Copy { dst; src } -> add_var dst t.ptv.(src)
+    | Stmt.Phi { dst; srcs } -> List.iter (fun s -> add_var dst t.ptv.(s)) srcs
+    | Stmt.Gep { dst; src; field } ->
+      Iset.iter
+        (fun o ->
+          let info = Prog.obj prog o in
+          if not (Fsam_ir.Memobj.is_function info || Fsam_ir.Memobj.is_thread info) then
+            add_var dst (Iset.singleton (Prog.field_obj prog ~base:o ~field)))
+        t.ptv.(src)
+    | Stmt.Load { dst; src } -> (
+      match stmt_node gid with
+      | None -> ()
+      | Some node ->
+        let pts = t.ptv.(src) in
+        List.iter
+          (fun (o, d) -> if Iset.mem o pts then add_var dst (pto_get t d o))
+          (Svfg.o_preds svfg node))
+    | Stmt.Store { dst; src } -> (
+      match stmt_node gid with
+      | None -> ()
+      | Some node ->
+        let targets = t.ptv.(dst) in
+        Iset.iter (fun o -> add_obj node o t.ptv.(src)) targets;
+        (* kill(s, p) of Figure 10. One deviation: the paper kills everything
+           when pt(p) = ∅ (a C null store is undefined behaviour); our IR
+           defines a null store as a no-op, so incoming values pass
+           through — anything else would be unsound against the
+           interpreter's semantics. *)
+        let killed o =
+          match Iset.elements targets with
+          | [] -> false
+          | [ o' ] ->
+            o = o' && singleton o' && not (Iset.mem o' (Svfg.racy_objs svfg gid))
+          | _ -> false
+        in
+        List.iter
+          (fun (o, d) ->
+            if killed o then t.strong_updates <- t.strong_updates + 1
+            else begin
+              t.weak_updates <- t.weak_updates + 1;
+              add_obj node o (pto_get t d o)
+            end)
+          (Svfg.o_preds svfg node))
+    | Stmt.Call { args; ret; _ } -> bind_call gid fid idx args ret
+    | Stmt.Fork { handle; args; fork_id; _ } -> (
+      bind_call gid fid idx args None;
+      match (handle, stmt_node gid) with
+      | Some h, Some node ->
+        let theta = Prog.thread_obj_of_fork prog fork_id in
+        Iset.iter (fun o -> add_obj node o (Iset.singleton theta)) t.ptv.(h);
+        (* weak: old handle contents survive *)
+        List.iter (fun (o, d) -> add_obj node o (pto_get t d o)) (Svfg.o_preds svfg node)
+      | _ -> ())
+    | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ()
+  in
+  let process_node n =
+    (* pure merge nodes: one object each *)
+    let o =
+      match Svfg.node svfg n with
+      | Svfg.Formal_in (_, o) | Svfg.Formal_out (_, o) | Svfg.Call_chi (_, o) -> o
+      | Svfg.Stmt_node _ -> assert false
+    in
+    List.iter (fun (o', d) -> if o' = o then add_obj n o (pto_get t d o)) (Svfg.o_preds svfg n)
+  in
+  for g = 0 to n_stmts - 1 do
+    push g
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Bitvec.clear queued u;
+    t.iterations <- t.iterations + 1;
+    if u < n_stmts then process u else process_node (u - n_stmts)
+  done;
+  t
+
+let pp_stats ppf t =
+  Format.fprintf ppf "sparse: %d iterations, %d pts entries" t.iterations (pts_entries t)

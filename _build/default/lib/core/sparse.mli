@@ -1,0 +1,45 @@
+open Fsam_ir
+
+(** The sparse flow-sensitive points-to solver of paper §3.4 (Figure 10):
+    points-to facts propagate only along the pre-computed def-use edges of
+    the SVFG. Top-level variables are in SSA form, so each has a single
+    global points-to set updated at its unique definition; address-taken
+    objects have one set per defining SVFG node ([pt(s, o)]).
+
+    Strong updates ([P-SU/WU]): a store kills the incoming contents of [o]
+    when its pointer resolves to exactly [{o}], [o] is a singleton location,
+    and the store is not part of an interfering MHP pair on [o]. A store
+    through a null pointer (empty points-to set) generates nothing. *)
+
+type t
+
+val solve :
+  Prog.t ->
+  Fsam_andersen.Solver.t ->
+  Fsam_memssa.Svfg.t ->
+  singleton:(int -> bool) ->
+  t
+
+val pt_top : t -> Stmt.var -> Fsam_dsa.Iset.t
+(** Points-to set of a top-level variable (at/after its unique def). *)
+
+val pt_at_store : t -> int -> int -> Fsam_dsa.Iset.t
+(** [pt_at_store t gid o] — contents of object [o] immediately after the
+    store (or fork) statement [gid]. *)
+
+val pt_obj_anywhere : t -> int -> Fsam_dsa.Iset.t
+(** Union of [o]'s contents over all defining nodes — a flow-insensitive
+    projection used by clients and sanity checks. *)
+
+val n_iterations : t -> int
+
+val n_strong_updates : t -> int
+(** Incoming-edge propagations suppressed by a strong update (cumulative
+    over solver events). *)
+
+val n_weak_updates : t -> int
+val pts_entries : t -> int
+(** Total number of (location, target) facts — the memory-size proxy
+    reported in the benchmark tables. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dsa/bitvec.ml: Array Bytes Char Iset

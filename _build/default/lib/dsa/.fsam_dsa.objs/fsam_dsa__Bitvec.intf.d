@@ -1,0 +1,1 @@
+lib/dsa/bitvec.mli: Iset

@@ -1,0 +1,1 @@
+lib/dsa/iset.ml: Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/dsa/iset.mli: Format

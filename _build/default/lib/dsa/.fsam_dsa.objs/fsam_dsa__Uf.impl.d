@@ -1,0 +1,1 @@
+lib/dsa/uf.ml: Array

@@ -1,0 +1,1 @@
+lib/dsa/vec.ml: Array List Printf

@@ -1,0 +1,88 @@
+type t = { mutable words : Bytes.t }
+
+(* Bytes gives us 8 bits per cell without boxing; all sizes in bits below. *)
+
+let create ?(capacity = 256) () =
+  { words = Bytes.make (max 1 ((capacity + 7) / 8)) '\000' }
+
+let ensure t i =
+  let need = (i / 8) + 1 in
+  let len = Bytes.length t.words in
+  if need > len then begin
+    let w = Bytes.make (max need (2 * len)) '\000' in
+    Bytes.blit t.words 0 w 0 len;
+    t.words <- w
+  end
+
+let get t i =
+  if i < 0 then invalid_arg "Bitvec.get";
+  let byte = i / 8 in
+  if byte >= Bytes.length t.words then false
+  else Char.code (Bytes.unsafe_get t.words byte) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  if i < 0 then invalid_arg "Bitvec.set";
+  ensure t i;
+  let byte = i / 8 in
+  let v = Char.code (Bytes.unsafe_get t.words byte) in
+  Bytes.unsafe_set t.words byte (Char.chr (v lor (1 lsl (i mod 8))))
+
+let clear t i =
+  if i < 0 then invalid_arg "Bitvec.clear";
+  let byte = i / 8 in
+  if byte < Bytes.length t.words then begin
+    let v = Char.code (Bytes.unsafe_get t.words byte) in
+    Bytes.unsafe_set t.words byte (Char.chr (v land lnot (1 lsl (i mod 8))))
+  end
+
+let set_if_unset t i =
+  if get t i then false
+  else begin
+    set t i;
+    true
+  end
+
+let union_into ~dst ~src =
+  let n = Bytes.length src.words in
+  if n > 0 then ensure dst ((n * 8) - 1);
+  let changed = ref false in
+  for b = 0 to n - 1 do
+    let s = Char.code (Bytes.unsafe_get src.words b) in
+    if s <> 0 then begin
+      let d = Char.code (Bytes.unsafe_get dst.words b) in
+      let d' = d lor s in
+      if d' <> d then begin
+        Bytes.unsafe_set dst.words b (Char.chr d');
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let popcount_byte =
+  let tbl = Array.init 256 (fun i ->
+      let rec go i acc = if i = 0 then acc else go (i lsr 1) (acc + (i land 1)) in
+      go i 0)
+  in
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let iter_set f t =
+  for b = 0 to Bytes.length t.words - 1 do
+    let v = Char.code (Bytes.unsafe_get t.words b) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then f ((b * 8) + bit)
+      done
+  done
+
+let clear_all t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+let copy t = { words = Bytes.copy t.words }
+let to_iset t =
+  let s = ref Iset.empty in
+  iter_set (fun i -> s := Iset.add i !s) t;
+  !s

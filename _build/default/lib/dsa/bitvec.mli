@@ -1,0 +1,25 @@
+(** Growable mutable bit vectors over non-negative indices.
+
+    Used by the dense fixpoint solvers (visited sets, dirty flags,
+    reachability closures) where mutation-in-place beats persistence. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+
+val set_if_unset : t -> int -> bool
+(** [set_if_unset t i] sets bit [i]; returns [true] iff it was previously
+    unset (i.e. this call changed the vector). *)
+
+val union_into : dst:t -> src:t -> bool
+(** [union_into ~dst ~src] ors [src] into [dst]; returns [true] iff [dst]
+    changed. *)
+
+val cardinal : t -> int
+val iter_set : (int -> unit) -> t -> unit
+val clear_all : t -> unit
+val copy : t -> t
+val to_iset : t -> Iset.t

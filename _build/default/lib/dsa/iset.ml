@@ -1,0 +1,233 @@
+(* Big-endian Patricia trees after Okasaki & Gill, "Fast Mergeable Integer
+   Maps" (ML Workshop 1998), specialised to sets of non-negative ints. *)
+
+type t =
+  | Empty
+  | Leaf of int
+  | Branch of int * int * t * t
+      (* Branch (prefix, branching-bit, left, right): [left] holds keys whose
+         branching bit is 0, [right] those whose bit is 1. The prefix is the
+         common high-order part of every key in the subtree. *)
+
+let empty = Empty
+let is_empty = function Empty -> true | _ -> false
+let singleton k = Leaf k
+
+(* Bit fiddling ----------------------------------------------------------- *)
+
+let zero_bit k m = k land m = 0
+
+(* Big-endian: the branching bit [m] is the highest differing bit; the prefix
+   keeps the bits strictly above [m]. *)
+let mask k m = k land lnot ((m lsl 1) - 1)
+let match_prefix k p m = mask k m = p
+
+let branching_bit p0 p1 =
+  (* highest bit where the prefixes differ *)
+  let x = p0 lxor p1 in
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  x - (x lsr 1)
+
+let join p0 t0 p1 t1 =
+  let m = branching_bit p0 p1 in
+  if zero_bit p0 m then Branch (mask p0 m, m, t0, t1)
+  else Branch (mask p0 m, m, t1, t0)
+
+(* Queries ---------------------------------------------------------------- *)
+
+let rec mem k = function
+  | Empty -> false
+  | Leaf j -> k = j
+  | Branch (p, m, l, r) ->
+    if not (match_prefix k p m) then false
+    else if zero_bit k m then mem k l
+    else mem k r
+
+let rec add k t =
+  match t with
+  | Empty -> Leaf k
+  | Leaf j -> if j = k then t else join k (Leaf k) j t
+  | Branch (p, m, l, r) ->
+    if match_prefix k p m then
+      if zero_bit k m then
+        let l' = add k l in
+        if l' == l then t else Branch (p, m, l', r)
+      else
+        let r' = add k r in
+        if r' == r then t else Branch (p, m, l, r')
+    else join k (Leaf k) p t
+
+let branch p m l r =
+  match (l, r) with Empty, _ -> r | _, Empty -> l | _ -> Branch (p, m, l, r)
+
+let rec remove k t =
+  match t with
+  | Empty -> Empty
+  | Leaf j -> if k = j then Empty else t
+  | Branch (p, m, l, r) ->
+    if not (match_prefix k p m) then t
+    else if zero_bit k m then
+      let l' = remove k l in
+      if l' == l then t else branch p m l' r
+    else
+      let r' = remove k r in
+      if r' == r then t else branch p m l r'
+
+(* Merging. [union a b] preserves physical identity of [a] when b ⊆ a. ----- *)
+
+let rec union s t =
+  match (s, t) with
+  | Empty, _ -> t
+  | _, Empty -> s
+  | Leaf k, _ -> (match t with Leaf j when j = k -> s | _ -> add k t)
+  | _, Leaf k -> add k s
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    if m = n && p = q then
+      let l = union l0 l1 and r = union r0 r1 in
+      if l == l0 && r == r0 then s
+      else if l == l1 && r == r1 then t
+      else Branch (p, m, l, r)
+    else if m > n && match_prefix q p m then
+      if zero_bit q m then
+        let l = union l0 t in
+        if l == l0 then s else Branch (p, m, l, r0)
+      else
+        let r = union r0 t in
+        if r == r0 then s else Branch (p, m, l0, r)
+    else if m < n && match_prefix p q n then
+      if zero_bit p n then
+        let l = union s l1 in
+        if l == l1 then t else Branch (q, n, l, r1)
+      else
+        let r = union s r1 in
+        if r == r1 then t else Branch (q, n, l1, r)
+    else join p s q t
+
+let rec inter s t =
+  match (s, t) with
+  | Empty, _ | _, Empty -> Empty
+  | Leaf k, _ -> if mem k t then s else Empty
+  | _, Leaf k -> if mem k s then t else Empty
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    if m = n && p = q then branch p m (inter l0 l1) (inter r0 r1)
+    else if m > n && match_prefix q p m then
+      inter (if zero_bit q m then l0 else r0) t
+    else if m < n && match_prefix p q n then
+      inter s (if zero_bit p n then l1 else r1)
+    else Empty
+
+let rec diff s t =
+  match (s, t) with
+  | Empty, _ -> Empty
+  | _, Empty -> s
+  | Leaf k, _ -> if mem k t then Empty else s
+  | _, Leaf k -> remove k s
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    if m = n && p = q then branch p m (diff l0 l1) (diff r0 r1)
+    else if m > n && match_prefix q p m then
+      if zero_bit q m then branch p m (diff l0 t) r0
+      else branch p m l0 (diff r0 t)
+    else if m < n && match_prefix p q n then
+      diff s (if zero_bit p n then l1 else r1)
+    else s
+
+let rec subset s t =
+  match (s, t) with
+  | Empty, _ -> true
+  | _, Empty -> false
+  | Leaf k, _ -> mem k t
+  | Branch _, Leaf _ -> false
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    if m = n && p = q then subset l0 l1 && subset r0 r1
+    else if m < n && match_prefix p q n then
+      subset s (if zero_bit p n then l1 else r1)
+    else false
+
+let rec equal s t =
+  s == t
+  ||
+  match (s, t) with
+  | Empty, Empty -> true
+  | Leaf a, Leaf b -> a = b
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    p = q && m = n && equal l0 l1 && equal r0 r1
+  | _ -> false
+
+let rec disjoint s t =
+  match (s, t) with
+  | Empty, _ | _, Empty -> true
+  | Leaf k, _ -> not (mem k t)
+  | _, Leaf k -> not (mem k s)
+  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+    if m = n && p = q then disjoint l0 l1 && disjoint r0 r1
+    else if m > n && match_prefix q p m then
+      disjoint (if zero_bit q m then l0 else r0) t
+    else if m < n && match_prefix p q n then
+      disjoint s (if zero_bit p n then l1 else r1)
+    else true
+
+let rec cardinal = function
+  | Empty -> 0
+  | Leaf _ -> 1
+  | Branch (_, _, l, r) -> cardinal l + cardinal r
+
+let rec iter f = function
+  | Empty -> ()
+  | Leaf k -> f k
+  | Branch (_, _, l, r) ->
+    iter f l;
+    iter f r
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Leaf k -> f k acc
+  | Branch (_, _, l, r) -> fold f r (fold f l acc)
+
+let rec exists p = function
+  | Empty -> false
+  | Leaf k -> p k
+  | Branch (_, _, l, r) -> exists p l || exists p r
+
+let rec for_all p = function
+  | Empty -> true
+  | Leaf k -> p k
+  | Branch (_, _, l, r) -> for_all p l && for_all p r
+
+let rec filter p t =
+  match t with
+  | Empty -> Empty
+  | Leaf k -> if p k then t else Empty
+  | Branch (pr, m, l, r) ->
+    let l' = filter p l and r' = filter p r in
+    if l' == l && r' == r then t else branch pr m l' r'
+
+(* Big-endian layout on non-negative keys means an in-order walk visits keys
+   in increasing order. *)
+let elements t = List.rev (fold (fun k acc -> k :: acc) t [])
+let of_list l = List.fold_left (fun s k -> add k s) empty l
+
+let rec choose = function
+  | Empty -> None
+  | Leaf k -> Some k
+  | Branch (_, _, l, _) -> choose l
+
+let min_elt = choose
+
+let compare s t =
+  (* total order consistent with [equal]; not the subset order *)
+  Stdlib.compare (elements s) (elements t)
+
+let hash t = Hashtbl.hash (elements t)
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (elements t)

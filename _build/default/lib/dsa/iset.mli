@@ -1,0 +1,46 @@
+(** Sets of non-negative integers as big-endian Patricia trees.
+
+    This is the points-to set representation used throughout the analyses.
+    Patricia trees give {i hash-consing-free structural sharing}: unioning two
+    sets reuses common subtrees, which matters a great deal for pointer
+    analysis where thousands of points-to sets share most of their elements
+    (cf. LLVM's [SparseBitVector], which the paper's implementation uses).
+
+    All operations are purely functional. Keys must be [>= 0]. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val union : t -> t -> t
+(** [union a b] returns [a] itself (physical equality) whenever [b ⊆ a];
+    the solvers rely on this to detect fixpoints cheaply. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val elements : t -> int list
+(** Sorted in increasing order. *)
+
+val of_list : int list -> t
+val choose : t -> int option
+(** An arbitrary element, [None] on the empty set. *)
+
+val min_elt : t -> int option
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1, 2, 3}]. *)

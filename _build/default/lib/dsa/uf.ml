@@ -1,0 +1,64 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable classes : int;
+}
+
+let create n =
+  let n = max n 1 in
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let ensure t i =
+  let len = Array.length t.parent in
+  if i >= len then begin
+    let n = max (i + 1) (2 * len) in
+    let parent = Array.init n (fun j -> if j < len then t.parent.(j) else j) in
+    let rank = Array.make n 0 in
+    Array.blit t.rank 0 rank 0 len;
+    t.parent <- parent;
+    t.rank <- rank;
+    t.classes <- t.classes + (n - len)
+  end
+
+let rec find t i =
+  ensure t i;
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    t.classes <- t.classes - 1;
+    if t.rank.(ra) < t.rank.(rb) then begin
+      t.parent.(ra) <- rb;
+      rb
+    end
+    else if t.rank.(ra) > t.rank.(rb) then begin
+      t.parent.(rb) <- ra;
+      ra
+    end
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1;
+      ra
+    end
+  end
+
+let union_to t ~keep ~absorb =
+  let rk = find t keep and ra = find t absorb in
+  if rk = ra then rk
+  else begin
+    t.classes <- t.classes - 1;
+    t.parent.(ra) <- rk;
+    if t.rank.(rk) <= t.rank.(ra) then t.rank.(rk) <- t.rank.(ra) + 1;
+    rk
+  end
+
+let same t a b = find t a = find t b
+let n_classes t = t.classes

@@ -1,0 +1,21 @@
+(** Union–find over dense integer keys, with path compression and union by
+    rank. Used for collapsing SCCs and positive-weight cycles in the Andersen
+    constraint graph: collapsed nodes share one representative. *)
+
+type t
+
+val create : int -> t
+(** [create n] — keys [0 .. n-1], each its own singleton class. The structure
+    grows on demand if queried past [n]. *)
+
+val find : t -> int -> int
+(** Representative of the key's class. *)
+
+val union : t -> int -> int -> int
+(** Merge the two classes; returns the surviving representative. *)
+
+val union_to : t -> keep:int -> absorb:int -> int
+(** Merge forcing [keep]'s representative to survive. *)
+
+val same : t -> int -> int -> bool
+val n_classes : t -> int

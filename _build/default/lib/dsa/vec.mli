@@ -1,0 +1,18 @@
+(** Growable arrays (OCaml 5.2's [Dynarray] is not available on 5.1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array

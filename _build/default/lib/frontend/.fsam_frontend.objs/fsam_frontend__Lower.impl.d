@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Format Fsam_ir Hashtbl List Option Parser Prog Simplify Ssa Stmt String Validate

@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Ast Format List Printf String

@@ -1,0 +1,59 @@
+(** Abstract syntax of MiniC — a pointer-oriented C subset sufficient to
+    express the paper's benchmark patterns: globals, structs, arrays, locks,
+    thread handles, function pointers, fork/join/lock/unlock, branches and
+    loops. Integer arithmetic is parsed but irrelevant to the analysis. *)
+
+type ty =
+  | Tint
+  | Tvoid
+  | Tptr of ty
+  | Tstruct of string
+  | Tlock
+  | Tthread
+  | Tarray of ty * int
+
+type expr =
+  | Eid of string
+  | Eint of int
+  | Enull
+  | Enondet
+  | Emalloc
+  | Eaddr of expr  (** [&e] *)
+  | Ederef of expr  (** [*e] *)
+  | Efield of expr * string * bool  (** [e.f] ([false]) or [e->f] ([true]) *)
+  | Eindex of expr * expr  (** [e\[i\]] *)
+  | Ecall of expr * expr list  (** callee is a name or a function pointer *)
+  | Ebinop of string * expr * expr
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sassign of expr * expr
+  | Sexpr of expr
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sreturn of expr option
+  | Sfork of expr option * expr * expr list
+      (** [fork(&tid, target, args...)] — the handle is optional *)
+  | Sjoin of expr
+  | Slock of expr
+  | Sunlock of expr
+  | Sbarrier
+      (** barriers / condition variables: not modelled by the analysis
+          (paper §3.1) — lowered to a no-op, which is sound
+          (over-approximate) *)
+
+and block = stmt list
+
+type fundef = {
+  fname : string;
+  ret_ty : ty;
+  params : (ty * string) list;
+  body : block;
+}
+
+type decl =
+  | Dglobal of ty * string * expr option
+  | Dstruct of string * (ty * string) list
+  | Dfun of fundef
+
+type program = decl list

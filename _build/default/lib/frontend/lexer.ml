@@ -1,0 +1,124 @@
+exception Error of string
+
+let keywords =
+  [
+    ("int", Token.KW_INT);
+    ("void", Token.KW_VOID);
+    ("struct", Token.KW_STRUCT);
+    ("lock_t", Token.KW_LOCK_T);
+    ("pthread_mutex_t", Token.KW_LOCK_T);
+    ("thread_t", Token.KW_THREAD_T);
+    ("pthread_t", Token.KW_THREAD_T);
+    ("if", Token.KW_IF);
+    ("else", Token.KW_ELSE);
+    ("while", Token.KW_WHILE);
+    ("for", Token.KW_WHILE);
+    (* lowered identically: nondeterministic loop *)
+    ("return", Token.KW_RETURN);
+    ("fork", Token.KW_FORK);
+    ("pthread_create", Token.KW_FORK);
+    ("join", Token.KW_JOIN);
+    ("pthread_join", Token.KW_JOIN);
+    ("lock", Token.KW_LOCK);
+    ("pthread_mutex_lock", Token.KW_LOCK);
+    ("unlock", Token.KW_UNLOCK);
+    ("pthread_mutex_unlock", Token.KW_UNLOCK);
+    ("malloc", Token.KW_MALLOC);
+    ("null", Token.KW_NULL);
+    ("NULL", Token.KW_NULL);
+    ("nondet", Token.KW_NONDET);
+    (* unstructured synchronisation the analysis does not model (paper
+       §3.1): sound to treat as no-ops *)
+    ("barrier", Token.KW_BARRIER);
+    ("pthread_barrier_wait", Token.KW_BARRIER);
+    ("signal", Token.KW_BARRIER);
+    ("pthread_cond_signal", Token.KW_BARRIER);
+    ("wait", Token.KW_BARRIER);
+    ("pthread_cond_wait", Token.KW_BARRIER);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated block comment"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      emit (Token.INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else begin
+      let two tk = emit tk; pos := !pos + 2 in
+      let one tk = emit tk; incr pos in
+      match (c, peek 1) with
+      | '-', Some '>' -> two Token.ARROW
+      | '=', Some '=' -> two Token.EQ
+      | '!', Some '=' -> two Token.NEQ
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '&', Some '&' -> two Token.AMP (* && treated as a plain condition op *)
+      | '*', _ -> one Token.STAR
+      | '&', _ -> one Token.AMP
+      | '.', _ -> one Token.DOT
+      | ',', _ -> one Token.COMMA
+      | ';', _ -> one Token.SEMI
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | '=', _ -> one Token.ASSIGN
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit Token.EOF;
+  List.rev !toks

@@ -1,0 +1,7 @@
+(** Hand-written lexer for MiniC. Supports [//] line and [/* ... */] block
+    comments. Reports 1-based line numbers on errors. *)
+
+exception Error of string
+
+val tokenize : string -> (Token.t * int) list
+(** Token stream with line numbers, terminated by [EOF]. *)

@@ -1,0 +1,368 @@
+open Ast
+
+exception Error of string
+
+type st = { toks : (Token.t * int) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "line %d: %s, found %s" (line st) msg (Token.to_string (cur st))))
+
+let eat st tok =
+  if cur st = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let is_type_start st =
+  match cur st with
+  | Token.KW_INT | Token.KW_VOID | Token.KW_STRUCT | Token.KW_LOCK_T | Token.KW_THREAD_T ->
+    true
+  | _ -> false
+
+let parse_base_type st =
+  match cur st with
+  | Token.KW_INT ->
+    advance st;
+    Tint
+  | Token.KW_VOID ->
+    advance st;
+    Tvoid
+  | Token.KW_LOCK_T ->
+    advance st;
+    Tlock
+  | Token.KW_THREAD_T ->
+    advance st;
+    Tthread
+  | Token.KW_STRUCT -> (
+    advance st;
+    match cur st with
+    | Token.IDENT name ->
+      advance st;
+      Tstruct name
+    | _ -> fail st "expected struct name")
+  | _ -> fail st "expected a type"
+
+let parse_type st =
+  let t = ref (parse_base_type st) in
+  while cur st = Token.STAR do
+    advance st;
+    t := Tptr !t
+  done;
+  !t
+
+let ident st =
+  match cur st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected an identifier"
+
+(* Expressions ------------------------------------------------------------- *)
+
+let rec parse_expr st = parse_binop st
+
+and parse_binop st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Token.EQ | Token.NEQ | Token.LT | Token.GT | Token.LE | Token.GE | Token.PLUS
+    | Token.MINUS ->
+      let op = Token.to_string (cur st) in
+      advance st;
+      let rhs = parse_unary st in
+      lhs := Ebinop (op, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match cur st with
+  | Token.STAR ->
+    advance st;
+    Ederef (parse_unary st)
+  | Token.AMP ->
+    advance st;
+    Eaddr (parse_unary st)
+  | Token.MINUS ->
+    advance st;
+    parse_unary st
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Token.ARROW ->
+      advance st;
+      e := Efield (!e, ident st, true)
+    | Token.DOT ->
+      advance st;
+      e := Efield (!e, ident st, false)
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      eat st Token.RBRACKET;
+      e := Eindex (!e, idx)
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      eat st Token.RPAREN;
+      e := Ecall (!e, args)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_args st =
+  if cur st = Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+  end
+
+and parse_primary st =
+  match cur st with
+  | Token.IDENT s ->
+    advance st;
+    Eid s
+  | Token.INT n ->
+    advance st;
+    Eint n
+  | Token.KW_NULL ->
+    advance st;
+    Enull
+  | Token.KW_NONDET ->
+    advance st;
+    (match cur st with
+    | Token.LPAREN ->
+      advance st;
+      eat st Token.RPAREN
+    | _ -> ());
+    Enondet
+  | Token.KW_MALLOC ->
+    advance st;
+    eat st Token.LPAREN;
+    (* optional size expression, ignored *)
+    if cur st <> Token.RPAREN then ignore (parse_expr st);
+    eat st Token.RPAREN;
+    Emalloc
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    eat st Token.RPAREN;
+    e
+  | _ -> fail st "expected an expression"
+
+(* Statements --------------------------------------------------------------- *)
+
+let rec parse_stmt st =
+  match cur st with
+  | _ when is_type_start st ->
+    let ty = parse_type st in
+    let name = ident st in
+    let ty =
+      if cur st = Token.LBRACKET then begin
+        advance st;
+        let n = match cur st with Token.INT n -> advance st; n | _ -> 0 in
+        eat st Token.RBRACKET;
+        Tarray (ty, n)
+      end
+      else ty
+    in
+    let init =
+      if cur st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    eat st Token.SEMI;
+    Sdecl (ty, name, init)
+  | Token.KW_IF ->
+    advance st;
+    eat st Token.LPAREN;
+    let c = parse_expr st in
+    eat st Token.RPAREN;
+    let thn = parse_block st in
+    let els = if cur st = Token.KW_ELSE then (advance st; parse_block st) else [] in
+    Sif (c, thn, els)
+  | Token.KW_WHILE ->
+    advance st;
+    eat st Token.LPAREN;
+    let c = parse_expr st in
+    eat st Token.RPAREN;
+    let body = parse_block st in
+    Swhile (c, body)
+  | Token.KW_RETURN ->
+    advance st;
+    let e = if cur st = Token.SEMI then None else Some (parse_expr st) in
+    eat st Token.SEMI;
+    Sreturn e
+  | Token.KW_FORK ->
+    advance st;
+    eat st Token.LPAREN;
+    let handle = parse_expr st in
+    eat st Token.COMMA;
+    let target = parse_expr st in
+    let args =
+      if cur st = Token.COMMA then begin
+        advance st;
+        parse_args st
+      end
+      else []
+    in
+    eat st Token.RPAREN;
+    eat st Token.SEMI;
+    let handle = match handle with Enull -> None | h -> Some h in
+    Sfork (handle, target, args)
+  | Token.KW_JOIN ->
+    advance st;
+    eat st Token.LPAREN;
+    let h = parse_expr st in
+    (* tolerate pthread_join's second argument *)
+    if cur st = Token.COMMA then begin
+      advance st;
+      ignore (parse_expr st)
+    end;
+    eat st Token.RPAREN;
+    eat st Token.SEMI;
+    Sjoin h
+  | Token.KW_LOCK ->
+    advance st;
+    eat st Token.LPAREN;
+    let e = parse_expr st in
+    eat st Token.RPAREN;
+    eat st Token.SEMI;
+    Slock e
+  | Token.KW_BARRIER ->
+    advance st;
+    (if cur st = Token.LPAREN then begin
+       advance st;
+       if cur st <> Token.RPAREN then ignore (parse_args st);
+       eat st Token.RPAREN
+     end);
+    eat st Token.SEMI;
+    Sbarrier
+  | Token.KW_UNLOCK ->
+    advance st;
+    eat st Token.LPAREN;
+    let e = parse_expr st in
+    eat st Token.RPAREN;
+    eat st Token.SEMI;
+    Sunlock e
+  | _ ->
+    let lhs = parse_expr st in
+    if cur st = Token.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr st in
+      eat st Token.SEMI;
+      Sassign (lhs, rhs)
+    end
+    else begin
+      eat st Token.SEMI;
+      Sexpr lhs
+    end
+
+and parse_block st =
+  eat st Token.LBRACE;
+  let stmts = ref [] in
+  while cur st <> Token.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  eat st Token.RBRACE;
+  List.rev !stmts
+
+(* Declarations -------------------------------------------------------------- *)
+
+let parse_params st =
+  eat st Token.LPAREN;
+  if cur st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else if cur st = Token.KW_VOID && fst st.toks.(st.pos + 1) = Token.RPAREN then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type st in
+      let name = ident st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        go ((ty, name) :: acc)
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_decl st =
+  if cur st = Token.KW_STRUCT && fst st.toks.(st.pos + 2) = Token.LBRACE then begin
+    advance st;
+    let name = ident st in
+    eat st Token.LBRACE;
+    let fields = ref [] in
+    while cur st <> Token.RBRACE do
+      let ty = parse_type st in
+      let fname = ident st in
+      eat st Token.SEMI;
+      fields := (ty, fname) :: !fields
+    done;
+    eat st Token.RBRACE;
+    eat st Token.SEMI;
+    Dstruct (name, List.rev !fields)
+  end
+  else begin
+    let ty = parse_type st in
+    let name = ident st in
+    if cur st = Token.LPAREN then begin
+      let params = parse_params st in
+      let body = parse_block st in
+      Dfun { fname = name; ret_ty = ty; params; body }
+    end
+    else begin
+      let ty =
+        if cur st = Token.LBRACKET then begin
+          advance st;
+          let n = match cur st with Token.INT n -> advance st; n | _ -> 0 in
+          eat st Token.RBRACKET;
+          Tarray (ty, n)
+        end
+        else ty
+      in
+      let init =
+        if cur st = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      eat st Token.SEMI;
+      Dglobal (ty, name, init)
+    end
+  end
+
+let parse toks =
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let decls = ref [] in
+  while cur st <> Token.EOF do
+    decls := parse_decl st :: !decls
+  done;
+  List.rev !decls
+
+let parse_string src = parse (Lexer.tokenize src)

@@ -1,0 +1,7 @@
+(** Hand-written recursive-descent parser for MiniC. *)
+
+exception Error of string
+
+val parse : (Token.t * int) list -> Ast.program
+val parse_string : string -> Ast.program
+(** Lex and parse. Raises [Error] or [Lexer.Error]. *)

@@ -1,0 +1,91 @@
+open Ast
+
+let rec pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tvoid -> Format.pp_print_string ppf "void"
+  | Tptr t -> Format.fprintf ppf "%a*" pp_ty t
+  | Tstruct s -> Format.fprintf ppf "struct %s" s
+  | Tlock -> Format.pp_print_string ppf "lock_t"
+  | Tthread -> Format.pp_print_string ppf "thread_t"
+  | Tarray (t, _) -> pp_ty ppf t (* the suffix is printed at the declarator *)
+
+let array_suffix = function Tarray (_, n) -> Printf.sprintf "[%d]" n | _ -> ""
+
+let rec pp_expr ppf = function
+  | Eid s -> Format.pp_print_string ppf s
+  | Eint n -> Format.pp_print_int ppf n
+  | Enull -> Format.pp_print_string ppf "null"
+  | Enondet -> Format.pp_print_string ppf "nondet()"
+  | Emalloc -> Format.pp_print_string ppf "malloc()"
+  | Eaddr e -> Format.fprintf ppf "&%a" pp_atom e
+  | Ederef e -> Format.fprintf ppf "*%a" pp_atom e
+  | Efield (e, f, true) -> Format.fprintf ppf "%a->%s" pp_atom e f
+  | Efield (e, f, false) -> Format.fprintf ppf "%a.%s" pp_atom e f
+  | Eindex (e, i) -> Format.fprintf ppf "%a[%a]" pp_atom e pp_expr i
+  | Ecall (f, args) ->
+    Format.fprintf ppf "%a(%a)" pp_atom f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_expr)
+      args
+  | Ebinop (op, a, b) ->
+    let op = String.sub op 1 (String.length op - 2) in
+    (* ops were stored as "'+'" token strings *)
+    Format.fprintf ppf "%a %s %a" pp_atom a op pp_atom b
+
+and pp_atom ppf e =
+  (* postfix operators bind tighter than unary * and &, and binops bind
+     loosest: parenthesize both when they appear as a sub-expression *)
+  match e with
+  | Ebinop _ | Ederef _ | Eaddr _ -> Format.fprintf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+let rec pp_stmt ppf = function
+  | Sdecl (ty, name, init) -> (
+    match init with
+    | Some e -> Format.fprintf ppf "@[<h>%a %s%s = %a;@]" pp_ty ty name (array_suffix ty) pp_expr e
+    | None -> Format.fprintf ppf "@[<h>%a %s%s;@]" pp_ty ty name (array_suffix ty))
+  | Sassign (l, r) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_expr l pp_expr r
+  | Sexpr e -> Format.fprintf ppf "@[<h>%a;@]" pp_expr e
+  | Sif (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t;
+    if e <> [] then Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_block e
+  | Swhile (c, b) -> Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block b
+  | Sreturn (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Sreturn None -> Format.pp_print_string ppf "return;"
+  | Sfork (h, target, args) ->
+    Format.fprintf ppf "fork(%a, %a%a);"
+      (fun ppf -> function Some h -> pp_expr ppf h | None -> Format.pp_print_string ppf "null")
+      h pp_expr target
+      (fun ppf args ->
+        List.iter (fun a -> Format.fprintf ppf ", %a" pp_expr a) args)
+      args
+  | Sjoin e -> Format.fprintf ppf "join(%a);" pp_expr e
+  | Slock e -> Format.fprintf ppf "lock(%a);" pp_expr e
+  | Sunlock e -> Format.fprintf ppf "unlock(%a);" pp_expr e
+  | Sbarrier -> Format.pp_print_string ppf "barrier();"
+
+and pp_block ppf b =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf b
+
+let pp_decl ppf = function
+  | Dglobal (ty, name, init) -> (
+    match init with
+    | Some e -> Format.fprintf ppf "@[<h>%a %s%s = %a;@]" pp_ty ty name (array_suffix ty) pp_expr e
+    | None -> Format.fprintf ppf "@[<h>%a %s%s;@]" pp_ty ty name (array_suffix ty))
+  | Dstruct (name, fields) ->
+    Format.fprintf ppf "@[<v 2>struct %s {@,%a@]@,};" name
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (ty, f) ->
+           Format.fprintf ppf "%a %s;" pp_ty ty f))
+      fields
+  | Dfun f ->
+    Format.fprintf ppf "@[<v 2>%a %s(%a) {@,%a@]@,}" pp_ty f.ret_ty f.fname
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (ty, p) -> Format.fprintf ppf "%a %s" pp_ty ty p))
+      f.params pp_block f.body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%a@]@."
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_decl)
+    p
+
+let to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,10 @@
+(** Pretty-printer for MiniC ASTs. [pp_program] emits parseable source:
+    [Parser.parse_string (to_string ast)] yields an equal AST (modulo the
+    sugar the parser desugars), which the test suite checks as a round-trip
+    property. *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val to_string : Ast.program -> string

@@ -1,0 +1,87 @@
+(** Tokens of the MiniC surface language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | KW_INT
+  | KW_VOID
+  | KW_STRUCT
+  | KW_LOCK_T
+  | KW_THREAD_T
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_FORK
+  | KW_JOIN
+  | KW_LOCK
+  | KW_UNLOCK
+  | KW_MALLOC
+  | KW_NULL
+  | KW_NONDET
+  | KW_BARRIER
+  | STAR
+  | AMP
+  | ARROW
+  | DOT
+  | COMMA
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | PLUS
+  | MINUS
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_INT -> "'int'"
+  | KW_VOID -> "'void'"
+  | KW_STRUCT -> "'struct'"
+  | KW_LOCK_T -> "'lock_t'"
+  | KW_THREAD_T -> "'thread_t'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_RETURN -> "'return'"
+  | KW_FORK -> "'fork'"
+  | KW_JOIN -> "'join'"
+  | KW_LOCK -> "'lock'"
+  | KW_UNLOCK -> "'unlock'"
+  | KW_MALLOC -> "'malloc'"
+  | KW_NULL -> "'null'"
+  | KW_NONDET -> "'nondet'"
+  | KW_BARRIER -> "'barrier'"
+  | STAR -> "'*'"
+  | AMP -> "'&'"
+  | ARROW -> "'->'"
+  | DOT -> "'.'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Bitvec Digraph Fsam_dsa List

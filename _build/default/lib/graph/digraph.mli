@@ -1,0 +1,27 @@
+(** Mutable directed graphs over dense integer node ids.
+
+    Nodes are created implicitly by adding edges or explicitly with
+    [ensure_node]; ids should stay dense as internal storage is array-based.
+    Parallel edges are collapsed (edge sets, not multisets). *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+val ensure_node : t -> int -> unit
+val add_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+val remove_edge : t -> int -> int -> unit
+val n_nodes : t -> int
+(** One past the largest node id ever touched. *)
+
+val n_edges : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val iter_succs : t -> int -> (int -> unit) -> unit
+val iter_preds : t -> int -> (int -> unit) -> unit
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_edges : t -> (int -> int -> unit) -> unit
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val copy : t -> t
+val transpose : t -> t

@@ -1,0 +1,65 @@
+open Fsam_dsa
+
+let from_many g srcs =
+  let seen = Bitvec.create ~capacity:(Digraph.n_nodes g) () in
+  let stack = ref [] in
+  List.iter
+    (fun s -> if s >= 0 && Bitvec.set_if_unset seen s then stack := s :: !stack)
+    srcs;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: tl ->
+      stack := tl;
+      Digraph.iter_succs g u (fun v ->
+          if Bitvec.set_if_unset seen v then stack := v :: !stack)
+  done;
+  seen
+
+let from g s = from_many g [ s ]
+
+let backward_from g s =
+  let seen = Bitvec.create ~capacity:(Digraph.n_nodes g) () in
+  let stack = ref [] in
+  if s >= 0 then begin
+    Bitvec.set seen s;
+    stack := [ s ]
+  end;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: tl ->
+      stack := tl;
+      Digraph.iter_preds g u (fun v ->
+          if Bitvec.set_if_unset seen v then stack := v :: !stack)
+  done;
+  seen
+
+let reaches g u v = Bitvec.get (from g u) v
+
+let all_paths_hit g ~src ~targets ~exits =
+  (* Explore from [src] without entering target nodes; the property fails iff
+     this exploration can still reach an exit. The source itself counts as
+     covered when it is a target. *)
+  if Bitvec.get targets src then true
+  else begin
+    let exit_set = Bitvec.create ~capacity:(Digraph.n_nodes g) () in
+    List.iter (fun e -> if e >= 0 then Bitvec.set exit_set e) exits;
+    let seen = Bitvec.create ~capacity:(Digraph.n_nodes g) () in
+    let stack = ref [ src ] in
+    Bitvec.set seen src;
+    let ok = ref true in
+    if Bitvec.get exit_set src then ok := false;
+    while !ok && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: tl ->
+        stack := tl;
+        Digraph.iter_succs g u (fun v ->
+            if (not (Bitvec.get targets v)) && Bitvec.set_if_unset seen v then begin
+              if Bitvec.get exit_set v then ok := false;
+              stack := v :: !stack
+            end)
+    done;
+    !ok
+  end

@@ -1,0 +1,19 @@
+(** Reachability queries on directed graphs. *)
+
+val from : Digraph.t -> int -> Fsam_dsa.Bitvec.t
+(** Nodes reachable from the given source (including it). *)
+
+val from_many : Digraph.t -> int list -> Fsam_dsa.Bitvec.t
+
+val backward_from : Digraph.t -> int -> Fsam_dsa.Bitvec.t
+(** Nodes that can reach the given sink (including it). *)
+
+val reaches : Digraph.t -> int -> int -> bool
+
+val all_paths_hit : Digraph.t -> src:int -> targets:Fsam_dsa.Bitvec.t -> exits:int list -> bool
+(** [all_paths_hit g ~src ~targets ~exits] is [true] iff every path in [g]
+    from [src] to any node in [exits] passes through some node in [targets]
+    before (or when) reaching the exit. Used for the happens-before check of
+    Definition 2: "the fork site of t' is backward reachable to a join site of
+    t along every program path". Paths that never reach an exit (cycles)
+    do not falsify the property. *)

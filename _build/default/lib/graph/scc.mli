@@ -1,0 +1,20 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+type result = {
+  comp_of : int array;  (** node id -> component id *)
+  comps : int list array;  (** component id -> member nodes *)
+  n_comps : int;
+}
+
+val compute : Digraph.t -> result
+(** Component ids are numbered in {i reverse} topological order of the
+    condensation: if there is an edge from component [a] to component [b]
+    (with [a <> b]) then [a > b]. Hence iterating components from
+    [n_comps - 1] down to [0] visits them in topological order. *)
+
+val topo_order : Digraph.t -> result -> int list
+(** Nodes in a topological order of the condensation (members of one
+    component appear consecutively). *)
+
+val is_trivial : result -> Digraph.t -> int -> bool
+(** A component is trivial if it has one node without a self loop. *)

@@ -1,0 +1,1 @@
+lib/interp/explore.ml: Fsam_ir Hashtbl Interp List

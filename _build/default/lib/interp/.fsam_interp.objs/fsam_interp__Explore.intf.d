@@ -1,0 +1,1 @@
+lib/interp/explore.mli: Fsam_ir Prog Stmt

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Fsam_dsa Fsam_ir Func Hashtbl List Memobj Option Prog Random Stmt

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Fsam_ir Prog Stmt

@@ -1,0 +1,59 @@
+type result = {
+  runs : int;
+  exhausted : bool;
+  var_facts : (Fsam_ir.Stmt.var * Fsam_ir.Stmt.obj) list;
+  mem_facts : (Fsam_ir.Stmt.obj * Fsam_ir.Stmt.obj) list;
+}
+
+(* Depth-first over decision prefixes. A run follows its scripted prefix;
+   once the prefix is exhausted every further decision takes option 0, and
+   for each such decision point with n > 1 options the unexplored siblings
+   (prefix @ [1 .. n-1]) are pushed. Each run restarts the (cheap)
+   interpreter from scratch, so no state cloning is needed. *)
+let explore ?(max_steps = 2000) ?(max_runs = 20_000) prog =
+  let var_facts = Hashtbl.create 256 in
+  let mem_facts = Hashtbl.create 256 in
+  let stack = ref [ [] ] in
+  let runs = ref 0 in
+  let exhausted = ref true in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+      stack := rest;
+      if !runs >= max_runs then begin
+        exhausted := false;
+        stack := []
+      end
+      else begin
+        incr runs;
+        let remaining = ref prefix in
+        let taken = ref [] in
+        let decide n =
+          match !remaining with
+          | d :: tl ->
+            remaining := tl;
+            taken := d :: !taken;
+            d
+          | [] ->
+            (* a fresh decision point: schedule the siblings *)
+            let base = List.rev !taken in
+            for i = n - 1 downto 1 do
+              stack := (base @ [ i ]) :: !stack
+            done;
+            taken := 0 :: !taken;
+            0
+        in
+        let r = Interp.run_with ~max_steps ~decide prog in
+        List.iter
+          (fun o -> Hashtbl.replace var_facts (o.Interp.obs_var, o.Interp.obs_obj) ())
+          r.Interp.observations;
+        List.iter (fun f -> Hashtbl.replace mem_facts f ()) r.Interp.mem_facts
+      end
+  done;
+  {
+    runs = !runs;
+    exhausted = !exhausted;
+    var_facts = Hashtbl.fold (fun k () acc -> k :: acc) var_facts [];
+    mem_facts = Hashtbl.fold (fun k () acc -> k :: acc) mem_facts [];
+  }

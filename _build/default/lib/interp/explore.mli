@@ -1,0 +1,19 @@
+open Fsam_ir
+
+(** Bounded exhaustive exploration of a program's nondeterminism: every
+    scheduler, branch and phi decision is enumerated (depth-first over
+    decision prefixes), giving the {e complete} set of observable points-to
+    facts for small programs — a stronger soundness oracle than randomized
+    runs, and an exact lower bound for precision measurements (any fact in a
+    static result but absent from an exhaustive exploration of {e all}
+    behaviours is over-approximation). *)
+
+type result = {
+  runs : int;  (** number of complete executions explored *)
+  exhausted : bool;  (** false when [max_runs] stopped the search early *)
+  var_facts : (Stmt.var * Stmt.obj) list;  (** all observed top-level facts *)
+  mem_facts : (Stmt.obj * Stmt.obj) list;
+}
+
+val explore : ?max_steps:int -> ?max_runs:int -> Prog.t -> result
+(** Default bounds: 2000 steps per run, 20000 runs. *)

@@ -1,0 +1,310 @@
+open Fsam_ir
+
+type loc = { l_obj : int; l_inst : int }
+type value = VNull | VPtr of loc
+
+type observation = { obs_gid : int; obs_var : Stmt.var; obs_obj : Stmt.obj }
+
+type result = {
+  steps : int;
+  observations : observation list;
+  mem_facts : (Stmt.obj * Stmt.obj) list;
+}
+
+type frame = {
+  f_fid : int;
+  f_act : int; (* activation id: instance tag for this frame's stack objects *)
+  mutable f_pc : int;
+  f_env : (Stmt.var, value) Hashtbl.t;
+  f_ret_var : Stmt.var option; (* caller variable receiving our return *)
+  f_resume : int list; (* caller successors to continue at after return *)
+}
+
+type status = Running | Finished | Wait_join of int | Wait_lock of loc
+
+type thread = { rt_id : int; mutable stack : frame list; mutable status : status }
+
+type state = {
+  prog : Prog.t;
+  decide : int -> int;
+      (* decision source: given the number of options, return a choice index.
+         A seeded RNG for randomized runs; a scripted prefix for the
+         exhaustive explorer. *)
+  mem : (loc, value) Hashtbl.t;
+  locks : (loc, int) Hashtbl.t; (* held locks -> owner rt *)
+  threads : thread Fsam_dsa.Vec.t;
+  mutable act_counter : int;
+  mutable heap_counter : int;
+  mutable obs : observation list;
+  mutable mem_facts : (Stmt.obj * Stmt.obj) list;
+}
+
+let getv fr v = Option.value ~default:VNull (Hashtbl.find_opt fr.f_env v)
+
+let fresh_act st =
+  st.act_counter <- st.act_counter + 1;
+  st.act_counter
+
+let new_frame st fid ?(ret_var = None) ?(resume = []) args =
+  let f = Prog.func st.prog fid in
+  let env = Hashtbl.create 8 in
+  let rec bind ps vs =
+    match (ps, vs) with
+    | p :: ps, v :: vs ->
+      Hashtbl.replace env p v;
+      bind ps vs
+    | _ -> ()
+  in
+  bind f.Func.params args;
+  { f_fid = fid; f_act = fresh_act st; f_pc = 0; f_env = env; f_ret_var = ret_var; f_resume = resume }
+
+let spawn st fid args =
+  let rt_id = Fsam_dsa.Vec.length st.threads in
+  let th = { rt_id; stack = []; status = Running } in
+  ignore (Fsam_dsa.Vec.push st.threads th);
+  th.stack <- [ new_frame st fid args ];
+  rt_id
+
+let record_def st gid v value =
+  match value with
+  | VPtr l -> st.obs <- { obs_gid = gid; obs_var = v; obs_obj = l.l_obj } :: st.obs
+  | VNull -> ()
+
+let setv st gid fr v value =
+  Hashtbl.replace fr.f_env v value;
+  record_def st gid v value
+
+let write_mem st l v =
+  Hashtbl.replace st.mem l v;
+  match v with VPtr tgt -> st.mem_facts <- (l.l_obj, tgt.l_obj) :: st.mem_facts | VNull -> ()
+
+let read_mem st l = Option.value ~default:VNull (Hashtbl.find_opt st.mem l)
+
+let loc_of_addr st fr obj =
+  let info = Prog.obj st.prog obj in
+  match info.Memobj.kind with
+  | Memobj.Stack _ -> { l_obj = obj; l_inst = fr.f_act }
+  | Memobj.Global | Memobj.Func _ | Memobj.Field _ | Memobj.Thread _ ->
+    { l_obj = obj; l_inst = 0 }
+  | Memobj.Heap _ ->
+    st.heap_counter <- st.heap_counter + 1;
+    { l_obj = obj; l_inst = st.heap_counter }
+
+let resolve_target st fr = function
+  | Stmt.Direct fid -> Some fid
+  | Stmt.Indirect v -> (
+    match getv fr v with
+    | VPtr l -> (
+      match (Prog.obj st.prog l.l_obj).Memobj.kind with
+      | Memobj.Func fid -> Some fid
+      | _ -> None)
+    | VNull -> None)
+
+let choose st = function
+  | [] -> None
+  | [ x ] -> Some x
+  | l -> Some (List.nth l (st.decide (List.length l)))
+
+(* Execute one statement of [th]; returns false when the thread blocked and
+   must retry the same statement later. *)
+let step st th =
+  match th.stack with
+  | [] ->
+    th.status <- Finished;
+    true
+  | fr :: rest -> (
+    let f = Prog.func st.prog fr.f_fid in
+    let i = fr.f_pc in
+    let gid = Prog.gid st.prog ~fid:fr.f_fid ~idx:i in
+    let advance () =
+      match choose st f.Func.succ.(i) with
+      | Some nxt -> fr.f_pc <- nxt
+      | None ->
+        (* fell off a non-return end; treat as return *)
+        th.stack <- rest;
+        th.status <- (if rest = [] then Finished else th.status)
+    in
+    let stmt = Func.stmt f i in
+    match stmt with
+    | Stmt.Addr_of { dst; obj } ->
+      setv st gid fr dst (VPtr (loc_of_addr st fr obj));
+      advance ();
+      true
+    | Stmt.Copy { dst; src } ->
+      setv st gid fr dst (getv fr src);
+      advance ();
+      true
+    | Stmt.Phi { dst; srcs } ->
+      let defined = List.filter (fun s -> Hashtbl.mem fr.f_env s) srcs in
+      (match choose st (if defined = [] then srcs else defined) with
+      | Some s -> setv st gid fr dst (getv fr s)
+      | None -> setv st gid fr dst VNull);
+      advance ();
+      true
+    | Stmt.Gep { dst; src; field } ->
+      (match getv fr src with
+      | VPtr l ->
+        let info = Prog.obj st.prog l.l_obj in
+        if Memobj.is_function info || Memobj.is_thread info then setv st gid fr dst VNull
+        else
+          let fo = Prog.field_obj st.prog ~base:l.l_obj ~field in
+          setv st gid fr dst (VPtr { l_obj = fo; l_inst = l.l_inst })
+      | VNull -> setv st gid fr dst VNull);
+      advance ();
+      true
+    | Stmt.Load { dst; src } ->
+      (match getv fr src with
+      | VPtr l -> setv st gid fr dst (read_mem st l)
+      | VNull -> setv st gid fr dst VNull);
+      advance ();
+      true
+    | Stmt.Store { dst; src } ->
+      (match getv fr dst with
+      | VPtr l -> write_mem st l (getv fr src)
+      | VNull -> ());
+      advance ();
+      true
+    | Stmt.Call { target; args; ret } ->
+      (match resolve_target st fr target with
+      | Some fid ->
+        let argv = List.map (getv fr) args in
+        let callee =
+          new_frame st fid ~ret_var:ret ~resume:f.Func.succ.(i) argv
+        in
+        th.stack <- callee :: fr :: rest
+      | None -> advance ());
+      true
+    | Stmt.Return v ->
+      (match (fr.f_ret_var, v) with
+      | Some rv, Some var -> (
+        (* deliver into the caller frame *)
+        match rest with
+        | caller :: _ ->
+          Hashtbl.replace caller.f_env rv (getv fr var);
+          record_def st gid rv (getv fr var)
+        | [] -> ())
+      | _ -> ());
+      (match rest with
+      | caller :: _ -> (
+        match choose st fr.f_resume with
+        | Some nxt -> caller.f_pc <- nxt
+        | None -> ())
+      | [] -> ());
+      th.stack <- rest;
+      if rest = [] then th.status <- Finished;
+      true
+    | Stmt.Fork { handle; target; args; fork_id } ->
+      (match resolve_target st fr target with
+      | Some fid ->
+        let argv = List.map (getv fr) args in
+        let rt = spawn st fid argv in
+        let tobj = Prog.thread_obj_of_fork st.prog fork_id in
+        (match handle with
+        | Some h -> (
+          match getv fr h with
+          | VPtr cell -> write_mem st cell (VPtr { l_obj = tobj; l_inst = rt })
+          | VNull -> ())
+        | None -> ())
+      | None -> ());
+      advance ();
+      true
+    | Stmt.Join { handle } -> (
+      match getv fr handle with
+      | VPtr cell -> (
+        match read_mem st cell with
+        | VPtr l when Memobj.is_thread (Prog.obj st.prog l.l_obj) ->
+          let target = Fsam_dsa.Vec.get st.threads l.l_inst in
+          if target.status = Finished then begin
+            advance ();
+            true
+          end
+          else begin
+            th.status <- Wait_join l.l_inst;
+            false
+          end
+        | _ ->
+          advance ();
+          true)
+      | VNull ->
+        advance ();
+        true)
+    | Stmt.Lock l -> (
+      match getv fr l with
+      | VPtr cell -> (
+        match Hashtbl.find_opt st.locks cell with
+        | Some owner when owner <> th.rt_id ->
+          th.status <- Wait_lock cell;
+          false
+        | Some _ ->
+          (* already held by us: pthread mutexes would deadlock; model as
+             no-op re-acquisition to keep random programs running *)
+          advance ();
+          true
+        | None ->
+          Hashtbl.replace st.locks cell th.rt_id;
+          advance ();
+          true)
+      | VNull ->
+        advance ();
+        true)
+    | Stmt.Unlock l ->
+      (match getv fr l with
+      | VPtr cell -> (
+        match Hashtbl.find_opt st.locks cell with
+        | Some owner when owner = th.rt_id -> Hashtbl.remove st.locks cell
+        | _ -> ())
+      | VNull -> ());
+      advance ();
+      true
+    | Stmt.Nop _ ->
+      advance ();
+      true)
+
+let runnable st th =
+  match th.status with
+  | Running -> true
+  | Finished -> false
+  | Wait_join rt ->
+    if (Fsam_dsa.Vec.get st.threads rt).status = Finished then begin
+      th.status <- Running;
+      true
+    end
+    else false
+  | Wait_lock cell ->
+    if not (Hashtbl.mem st.locks cell) then begin
+      th.status <- Running;
+      true
+    end
+    else false
+
+let run_with ?(max_steps = 20_000) ~decide prog =
+  let st =
+    {
+      prog;
+      decide;
+      mem = Hashtbl.create 64;
+      locks = Hashtbl.create 8;
+      threads = Fsam_dsa.Vec.create ();
+      act_counter = 0;
+      heap_counter = 0;
+      obs = [];
+      mem_facts = [];
+    }
+  in
+  ignore (spawn st (Prog.main_fid prog) []);
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    let candidates = ref [] in
+    Fsam_dsa.Vec.iter (fun th -> if runnable st th then candidates := th :: !candidates) st.threads;
+    match choose st !candidates with
+    | None -> continue := false
+    | Some th ->
+      incr steps;
+      ignore (step st th)
+  done;
+  { steps = !steps; observations = st.obs; mem_facts = st.mem_facts }
+
+let run ?max_steps ~seed prog =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  run_with ?max_steps ~decide:(fun n -> Random.State.int rng n) prog

@@ -1,0 +1,38 @@
+open Fsam_ir
+
+(** A concrete executor for the IR with a seeded, randomly interleaving
+    thread scheduler. Its purpose is {e testing}: every points-to fact
+    observable in any concrete execution must be included in the static
+    analyses' results, so randomized runs provide an executable soundness
+    oracle for FSAM and NonSparse.
+
+    Semantics notes: branches are nondeterministic (matching the IR the
+    analyses see); a [Phi] picks randomly among its defined sources; loads
+    through null are null; stores through null are no-ops; each function
+    activation allocates fresh instances of its stack objects; each
+    execution of a heap [Addr_of] allocates a fresh heap instance; locks
+    block (a deadlocked or too-long run simply stops at the step budget). *)
+
+type observation = {
+  obs_gid : int;  (** load/store statement *)
+  obs_var : Stmt.var;  (** the top-level variable whose value was observed *)
+  obs_obj : Stmt.obj;  (** abstract object of the concrete pointer value *)
+}
+
+type result = {
+  steps : int;
+  observations : observation list;
+      (** every (variable, abstract object) fact that became true *)
+  mem_facts : (Stmt.obj * Stmt.obj) list;
+      (** (location object, target object) pairs observed in memory cells *)
+}
+
+val run : ?max_steps:int -> seed:int -> Prog.t -> result
+(** Randomized schedule from the given seed. *)
+
+val run_with : ?max_steps:int -> decide:(int -> int) -> Prog.t -> result
+(** Run with an explicit decision source: whenever the execution faces a
+    choice among [n] options (runnable thread, branch successor, phi
+    source), [decide n] picks one. The exhaustive explorer
+    ({!Explore}) scripts this to enumerate every schedule of small
+    programs. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Fsam_dsa Func Hashtbl List Memobj Printf Prog Stmt Vec

@@ -1,0 +1,1 @@
+lib/ir/memobj.ml: Format

@@ -1,0 +1,1 @@
+lib/ir/memobj.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Format Fsam_dsa Func Hashtbl List Memobj Printf Stmt String Vec

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Array Func List Prog Stmt

@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Bitvec Dominance Fsam_dsa Fsam_graph Func Hashtbl Iset List Option Printf Prog Stmt Vec

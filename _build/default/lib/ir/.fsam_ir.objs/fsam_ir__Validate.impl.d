@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Fsam_dsa Fsam_graph Func Hashtbl List Prog Stmt String

@@ -1,0 +1,233 @@
+open Fsam_dsa
+
+type fdecl = {
+  fid : int;
+  fname : string;
+  param_vars : Stmt.var list;
+  mutable body : body option;
+}
+
+and body = {
+  stmts : Stmt.t Vec.t;
+  fall : bool Vec.t; (* fall.(i): control continues from i to i+1 *)
+  label_pos : int option Vec.t;
+  pending : (int * int) Vec.t; (* (stmt index, label id) edges *)
+}
+
+type t = {
+  vars : string Vec.t;
+  objs : Memobj.t Vec.t;
+  funcs : fdecl Vec.t;
+  mutable fork_count : int;
+  fork_sites : (int * int) Vec.t;
+  thread_objs : int Vec.t;
+  func_obj_cache : (int, int) Hashtbl.t;
+}
+
+type fb = { b : t; fid : int; body : body }
+type label = int
+
+let create () =
+  {
+    vars = Vec.create ();
+    objs = Vec.create ();
+    funcs = Vec.create ();
+    fork_count = 0;
+    fork_sites = Vec.create ();
+    thread_objs = Vec.create ();
+    func_obj_cache = Hashtbl.create 16;
+  }
+
+let fresh_var b name = Vec.push b.vars name
+
+let declare b fname ~params =
+  let fid = Vec.length b.funcs in
+  let param_vars =
+    List.map (fun p -> fresh_var b (Printf.sprintf "%s::%s" fname p)) params
+  in
+  ignore (Vec.push b.funcs { fid; fname; param_vars; body = None });
+  fid
+
+let param b fid i = List.nth (Vec.get b.funcs fid).param_vars i
+let params b fid = (Vec.get b.funcs fid).param_vars
+
+let add_obj b info = Vec.push b.objs info
+
+let stack_obj b ~owner name =
+  let id = Vec.length b.objs in
+  add_obj b Memobj.{ id; name; kind = Stack owner; is_array = false }
+
+let global_obj ?(is_array = false) b name =
+  let id = Vec.length b.objs in
+  add_obj b Memobj.{ id; name; kind = Global; is_array }
+
+let heap_obj b ~owner name =
+  let id = Vec.length b.objs in
+  add_obj b Memobj.{ id; name; kind = Heap owner; is_array = false }
+
+let func_obj b fid =
+  match Hashtbl.find_opt b.func_obj_cache fid with
+  | Some o -> o
+  | None ->
+    let id = Vec.length b.objs in
+    let name = (Vec.get b.funcs fid).fname in
+    let o = add_obj b Memobj.{ id; name = "&" ^ name; kind = Func fid; is_array = false } in
+    Hashtbl.replace b.func_obj_cache fid o;
+    o
+
+(* Body construction ------------------------------------------------------ *)
+
+let append fb ?(fall = true) s =
+  let i = Vec.push fb.body.stmts s in
+  ignore (Vec.push fb.body.fall fall);
+  i
+
+let addr_of fb dst obj = ignore (append fb (Stmt.Addr_of { dst; obj }))
+let copy fb dst src = ignore (append fb (Stmt.Copy { dst; src }))
+let phi fb dst srcs = ignore (append fb (Stmt.Phi { dst; srcs }))
+let load fb dst src = ignore (append fb (Stmt.Load { dst; src }))
+let store fb dst src = ignore (append fb (Stmt.Store { dst; src }))
+let gep fb dst src field = ignore (append fb (Stmt.Gep { dst; src; field }))
+let call fb ?ret target args = ignore (append fb (Stmt.Call { target; args; ret }))
+let ret fb v = ignore (append fb ~fall:false (Stmt.Return v))
+
+let fork fb ?handle target args =
+  let fork_id = fb.b.fork_count in
+  fb.b.fork_count <- fork_id + 1;
+  let idx = append fb (Stmt.Fork { handle; target; args; fork_id }) in
+  ignore (Vec.push fb.b.fork_sites (fb.fid, idx));
+  let oid = Vec.length fb.b.objs in
+  let info =
+    Memobj.
+      {
+        id = oid;
+        name = Printf.sprintf "thread#%d" fork_id;
+        kind = Thread fork_id;
+        is_array = false;
+      }
+  in
+  ignore (add_obj fb.b info);
+  ignore (Vec.push fb.b.thread_objs oid)
+
+let join fb handle = ignore (append fb (Stmt.Join { handle }))
+let lock fb v = ignore (append fb (Stmt.Lock v))
+let unlock fb v = ignore (append fb (Stmt.Unlock v))
+let nop fb msg = ignore (append fb (Stmt.Nop msg))
+
+let new_label fb = Vec.push fb.body.label_pos None
+
+let place fb l =
+  match Vec.get fb.body.label_pos l with
+  | Some _ -> invalid_arg "Builder.place: label already placed"
+  | None -> Vec.set fb.body.label_pos l (Some (Vec.length fb.body.stmts))
+
+let goto fb l =
+  let i = append fb ~fall:false (Stmt.Nop "goto") in
+  ignore (Vec.push fb.body.pending (i, l))
+
+let branch fb l =
+  let i = append fb (Stmt.Nop "branch") in
+  ignore (Vec.push fb.body.pending (i, l))
+
+let if_ fb ~then_ ~else_ =
+  let l_else = new_label fb and l_end = new_label fb in
+  branch fb l_else;
+  then_ fb;
+  goto fb l_end;
+  place fb l_else;
+  else_ fb;
+  place fb l_end;
+  nop fb "endif"
+
+let while_ fb body =
+  let l_head = new_label fb and l_end = new_label fb in
+  place fb l_head;
+  branch fb l_end;
+  body fb;
+  goto fb l_head;
+  place fb l_end;
+  nop fb "endwhile"
+
+let define b fid f =
+  let decl = Vec.get b.funcs fid in
+  if decl.body <> None then invalid_arg ("Builder.define: " ^ decl.fname ^ " already defined");
+  let body =
+    {
+      stmts = Vec.create ();
+      fall = Vec.create ();
+      label_pos = Vec.create ();
+      pending = Vec.create ();
+    }
+  in
+  decl.body <- Some body;
+  f { b; fid; body }
+
+(* Freezing --------------------------------------------------------------- *)
+
+let freeze_func (decl : fdecl) =
+  let body =
+    match decl.body with
+    | Some body -> body
+    | None -> invalid_arg ("Builder.finish: function " ^ decl.fname ^ " not defined")
+  in
+  let n = Vec.length body.stmts in
+  let labels_at_end =
+    let at_end = ref false in
+    Vec.iteri
+      (fun _ pos ->
+        match pos with
+        | Some p when p >= n -> at_end := true
+        | Some _ -> ()
+        | None -> invalid_arg ("Builder.finish: unplaced label in " ^ decl.fname))
+      body.label_pos;
+    !at_end
+  in
+  let falls_off = n = 0 || Vec.get body.fall (n - 1) in
+  let need_final = falls_off || labels_at_end in
+  if need_final then begin
+    ignore (Vec.push body.stmts (Stmt.Return None));
+    ignore (Vec.push body.fall false)
+  end;
+  let n = Vec.length body.stmts in
+  let succ = Array.make n [] in
+  for i = 0 to n - 2 do
+    if Vec.get body.fall i then succ.(i) <- [ i + 1 ]
+  done;
+  Vec.iter
+    (fun (i, l) ->
+      match Vec.get body.label_pos l with
+      | Some tgt ->
+        let tgt = if tgt >= n then n - 1 else tgt in
+        if not (List.mem tgt succ.(i)) then succ.(i) <- succ.(i) @ [ tgt ]
+      | None -> assert false)
+    body.pending;
+  let pred = Array.make n [] in
+  Array.iteri (fun i ss -> List.iter (fun j -> pred.(j) <- i :: pred.(j)) ss) succ;
+  let exits = ref [] in
+  Vec.iteri
+    (fun i s -> match s with Stmt.Return _ -> exits := i :: !exits | _ -> ())
+    body.stmts;
+  Func.
+    {
+      fid = decl.fid;
+      fname = decl.fname;
+      params = decl.param_vars;
+      stmts = Vec.to_array body.stmts;
+      succ;
+      pred;
+      exits = List.rev !exits;
+    }
+
+let finish b =
+  let funcs = Array.init (Vec.length b.funcs) (fun i -> freeze_func (Vec.get b.funcs i)) in
+  let main =
+    match Array.find_opt (fun f -> f.Func.fname = "main") funcs with
+    | Some f -> f.Func.fid
+    | None -> invalid_arg "Builder.finish: no main function"
+  in
+  Prog.make ~funcs
+    ~var_names:(Vec.to_array b.vars)
+    ~objs:(Vec.to_list b.objs)
+    ~fork_sites:(Vec.to_array b.fork_sites)
+    ~thread_objs:(Vec.to_array b.thread_objs)
+    ~main

@@ -1,0 +1,78 @@
+(** Programmatic construction of IR programs. Used by tests, examples and
+    the workload generators; the MiniC frontend lowers onto it too.
+
+    Typical use:
+    {[
+      let b = Builder.create () in
+      let main = Builder.declare b "main" ~params:[] in
+      let foo = Builder.declare b "foo" ~params:[ "p" ] in
+      let x = Builder.stack_obj b ~owner:main "x" in
+      Builder.define b main (fun fb ->
+          let p = Builder.fresh_var b "p" in
+          Builder.addr_of fb p x;
+          ...);
+      let prog = Builder.finish b
+    ]} *)
+
+type t
+type fb
+(** Function-body builder. *)
+
+type label
+
+val create : unit -> t
+
+val declare : t -> string -> params:string list -> int
+(** Declare a function; returns its id. Every declared function must be
+    defined before [finish]. *)
+
+val param : t -> int -> int -> Stmt.var
+(** [param b fid i] — the variable bound to the [i]-th parameter. *)
+
+val params : t -> int -> Stmt.var list
+val fresh_var : t -> string -> Stmt.var
+
+val stack_obj : t -> owner:int -> string -> Stmt.obj
+val global_obj : ?is_array:bool -> t -> string -> Stmt.obj
+val heap_obj : t -> owner:int -> string -> Stmt.obj
+val func_obj : t -> int -> Stmt.obj
+(** The function object for taking a function's address. *)
+
+val define : t -> int -> (fb -> unit) -> unit
+val finish : t -> Prog.t
+(** Freezes the program. Appends a trailing [return] to any function whose
+    last statement falls through. Raises [Invalid_argument] on undefined
+    functions or unplaced labels. *)
+
+(* Straight-line statements --------------------------------------------- *)
+
+val addr_of : fb -> Stmt.var -> Stmt.obj -> unit
+val copy : fb -> Stmt.var -> Stmt.var -> unit
+val phi : fb -> Stmt.var -> Stmt.var list -> unit
+val load : fb -> Stmt.var -> Stmt.var -> unit
+val store : fb -> Stmt.var -> Stmt.var -> unit
+val gep : fb -> Stmt.var -> Stmt.var -> string -> unit
+val call : fb -> ?ret:Stmt.var -> Stmt.call_target -> Stmt.var list -> unit
+val ret : fb -> Stmt.var option -> unit
+val fork : fb -> ?handle:Stmt.var -> Stmt.call_target -> Stmt.var list -> unit
+val join : fb -> Stmt.var -> unit
+val lock : fb -> Stmt.var -> unit
+val unlock : fb -> Stmt.var -> unit
+val nop : fb -> string -> unit
+
+(* Control flow ----------------------------------------------------------
+   The CFG is built with labels. [branch] emits a Nop with two successors:
+   the fall-through and the label (branch conditions are abstracted away —
+   the analyses are path-insensitive and the interpreter is nondeterministic,
+   matching the IR semantics). *)
+
+val new_label : fb -> label
+val place : fb -> label -> unit
+val goto : fb -> label -> unit
+val branch : fb -> label -> unit
+
+(* Structured conveniences ------------------------------------------------ *)
+
+val if_ : fb -> then_:(fb -> unit) -> else_:(fb -> unit) -> unit
+val while_ : fb -> (fb -> unit) -> unit
+(** A loop executing its body zero or more times. *)

@@ -1,0 +1,26 @@
+type kind =
+  | Stack of int
+  | Global
+  | Heap of int
+  | Func of int
+  | Field of { base : int; field : string }
+  | Thread of int
+
+type t = { id : int; name : string; kind : kind; is_array : bool }
+
+let is_heap o = match o.kind with Heap _ -> true | _ -> false
+let is_function o = match o.kind with Func _ -> true | _ -> false
+let is_thread o = match o.kind with Thread _ -> true | _ -> false
+let base_of o = match o.kind with Field { base; _ } -> base | _ -> o.id
+
+let pp ppf o =
+  let kind =
+    match o.kind with
+    | Stack _ -> "stack"
+    | Global -> "global"
+    | Heap _ -> "heap"
+    | Func _ -> "func"
+    | Field _ -> "field"
+    | Thread _ -> "thread"
+  in
+  Format.fprintf ppf "%s<%s#%d>%s" o.name kind o.id (if o.is_array then "[]" else "")

@@ -1,0 +1,31 @@
+(** Abstract memory objects — the set [A] of address-taken locations of the
+    paper's partial SSA form (§2.1): every stack or global variable whose
+    address is taken, every heap allocation site, every function (for
+    function pointers), plus analysis-materialised field objects
+    (field-sensitivity, §4.2) and abstract thread objects (one per fork
+    site, used to resolve joins through thread handles). *)
+
+type kind =
+  | Stack of int  (** address-taken local; payload = owning function id *)
+  | Global
+  | Heap of int  (** heap allocation site; payload = allocating function id *)
+  | Func of int  (** function object for indirect calls; payload = function id *)
+  | Field of { base : int; field : string }
+      (** field of another object; distinct object per (base, field) *)
+  | Thread of int  (** abstract thread object; payload = fork id *)
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  is_array : bool;
+      (** arrays are monolithic (paper §4.2) and never strongly updated *)
+}
+
+val is_heap : t -> bool
+val is_function : t -> bool
+val is_thread : t -> bool
+val base_of : t -> int
+(** For a field object, its base object id; otherwise its own id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+let compact_func (f : Func.t) =
+  let n = Func.n_stmts f in
+  (* A nop is removable when it has exactly one successor, is not the entry,
+     and is not a self-loop. [resolve] follows removable chains (cycle-safe:
+     a removable node is only skipped once per resolution walk). *)
+  let removable i =
+    i <> Func.entry f
+    &&
+    match (Func.stmt f i, f.Func.succ.(i)) with
+    | Stmt.Nop _, [ s ] -> s <> i
+    | _ -> false
+  in
+  let memo = Array.make n (-1) in
+  let rec resolve i =
+    if memo.(i) >= 0 then memo.(i)
+    else if not (removable i) then begin
+      memo.(i) <- i;
+      i
+    end
+    else begin
+      (* cycle guard: a pure nop cycle resolves to its first member *)
+      memo.(i) <- i;
+      let r = match f.Func.succ.(i) with [ s ] -> resolve s | _ -> i in
+      memo.(i) <- r;
+      r
+    end
+  in
+  (* keep = statements that survive *)
+  let keep = Array.init n (fun i -> not (removable i)) in
+  (* a removable chain forming a cycle with no non-removable member would be
+     dropped entirely; resolve returns a member in that case — keep it *)
+  for i = 0 to n - 1 do
+    if not keep.(i) then begin
+      let tgt = resolve i in
+      if not keep.(tgt) then keep.(tgt) <- true
+    end
+  done;
+  let new_index = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      new_index.(i) <- !count;
+      incr count
+    end
+  done;
+  let total = !count in
+  let stmts = Array.make total (Stmt.Nop "") in
+  let succ = Array.make total [] in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      stmts.(new_index.(i)) <- Func.stmt f i;
+      let targets =
+        List.map (fun s -> new_index.(resolve s)) f.Func.succ.(i)
+        |> List.sort_uniq compare
+      in
+      succ.(new_index.(i)) <- targets
+    end
+  done;
+  let pred = Array.make total [] in
+  Array.iteri (fun i ss -> List.iter (fun j -> pred.(j) <- i :: pred.(j)) ss) succ;
+  let exits = ref [] in
+  Array.iteri (fun i s -> match s with Stmt.Return _ -> exits := i :: !exits | _ -> ()) stmts;
+  Func.
+    {
+      fid = f.Func.fid;
+      fname = f.Func.fname;
+      params = f.Func.params;
+      stmts;
+      succ;
+      pred;
+      exits = List.rev !exits;
+    }
+
+let compact p =
+  let funcs = Array.init (Prog.n_funcs p) (fun i -> compact_func (Prog.func p i)) in
+  let n_forks = Prog.n_forks p in
+  let fork_sites = Array.make n_forks (0, 0) in
+  Array.iter
+    (fun f ->
+      Func.iter_stmts f (fun i s ->
+          match s with
+          | Stmt.Fork { fork_id; _ } -> fork_sites.(fork_id) <- (f.Func.fid, i)
+          | _ -> ()))
+    funcs;
+  let thread_objs = Array.init n_forks (fun k -> Prog.thread_obj_of_fork p k) in
+  let objs = ref [] in
+  Prog.iter_objs p (fun o -> objs := o :: !objs);
+  let var_names = Array.init (Prog.n_vars p) (fun v -> Prog.var_name p v) in
+  Prog.make ~funcs ~var_names ~objs:(List.rev !objs) ~fork_sites ~thread_objs
+    ~main:(Prog.main_fid p)

@@ -1,0 +1,15 @@
+(** Partial-SSA construction for top-level variables (paper §2.1).
+
+    The MiniC frontend produces IR in which a top-level variable may be
+    assigned several times; the analyses require the partial-SSA property
+    that "the uses of any top-level pointer have a unique definition, with φ
+    functions inserted at confluence points". [transform] renames top-level
+    variables into versions using pruned SSA over each function's
+    statement-level CFG (dominance frontiers for φ placement, dominator-tree
+    renaming). Address-taken variables are untouched — they are memory
+    objects, versioned later by the memory-SSA phase.
+
+    A variable used before any definition keeps its original id as the
+    implicit entry version (its points-to set will be empty, i.e. null). *)
+
+val transform : Prog.t -> Prog.t

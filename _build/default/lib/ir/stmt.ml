@@ -1,0 +1,81 @@
+type var = int
+type obj = int
+type fid = int
+
+type call_target = Direct of fid | Indirect of var
+
+type t =
+  | Addr_of of { dst : var; obj : obj }
+  | Copy of { dst : var; src : var }
+  | Phi of { dst : var; srcs : var list }
+  | Load of { dst : var; src : var }
+  | Store of { dst : var; src : var }
+  | Gep of { dst : var; src : var; field : string }
+  | Call of { target : call_target; args : var list; ret : var option }
+  | Return of var option
+  | Fork of { handle : var option; target : call_target; args : var list; fork_id : int }
+  | Join of { handle : var }
+  | Lock of var
+  | Unlock of var
+  | Nop of string
+
+let def = function
+  | Addr_of { dst; _ } | Copy { dst; _ } | Phi { dst; _ } | Load { dst; _ }
+  | Gep { dst; _ } ->
+    Some dst
+  | Call { ret; _ } -> ret
+  | Store _ | Return _ | Fork _ | Join _ | Lock _ | Unlock _ | Nop _ -> None
+
+let target_uses = function Direct _ -> [] | Indirect v -> [ v ]
+
+let uses = function
+  | Addr_of _ -> []
+  | Copy { src; _ } -> [ src ]
+  | Phi { srcs; _ } -> srcs
+  | Load { src; _ } -> [ src ]
+  | Store { dst; src } -> [ dst; src ]
+  | Gep { src; _ } -> [ src ]
+  | Call { target; args; _ } -> target_uses target @ args
+  | Return (Some v) -> [ v ]
+  | Return None -> []
+  | Fork { handle; target; args; _ } ->
+    (match handle with Some h -> [ h ] | None -> []) @ target_uses target @ args
+  | Join { handle } -> [ handle ]
+  | Lock v | Unlock v -> [ v ]
+  | Nop _ -> []
+
+let is_branch_point = function Nop _ -> true | _ -> false
+
+let pp ~names ~obj_names ~fn_names ppf s =
+  let v = names in
+  let tgt ppf = function
+    | Direct f -> Format.pp_print_string ppf (fn_names f)
+    | Indirect p -> Format.fprintf ppf "*%s" (v p)
+  in
+  let args ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf a -> Format.pp_print_string ppf (v a))
+      ppf l
+  in
+  match s with
+  | Addr_of { dst; obj } -> Format.fprintf ppf "%s = &%s" (v dst) (obj_names obj)
+  | Copy { dst; src } -> Format.fprintf ppf "%s = %s" (v dst) (v src)
+  | Phi { dst; srcs } -> Format.fprintf ppf "%s = phi(%a)" (v dst) args srcs
+  | Load { dst; src } -> Format.fprintf ppf "%s = *%s" (v dst) (v src)
+  | Store { dst; src } -> Format.fprintf ppf "*%s = %s" (v dst) (v src)
+  | Gep { dst; src; field } -> Format.fprintf ppf "%s = &%s->%s" (v dst) (v src) field
+  | Call { target; args = a; ret } ->
+    (match ret with
+    | Some r -> Format.fprintf ppf "%s = %a(%a)" (v r) tgt target args a
+    | None -> Format.fprintf ppf "%a(%a)" tgt target args a)
+  | Return (Some r) -> Format.fprintf ppf "return %s" (v r)
+  | Return None -> Format.fprintf ppf "return"
+  | Fork { handle; target; args = a; fork_id } ->
+    Format.fprintf ppf "fork#%d(%s%a, [%a])" fork_id
+      (match handle with Some h -> v h ^ ", " | None -> "")
+      tgt target args a
+  | Join { handle } -> Format.fprintf ppf "join(%s)" (v handle)
+  | Lock l -> Format.fprintf ppf "lock(%s)" (v l)
+  | Unlock l -> Format.fprintf ppf "unlock(%s)" (v l)
+  | Nop msg -> Format.fprintf ppf "nop(%s)" msg

@@ -1,0 +1,44 @@
+(** The statement universe of the paper's partial SSA form (§2.1) plus the
+    interprocedural and concurrency statements FSAM analyses.
+
+    Variables are integer ids into the program's top-level variable table
+    ([T] in the paper); objects are ids into the object table ([A]). *)
+
+type var = int
+type obj = int
+type fid = int
+
+type call_target =
+  | Direct of fid
+  | Indirect of var  (** callee(s) = function objects in the pointer's points-to set *)
+
+type t =
+  | Addr_of of { dst : var; obj : obj }  (** [p = &a], also models [malloc] *)
+  | Copy of { dst : var; src : var }  (** [p = q] *)
+  | Phi of { dst : var; srcs : var list }  (** [p = φ(q, r, …)] *)
+  | Load of { dst : var; src : var }  (** [p = *q] *)
+  | Store of { dst : var; src : var }  (** [*p = q] *)
+  | Gep of { dst : var; src : var; field : string }
+      (** [p = &q->f] — field-sensitive address arithmetic *)
+  | Call of { target : call_target; args : var list; ret : var option }
+  | Return of var option
+  | Fork of { handle : var option; target : call_target; args : var list; fork_id : int }
+      (** [pthread_create(handle, …, target, args)]; writes the abstract
+          thread object for [fork_id] into every cell the handle pointer
+          may point to *)
+  | Join of { handle : var }
+      (** [pthread_join] — joins the abstract threads stored in the cells
+          [handle] may point to *)
+  | Lock of var  (** [pthread_mutex_lock(l)] on the lock object(s) [*l] *)
+  | Unlock of var
+  | Nop of string  (** structural no-op (labels, branch points) *)
+
+val def : t -> var option
+(** The top-level variable defined, if any. *)
+
+val uses : t -> var list
+(** The top-level variables used. *)
+
+val is_branch_point : t -> bool
+val pp : names:(var -> string) -> obj_names:(obj -> string) -> fn_names:(fid -> string) ->
+  Format.formatter -> t -> unit

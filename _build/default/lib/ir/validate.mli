@@ -1,0 +1,11 @@
+(** Well-formedness checks on IR programs.
+
+    [check ~ssa prog] verifies structural invariants: statement successors in
+    range, statements reachable from function entries, operands within the
+    variable/object tables, fork-site table consistency, and — when [ssa] is
+    set — the partial-SSA property that every top-level variable has a single
+    defining statement, located in the same function as all its uses
+    (parameters are defined implicitly at entry). *)
+
+val check : ?ssa:bool -> Prog.t -> (unit, string list) result
+val check_exn : ?ssa:bool -> Prog.t -> unit

@@ -1,0 +1,1 @@
+lib/memssa/svfg.ml: Array Bitvec Format Fsam_andersen Fsam_dsa Fsam_ir Fsam_mta Func Hashtbl Iset Lazy List Option Prog Queue Stmt Vec

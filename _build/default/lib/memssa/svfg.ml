@@ -1,0 +1,460 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+module Modref = Fsam_andersen.Modref
+module Mta = Fsam_mta
+
+type node =
+  | Stmt_node of int
+  | Formal_in of int * int
+  | Formal_out of int * int
+  | Call_chi of int * int
+
+type config = {
+  thread_aware : bool;
+  use_interleaving : bool;
+  use_value_flow : bool;
+  use_lock : bool;
+}
+
+let default_config =
+  { thread_aware = true; use_interleaving = true; use_value_flow = true; use_lock = true }
+
+type t = {
+  prog : Prog.t;
+  nodes : node Vec.t;
+  index : (node, int) Hashtbl.t;
+  preds : (int * int) list Vec.t;
+  succs : (int * int) list Vec.t;
+  edge_set : (int * int * int, unit) Hashtbl.t; (* (src, obj, dst) *)
+  mutable thread_edges : int;
+  racy : (int, Iset.t) Hashtbl.t; (* store gid -> objects with interfering MHP pairs *)
+}
+
+let n_nodes t = Vec.length t.nodes
+let node t i = Vec.get t.nodes i
+let node_id t n = Hashtbl.find_opt t.index n
+let o_preds t i = Vec.get t.preds i
+let o_succs t i = Vec.get t.succs i
+let n_edges t = Hashtbl.length t.edge_set
+let n_thread_aware_edges t = t.thread_edges
+let prog t = t.prog
+let iter_nodes t f = Vec.iteri (fun i n -> f i n) t.nodes
+
+let intern t n =
+  match Hashtbl.find_opt t.index n with
+  | Some i -> i
+  | None ->
+    let i = Vec.push t.nodes n in
+    ignore (Vec.push t.preds []);
+    ignore (Vec.push t.succs []);
+    Hashtbl.replace t.index n i;
+    i
+
+let add_edge t src obj dst =
+  if not (Hashtbl.mem t.edge_set (src, obj, dst)) then begin
+    Hashtbl.replace t.edge_set (src, obj, dst) ();
+    Vec.set t.preds dst ((obj, src) :: Vec.get t.preds dst);
+    Vec.set t.succs src ((obj, dst) :: Vec.get t.succs src)
+  end
+
+let has_edge t src obj dst = Hashtbl.mem t.edge_set (src, obj, dst)
+
+(* ------------------------------------------------------------------------ *)
+(* Thread-oblivious construction: per-(function, object) sparse
+   reaching-definitions over the function's CFG.                             *)
+(* ------------------------------------------------------------------------ *)
+
+(* What a handled join (or symmetric-loop exit) makes visible: per gid, the
+   joined threads' (fork gid, start fn, start-fn mods). *)
+let join_info_tbl tm mr =
+  let tbl : (int, (int * int * Iset.t) list) Hashtbl.t = Hashtbl.create 16 in
+  for iid = 0 to Mta.Threads.n_insts tm - 1 do
+    match Mta.Threads.join_kills tm iid with
+    | [] -> ()
+    | kills ->
+      let gid = (Mta.Threads.inst tm iid).Mta.Threads.i_gid in
+      let cur = ref (Option.value ~default:[] (Hashtbl.find_opt tbl gid)) in
+      List.iter
+        (fun tid ->
+          match Mta.Threads.fork_gid_of tm tid with
+          | None -> ()
+          | Some fg ->
+            List.iter
+              (fun sf ->
+                if not (List.exists (fun (fg', sf', _) -> fg' = fg && sf' = sf) !cur)
+                then cur := (fg, sf, Modref.mod_of mr sf) :: !cur)
+              (Mta.Threads.start_fns tm tid))
+        kills;
+      Hashtbl.replace tbl gid !cur
+  done;
+  tbl
+
+(* Per-(function, object) sparse reaching-definitions.
+
+   The data-flow state at a program point is a set of channels of def nodes:
+   channel 0 holds the ordinary reaching defs; one extra channel per fork
+   statement of the function holds the {e bypass} defs — values that reached
+   the fork and may still be current because the spawnee "may be executed
+   nondeterministically later" (paper §3.2 step 2). A fork's callsite chi is
+   {e strong} (sourced from the spawnee's formal-out only) and the pre-fork
+   defs move to the fork's bypass channel; a handled join injects the
+   spawnee's formal-out into the ordinary channel and kills the matching
+   bypass channel — this reproduces both the fork-bypass edge s1 ↪ s2 and
+   the join edge s4 ↪ s3 of Figure 6 {e and} the strong-update-through-join
+   precision of Figure 1(c), while defs between fork and join still flow
+   past the join (s2 ↪ s3). *)
+let build_oblivious t ast mr icfg join_info =
+  let prog = t.prog in
+  ignore icfg;
+  Prog.iter_funcs prog (fun f ->
+      let fid = f.Func.fid in
+      let objs = Iset.union (Modref.mod_of mr fid) (Modref.ref_of mr fid) in
+      let n = Func.n_stmts f in
+      (* channels: 0 = ordinary defs, 1 + k = bypass of the k-th local fork *)
+      let fork_channel = Hashtbl.create 4 in
+      let n_forks = ref 0 in
+      Func.iter_stmts f (fun i s ->
+          match s with
+          | Stmt.Fork _ ->
+            incr n_forks;
+            Hashtbl.replace fork_channel (Prog.gid prog ~fid ~idx:i) !n_forks
+          | _ -> ());
+      let nchan = 1 + !n_forks in
+      Iset.iter
+        (fun o ->
+          let out = Array.make n [||] in
+          let empty_state = Array.make nchan Iset.empty in
+          let formal_in = intern t (Formal_in (fid, o)) in
+          let queue = Queue.create () in
+          let queued = Bitvec.create ~capacity:n () in
+          let push i = if Bitvec.set_if_unset queued i then Queue.add i queue in
+          push 0;
+          while not (Queue.is_empty queue) do
+            let i = Queue.pop queue in
+            Bitvec.clear queued i;
+            let in_state = Array.copy empty_state in
+            List.iter
+              (fun p ->
+                if out.(p) <> [||] then
+                  Array.iteri (fun c s -> in_state.(c) <- Iset.union in_state.(c) s) out.(p))
+              f.Func.pred.(i);
+            if i = 0 then in_state.(0) <- Iset.add formal_in in_state.(0);
+            let gid = Prog.gid prog ~fid ~idx:i in
+            let all_defs = Array.fold_left Iset.union Iset.empty in_state in
+            let link_all node_id = Iset.iter (fun d -> add_edge t d o node_id) all_defs in
+            let collapse_to node_id =
+              (* all channels absorbed into one def node *)
+              link_all node_id;
+              let st = Array.copy empty_state in
+              st.(0) <- Iset.singleton node_id;
+              st
+            in
+            let new_state =
+              match Func.stmt f i with
+              | Stmt.Load { src; _ } when Iset.mem o (A.pt_var ast src) ->
+                link_all (intern t (Stmt_node gid));
+                in_state
+              | Stmt.Store { dst; _ } when Iset.mem o (A.pt_var ast dst) ->
+                collapse_to (intern t (Stmt_node gid))
+              | (Stmt.Call _ | Stmt.Fork _) as s -> (
+                let callees = A.callees ast ~fid ~idx:i in
+                let relevant g =
+                  Iset.mem o (Modref.mod_of mr g) || Iset.mem o (Modref.ref_of mr g)
+                in
+                List.iter
+                  (fun g ->
+                    if relevant g then
+                      Iset.iter
+                        (fun d -> add_edge t d o (intern t (Formal_in (g, o))))
+                        all_defs)
+                  callees;
+                let mods = List.filter (fun g -> Iset.mem o (Modref.mod_of mr g)) callees in
+                let is_fork = match s with Stmt.Fork _ -> true | _ -> false in
+                let after_call =
+                  if mods = [] then in_state
+                  else begin
+                    let chi = intern t (Call_chi (gid, o)) in
+                    List.iter
+                      (fun g -> add_edge t (intern t (Formal_out (g, o))) o chi)
+                      mods;
+                    if is_fork then begin
+                      (* strong fork chi; pre-fork defs move to the fork's
+                         bypass channel *)
+                      let st = Array.copy empty_state in
+                      st.(0) <- Iset.singleton chi;
+                      (match Hashtbl.find_opt fork_channel gid with
+                      | Some c -> st.(c) <- all_defs
+                      | None -> ());
+                      st
+                    end
+                    else begin
+                      (* synchronous call: the chi absorbs every channel; the
+                         old value passes around only when some callee may
+                         leave the object untouched *)
+                      if List.exists (fun g -> not (Iset.mem o (Modref.mod_of mr g))) callees
+                      then link_all chi;
+                      let st = Array.copy empty_state in
+                      st.(0) <- Iset.singleton chi;
+                      st
+                    end
+                  end
+                in
+                (* a fork also writes the thread object into the handle *)
+                match s with
+                | Stmt.Fork { handle = Some h; _ } when Iset.mem o (A.pt_var ast h) ->
+                  let nd = intern t (Stmt_node gid) in
+                  Array.iter (fun ch -> Iset.iter (fun d -> add_edge t d o nd) ch) after_call;
+                  let st = Array.copy empty_state in
+                  st.(0) <- Iset.singleton nd;
+                  st
+                | _ -> after_call)
+              | Stmt.Return _ when Iset.mem o (Modref.mod_of mr fid) ->
+                link_all (intern t (Formal_out (fid, o)));
+                in_state
+              | _ -> (
+                (* handled join or symmetric loop exit (paper §3.2 step 3):
+                   inject the spawnees' formal-outs; kill matching bypasses *)
+                match Hashtbl.find_opt join_info gid with
+                | Some infos ->
+                  let st = Array.copy in_state in
+                  List.iter
+                    (fun (fg, sf, mods) ->
+                      if Iset.mem o mods then
+                        st.(0) <- Iset.add (intern t (Formal_out (sf, o))) st.(0);
+                      match Hashtbl.find_opt fork_channel fg with
+                      | Some c -> st.(c) <- Iset.empty
+                      | None -> ())
+                    infos;
+                  st
+                | None -> in_state)
+            in
+            let changed =
+              out.(i) = [||]
+              ||
+              let old = out.(i) in
+              let rec differs c =
+                c < nchan && ((not (Iset.equal new_state.(c) old.(c))) || differs (c + 1))
+              in
+              differs 0
+            in
+            if changed then begin
+              out.(i) <- new_state;
+              List.iter push f.Func.succ.(i)
+            end
+          done)
+        objs)
+
+(* ------------------------------------------------------------------------ *)
+(* Thread-aware edges: [THREAD-VF] with the lock filter.                     *)
+(* ------------------------------------------------------------------------ *)
+
+(* Span heads and tails (Definitions 4 and 5), per (span, object), against
+   the thread-oblivious def-use edges built above. *)
+type span_info = { hd : (int, unit) Hashtbl.t; tl : (int, unit) Hashtbl.t }
+
+let span_hd_tl t ~oblivious ast tm lk cache sid o =
+  match Hashtbl.find_opt cache (sid, o) with
+  | Some si -> si
+  | None ->
+    let prog = t.prog in
+    let members = Mta.Locks.span_members lk sid in
+    let accesses, stores =
+      List.fold_left
+        (fun (acc, sts) iid ->
+          let gid = (Mta.Threads.inst tm iid).Mta.Threads.i_gid in
+          match Prog.stmt_at prog gid with
+          | Stmt.Load { src; _ } when Iset.mem o (A.pt_var ast src) -> ((iid, gid) :: acc, sts)
+          | Stmt.Store { dst; _ } when Iset.mem o (A.pt_var ast dst) ->
+            ((iid, gid) :: acc, (iid, gid) :: sts)
+          | _ -> (acc, sts))
+        ([], []) members
+    in
+    let node_of gid = node_id t (Stmt_node gid) in
+    (* Definitions 4/5 refer to the def-use chains available when the lock
+       analysis runs — the thread-oblivious ones; edges added by
+       [THREAD-VF] itself must not influence the heads/tails, so the test
+       runs against a snapshot taken before the thread-aware phase. *)
+    let du g1 g2 =
+      match (node_of g1, node_of g2) with
+      | Some a, Some b -> Hashtbl.mem oblivious (a, o, b)
+      | _ -> false
+    in
+    let hd = Hashtbl.create 8 and tl = Hashtbl.create 8 in
+    List.iter
+      (fun (iid, gid) ->
+        if not (List.exists (fun (iid', g') -> iid' <> iid && du g' gid) accesses) then
+          Hashtbl.replace hd iid ())
+      accesses;
+    List.iter
+      (fun (iid, gid) ->
+        if not (List.exists (fun (iid', g') -> iid' <> iid && du gid g') stores) then
+          Hashtbl.replace tl iid ())
+      stores;
+    let si = { hd; tl } in
+    Hashtbl.replace cache (sid, o) si;
+    si
+
+let build_thread_aware t config ast tm mhp lk pcg =
+  let prog = t.prog in
+  (* index stores and accesses per object *)
+  let stores_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let accesses_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let tbl_add tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Stmt.Load { src; _ } -> Iset.iter (fun o -> tbl_add accesses_of o gid) (A.pt_var ast src)
+      | Stmt.Store { dst; _ } ->
+        Iset.iter
+          (fun o ->
+            tbl_add accesses_of o gid;
+            tbl_add stores_of o gid)
+          (A.pt_var ast dst)
+      | _ -> ());
+  let span_cache = Hashtbl.create 64 in
+  let oblivious = Hashtbl.copy t.edge_set in
+  (* statement-level MHP per configuration, memoised: the same (s, s') pair
+     recurs once per commonly-pointed object *)
+  let mhp_cache = Hashtbl.create 1024 in
+  let stmt_mhp s s' =
+    match Hashtbl.find_opt mhp_cache (s, s') with
+    | Some b -> b
+    | None ->
+      let b =
+        if config.use_interleaving then Mta.Mhp.mhp_stmt mhp s s'
+        else Mta.Pcg.mec_stmt pcg s s'
+      in
+      Hashtbl.replace mhp_cache (s, s') b;
+      b
+  in
+  let inst_pairs s s' =
+    if config.use_interleaving then Mta.Mhp.mhp_pairs_inst mhp s s'
+    else
+      (* PCG gives no instance-level facts: all instance combinations *)
+      List.concat_map
+        (fun i -> List.map (fun j -> (i, j)) (Mta.Threads.insts_of_gid tm s'))
+        (Mta.Threads.insts_of_gid tm s)
+  in
+  (* Definition 6: the instance pair cannot pass a value for o *)
+  let non_interfering o (i, j) =
+    List.exists
+      (fun (sp, sp') ->
+        let si = span_hd_tl t ~oblivious ast tm lk span_cache sp o in
+        let sj = span_hd_tl t ~oblivious ast tm lk span_cache sp' o in
+        (not (Hashtbl.mem si.tl i)) || not (Hashtbl.mem sj.hd j))
+      (Mta.Locks.common_lock lk i j)
+  in
+  let consider_edge o s s' =
+    if stmt_mhp s s' then begin
+      let pairs = inst_pairs s s' in
+      let blocked =
+        config.use_lock && pairs <> [] && List.for_all (non_interfering o) pairs
+      in
+      if not blocked then begin
+        let a = intern t (Stmt_node s) and b = intern t (Stmt_node s') in
+        if not (has_edge t a o b) then begin
+          add_edge t a o b;
+          t.thread_edges <- t.thread_edges + 1
+        end;
+        (* Strong updates: an interfering pair forbids them on o — the
+           interleaving may order the accesses either way — unless every
+           instance pair is protected by a common lock, in which case mutual
+           exclusion guarantees the partner only observes section-exit state
+           (the Figure 1(e) situation: the strong update at the section's
+           tail store is what keeps the earlier section store out of
+           pt(c)). *)
+        let unprotected =
+          (not config.use_lock)
+          || pairs = []
+          || List.exists (fun (i, j) -> Mta.Locks.common_lock lk i j = []) pairs
+        in
+        if unprotected then begin
+          let mark g =
+            Hashtbl.replace t.racy g
+              (Iset.add o (Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy g)))
+          in
+          mark s;
+          match Prog.stmt_at prog s' with Stmt.Store _ -> mark s' | _ -> ()
+        end
+      end
+    end
+  in
+  (* Escape filter: an object whose accesses all come from one non-multi-
+     forked thread cannot be in any MHP aliased pair — skip its whole pair
+     space. (Only valid under [THREAD-VF]'s common-object requirement; the
+     No-Value-Flow ablation pairs stores with every access regardless.) *)
+  let threads_of_gid = Hashtbl.create 256 in
+  let gid_threads g =
+    match Hashtbl.find_opt threads_of_gid g with
+    | Some s -> s
+    | None ->
+      let s =
+        List.fold_left
+          (fun acc iid -> Iset.add (Mta.Threads.inst tm iid).Mta.Threads.i_thread acc)
+          Iset.empty (Mta.Threads.insts_of_gid tm g)
+      in
+      Hashtbl.replace threads_of_gid g s;
+      s
+  in
+  let may_escape o =
+    let ts =
+      List.fold_left
+        (fun acc g -> Iset.union acc (gid_threads g))
+        Iset.empty
+        (Option.value ~default:[] (Hashtbl.find_opt accesses_of o))
+    in
+    match Iset.elements ts with
+    | [] -> false
+    | [ t' ] -> Mta.Threads.is_multi tm t'
+    | _ -> true
+  in
+  let all_objs = Hashtbl.fold (fun o _ acc -> o :: acc) stores_of [] in
+  List.iter
+    (fun o ->
+      let stores = Option.value ~default:[] (Hashtbl.find_opt stores_of o) in
+      let escapes = lazy (may_escape o) in
+      List.iter
+        (fun s ->
+          if config.use_value_flow then begin
+            (* [THREAD-VF]: common value flow required — targets are the
+               accesses of the same object *)
+            if Lazy.force escapes then
+              List.iter
+                (fun s' -> consider_edge o s s')
+                (Option.value ~default:[] (Hashtbl.find_opt accesses_of o))
+          end
+          else begin
+            (* No-Value-Flow: pair with every load/store in the program *)
+            Prog.iter_stmts prog (fun s' _ st ->
+                match st with
+                | Stmt.Load _ | Stmt.Store _ -> consider_edge o s s'
+                | _ -> ())
+          end)
+        stores)
+    all_objs
+
+let build ?(config = default_config) prog ast mr icfg tm mhp lk pcg =
+  let t =
+    {
+      prog;
+      nodes = Vec.create ();
+      index = Hashtbl.create 1024;
+      preds = Vec.create ();
+      succs = Vec.create ();
+      edge_set = Hashtbl.create 4096;
+      thread_edges = 0;
+      racy = Hashtbl.create 64;
+    }
+  in
+  let join_info = join_info_tbl tm mr in
+  build_oblivious t ast mr icfg join_info;
+  if config.thread_aware then build_thread_aware t config ast tm mhp lk pcg;
+  t
+
+let racy_objs t gid = Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy gid)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "svfg: %d nodes, %d edges (%d thread-aware)" (n_nodes t) (n_edges t)
+    t.thread_edges

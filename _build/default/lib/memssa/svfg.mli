@@ -1,0 +1,70 @@
+open Fsam_ir
+
+(** The sparse value-flow (def-use) graph over address-taken objects — the
+    core representation of the sparse analysis (paper §2.2, §3.2, §3.3).
+
+    {b Thread-oblivious edges} (paper §3.2) come from an interprocedural
+    memory-SSA construction driven by the pre-analysis: loads and stores are
+    annotated with the objects they may access (mu/chi); call and fork sites
+    carry chi nodes for their callees' mod sets ({e weak} at forks, which
+    yields the fork-bypass edges of Step 2); handled join sites carry chi
+    nodes fed by the spawnee's formal-out defs (the join edges of Step 3);
+    per-object def-use chains are then derived with a sparse per-object
+    reaching-definitions pass over each relevant function (in the spirit of
+    the sparse evaluation graphs the paper traces this idea to).
+
+    {b Thread-aware edges} (paper §3.3, rule [THREAD-VF]) connect MHP
+    store-load and store-store statement pairs with a common pre-analysis
+    points-to target, filtered by the lock analysis' non-interference pairs
+    (Definitions 4–6). The [config] selects the paper's ablations:
+    No-Interleaving (PCG instead of the interleaving analysis),
+    No-Value-Flow (common-target requirement dropped), No-Lock (filter
+    disabled). *)
+
+type node =
+  | Stmt_node of int  (** statement gid: loads, stores, fork-handle chis *)
+  | Formal_in of int * int  (** (fid, obj): memory state at function entry *)
+  | Formal_out of int * int  (** (fid, obj): memory state at function exit *)
+  | Call_chi of int * int  (** (callsite gid, obj): weak def at a call/fork *)
+
+type config = {
+  thread_aware : bool;  (** add [THREAD-VF] edges at all *)
+  use_interleaving : bool;  (** false = the paper's No-Interleaving (PCG) *)
+  use_value_flow : bool;  (** false = the paper's No-Value-Flow *)
+  use_lock : bool;  (** false = the paper's No-Lock *)
+}
+
+val default_config : config
+
+type t
+
+val build :
+  ?config:config ->
+  Prog.t ->
+  Fsam_andersen.Solver.t ->
+  Fsam_andersen.Modref.t ->
+  Fsam_mta.Icfg.t ->
+  Fsam_mta.Threads.t ->
+  Fsam_mta.Mhp.t ->
+  Fsam_mta.Locks.t ->
+  Fsam_mta.Pcg.t ->
+  t
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val node_id : t -> node -> int option
+val o_preds : t -> int -> (int * int) list
+(** [(obj, def node)] pairs feeding a node. *)
+
+val o_succs : t -> int -> (int * int) list
+val n_edges : t -> int
+val n_thread_aware_edges : t -> int
+
+(** Objects for which the given store statement participates in an
+    interfering (post-lock-filter) MHP pair; strong updates on these objects
+    are suppressed — the interleaving may order the racing accesses either
+    way, so a kill could erase a concurrent thread's later effect. *)
+val racy_objs : t -> int -> Fsam_dsa.Iset.t
+val prog : t -> Prog.t
+val iter_nodes : t -> (int -> node -> unit) -> unit
+val pp_stats : Format.formatter -> t -> unit

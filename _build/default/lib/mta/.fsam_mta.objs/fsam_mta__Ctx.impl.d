@@ -1,0 +1,1 @@
+lib/mta/ctx.ml: Format Fsam_dsa Hashtbl List String Vec

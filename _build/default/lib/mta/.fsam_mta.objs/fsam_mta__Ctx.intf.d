@@ -1,0 +1,1 @@
+lib/mta/ctx.mli: Format

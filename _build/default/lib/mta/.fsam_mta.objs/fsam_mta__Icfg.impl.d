@@ -1,0 +1,1 @@
+lib/mta/icfg.ml: Array Fsam_andersen Fsam_graph Fsam_ir Func List Prog Stmt

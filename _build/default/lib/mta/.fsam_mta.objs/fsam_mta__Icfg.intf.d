@@ -1,0 +1,1 @@
+lib/mta/icfg.mli: Fsam_andersen Fsam_graph Fsam_ir Prog Stmt

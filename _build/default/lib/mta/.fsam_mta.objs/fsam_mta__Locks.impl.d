@@ -1,0 +1,1 @@
+lib/mta/locks.ml: Array Bitvec Fsam_andersen Fsam_dsa Fsam_ir Iset List Memobj Prog Stmt Threads

@@ -1,0 +1,1 @@
+lib/mta/locks.mli: Fsam_andersen Fsam_ir Threads

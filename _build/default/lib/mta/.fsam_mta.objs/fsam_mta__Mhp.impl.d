@@ -1,0 +1,1 @@
+lib/mta/mhp.ml: Array Bitvec Fsam_dsa Iset List Queue Threads

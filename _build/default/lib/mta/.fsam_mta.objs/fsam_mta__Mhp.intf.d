@@ -1,0 +1,1 @@
+lib/mta/mhp.mli: Fsam_dsa Threads

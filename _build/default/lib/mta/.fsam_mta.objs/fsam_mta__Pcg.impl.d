@@ -1,0 +1,1 @@
+lib/mta/pcg.ml: Array Fsam_andersen Fsam_dsa Fsam_ir Icfg Iset List Prog Threads

@@ -1,0 +1,1 @@
+lib/mta/pcg.mli: Icfg Threads

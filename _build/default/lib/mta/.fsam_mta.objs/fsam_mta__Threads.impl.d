@@ -1,0 +1,1 @@
+lib/mta/threads.ml: Array Bitvec Ctx Format Fsam_andersen Fsam_dsa Fsam_graph Fsam_ir Func Hashtbl Icfg Iset Lazy List Option Printf Prog Queue Stmt Vec

@@ -1,0 +1,1 @@
+lib/mta/threads.mli: Ctx Format Fsam_andersen Fsam_dsa Fsam_graph Fsam_ir Icfg Prog

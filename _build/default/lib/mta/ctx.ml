@@ -1,0 +1,37 @@
+open Fsam_dsa
+
+type t = int
+
+type cell = { parent : t; site : int; depth : int }
+
+type store = {
+  cells : cell Vec.t; (* cells.(id - 1); id 0 is the empty context *)
+  intern : (t * int, t) Hashtbl.t;
+}
+
+let empty = 0
+
+let create_store () = { cells = Vec.create (); intern = Hashtbl.create 64 }
+
+let cell s id = Vec.get s.cells (id - 1)
+
+let depth s id = if id = empty then 0 else (cell s id).depth
+
+let push s parent site =
+  match Hashtbl.find_opt s.intern (parent, site) with
+  | Some id -> id
+  | None ->
+    let d = depth s parent + 1 in
+    let id = 1 + Vec.push s.cells { parent; site; depth = d } in
+    Hashtbl.replace s.intern (parent, site) id;
+    id
+
+let pop s id = if id = empty then None else Some (cell s id).parent
+let peek s id = if id = empty then None else Some (cell s id).site
+
+let to_list s id =
+  let rec go id acc = if id = empty then acc else go (cell s id).parent ((cell s id).site :: acc) in
+  go id []
+
+let pp s ppf id =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int (to_list s id)))

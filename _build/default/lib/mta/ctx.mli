@@ -1,0 +1,24 @@
+(** Calling contexts (paper §3.1): a context is "a sequence of callsites from
+    the entry of the main function" — fork sites included, as in the paper's
+    Example 1 where thread [t3]'s entry context is [[1, 3]] ([fk1] then
+    [fk3]).
+
+    Contexts are hash-consed into integer ids; a context is a cons cell
+    [(parent, site)] where [site] is a statement gid. The empty context is
+    the context of [main]'s entry. *)
+
+type store
+type t = int
+
+val empty : t
+val create_store : unit -> store
+val push : store -> t -> int -> t
+val pop : store -> t -> t option
+(** [None] on the empty context. *)
+
+val peek : store -> t -> int option
+val depth : store -> t -> int
+val to_list : store -> t -> int list
+(** Outermost callsite first. *)
+
+val pp : store -> Format.formatter -> t -> unit

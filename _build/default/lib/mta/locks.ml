@@ -1,0 +1,83 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+
+type span = { sp_lock : int; sp_members : int list; sp_set : Bitvec.t }
+
+type t = { spans : span array; of_inst : int list array }
+
+(* A lock pointer must-aliases a unique runtime lock when its points-to set
+   is a singleton whose object represents one location: not a heap object,
+   not an array element, not a thread/function object. (Stack locks of
+   recursive or multi-forked code would also be excluded by the singleton
+   notion of §3.4; lock objects in practice are globals.) *)
+let must_lock prog ast v =
+  let pts = A.pt_var ast v in
+  match Iset.elements pts with
+  | [ o ] ->
+    let info = Prog.obj prog o in
+    if
+      info.Memobj.is_array || Memobj.is_heap info || Memobj.is_thread info
+      || Memobj.is_function info
+    then None
+    else Some o
+  | _ -> None
+
+let may_release ast v lock_obj = Iset.mem lock_obj (A.pt_var ast v)
+
+let compute prog ast tm =
+  let n = Threads.n_insts tm in
+  let spans = ref [] in
+  for iid = 0 to n - 1 do
+    let { Threads.i_gid; _ } = Threads.inst tm iid in
+    match Prog.stmt_at prog i_gid with
+    | Stmt.Lock l -> (
+      match must_lock prog ast l with
+      | None -> ()
+      | Some lock_obj ->
+        (* forward exploration stopping at any may-release unlock *)
+        let set = Bitvec.create ~capacity:n () in
+        let members = ref [] in
+        let stack = ref [ iid ] in
+        Bitvec.set set iid;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | i :: tl ->
+            stack := tl;
+            members := i :: !members;
+            let { Threads.i_gid = g; _ } = Threads.inst tm i in
+            let stop =
+              i <> iid
+              &&
+              match Prog.stmt_at prog g with
+              | Stmt.Unlock u -> may_release ast u lock_obj
+              | _ -> false
+            in
+            if not stop then
+              List.iter
+                (fun j -> if Bitvec.set_if_unset set j then stack := j :: !stack)
+                (Threads.inst_succs tm i)
+        done;
+        spans := { sp_lock = lock_obj; sp_members = !members; sp_set = set } :: !spans)
+    | _ -> ()
+  done;
+  let spans = Array.of_list (List.rev !spans) in
+  let of_inst = Array.make n [] in
+  Array.iteri
+    (fun sid sp -> List.iter (fun i -> of_inst.(i) <- sid :: of_inst.(i)) sp.sp_members)
+    spans;
+  { spans; of_inst }
+
+let n_spans t = Array.length t.spans
+let span_lock t sid = t.spans.(sid).sp_lock
+let span_members t sid = t.spans.(sid).sp_members
+let spans_of_inst t i = t.of_inst.(i)
+
+let common_lock t i j =
+  List.concat_map
+    (fun si ->
+      List.filter_map
+        (fun sj -> if span_lock t si = span_lock t sj then Some (si, sj) else None)
+        (spans_of_inst t j))
+    (spans_of_inst t i)

@@ -1,0 +1,31 @@
+(** Flow- and context-sensitive lock analysis (paper §3.3.3).
+
+    A {e lock-release span} (Definition 3) is computed for every lock-site
+    instance whose lock pointer must-alias a single runtime lock object: the
+    set of statement instances forward-reachable from the lock instance —
+    calls and returns matched through the instance graph — up to any unlock
+    instance that may release the same lock.
+
+    Span heads and tails (Definitions 4, 5) and the non-interference filter
+    (Definition 6) are evaluated by the value-flow construction, which owns
+    the def-use edges the definitions refer to; this module exposes the
+    spans and membership queries it needs. *)
+
+type t
+
+val compute : Fsam_ir.Prog.t -> Fsam_andersen.Solver.t -> Threads.t -> t
+
+val n_spans : t -> int
+val span_lock : t -> int -> int
+(** Runtime lock object protecting the span. *)
+
+val span_members : t -> int -> int list
+(** Statement-instance ids in the span. *)
+
+val spans_of_inst : t -> int -> int list
+(** Span ids containing the given instance. *)
+
+val common_lock : t -> int -> int -> (int * int) list
+(** For two instances, the pairs of spans [(sp, sp')] with [sp ∋ i],
+    [sp' ∋ j] protected by the same runtime lock ([l ≡ l'] of
+    Definition 6). Empty when the two are not commonly protected. *)

@@ -1,0 +1,91 @@
+open Fsam_dsa
+
+type t = {
+  tm : Threads.t;
+  facts : Iset.t array; (* per instance: I at the statement *)
+  mutable iterations : int;
+}
+
+let interference t i = t.facts.(i)
+let threads t = t.tm
+let n_iterations t = t.iterations
+
+let total_fact_size t = Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.facts
+
+let compute tm =
+  let n = Threads.n_insts tm in
+  let facts = Array.make n Iset.empty in
+  let t = { tm; facts; iterations = 0 } in
+  let queue = Queue.create () in
+  let queued = Bitvec.create ~capacity:n () in
+  let push i = if Bitvec.set_if_unset queued i then Queue.add i queue in
+  let add i set =
+    let u = Iset.union facts.(i) set in
+    if not (u == facts.(i)) then begin
+      facts.(i) <- u;
+      push i
+    end
+  in
+  (* Seeds. *)
+  let nt = Threads.n_threads tm in
+  for tid = 0 to nt - 1 do
+    (* [I-DESCENDANT] second conclusion: ancestors at the entry *)
+    let anc = Threads.ancestors tm tid in
+    if not (Iset.is_empty anc) then
+      List.iter (fun e -> add e anc) (Threads.entry_insts tm tid)
+  done;
+  (* [I-SIBLING] *)
+  for a = 0 to nt - 1 do
+    for b = a + 1 to nt - 1 do
+      if
+        Threads.siblings tm a b
+        && (not (Threads.happens_before tm a b))
+        && not (Threads.happens_before tm b a)
+      then begin
+        List.iter (fun e -> add e (Iset.singleton b)) (Threads.entry_insts tm a);
+        List.iter (fun e -> add e (Iset.singleton a)) (Threads.entry_insts tm b)
+      end
+    done
+  done;
+  (* [I-DESCENDANT] first conclusion is seeded flow-sensitively below: a
+     fork's out-fact includes the spawned descendant closure even when the
+     in-fact is empty, so prime every fork instance. *)
+  for iid = 0 to n - 1 do
+    match Threads.fork_spawnees tm iid with [] -> () | _ -> push iid
+  done;
+  (* Fixpoint. *)
+  while not (Queue.is_empty queue) do
+    let iid = Queue.pop queue in
+    Bitvec.clear queued iid;
+    t.iterations <- t.iterations + 1;
+    let fact = facts.(iid) in
+    let out =
+      match Threads.fork_spawnees tm iid with
+      | [] -> (
+        match Threads.join_kills tm iid with
+        | [] -> fact
+        | kills -> List.fold_left (fun f k -> Iset.remove k f) fact kills)
+      | spawnees ->
+        List.fold_left
+          (fun f s -> Iset.add s (Iset.union f (Threads.descendants tm s)))
+          fact spawnees
+    in
+    List.iter (fun j -> add j out) (Threads.inst_succs tm iid)
+  done;
+  t
+
+let mhp_inst t i j =
+  let a = Threads.inst t.tm i and b = Threads.inst t.tm j in
+  if a.Threads.i_thread = b.Threads.i_thread then Threads.is_multi t.tm a.Threads.i_thread
+  else
+    Iset.mem b.Threads.i_thread t.facts.(i) && Iset.mem a.Threads.i_thread t.facts.(j)
+
+let mhp_pairs_inst t g1 g2 =
+  let is1 = Threads.insts_of_gid t.tm g1 and is2 = Threads.insts_of_gid t.tm g2 in
+  List.concat_map
+    (fun i -> List.filter_map (fun j -> if mhp_inst t i j then Some (i, j) else None) is2)
+    is1
+
+let mhp_stmt t g1 g2 =
+  let is1 = Threads.insts_of_gid t.tm g1 and is2 = Threads.insts_of_gid t.tm g2 in
+  List.exists (fun i -> List.exists (fun j -> mhp_inst t i j) is2) is1

@@ -1,0 +1,36 @@
+(** The flow- and context-sensitive interleaving (may-happen-in-parallel)
+    analysis of paper §3.3.1, Figure 7: a forward data-flow problem over
+    statement instances computing [I(t, c, s)] — the set of abstract threads
+    that may run in parallel with thread [t] when it executes statement [s]
+    under context [c].
+
+    - [I-DESCENDANT]: the statement after a fork gains the spawnee and all
+      of the spawnee's transitive descendants; the spawnee's entry gains its
+      ancestors.
+    - [I-SIBLING]: entries of sibling threads gain each other unless one
+      happens before the other (Definition 2).
+    - [I-JOIN]: a handled join removes its kill set.
+    - [I-INTRA]/[I-CALL]/[I-RET]: facts flow along instance edges (contexts
+      were already matched when the instance graph was built).
+
+    Two instances may happen in parallel when each thread appears in the
+    other's fact (or both belong to one multi-forked thread). *)
+
+type t
+
+val compute : Threads.t -> t
+val interference : t -> int -> Fsam_dsa.Iset.t
+(** [I(t,c,s)] for an instance id. *)
+
+val mhp_inst : t -> int -> int -> bool
+(** May the two statement instances happen in parallel? *)
+
+val mhp_stmt : t -> int -> int -> bool
+(** Statement-level projection: some instance pair of the two gids is MHP. *)
+
+val mhp_pairs_inst : t -> int -> int -> (int * int) list
+(** All MHP instance pairs [(iid1, iid2)] of two statement gids. *)
+
+val threads : t -> Threads.t
+val n_iterations : t -> int
+val total_fact_size : t -> int

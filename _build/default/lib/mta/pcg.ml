@@ -1,0 +1,34 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+
+type t = {
+  icfg : Icfg.t;
+  (* for each function: the set of threads that may execute it *)
+  runners : Iset.t array;
+  multi : bool array; (* per thread *)
+}
+
+let compute tm icfg =
+  let prog = Icfg.prog icfg in
+  let nf = Prog.n_funcs prog in
+  let runners = Array.make nf Iset.empty in
+  let nt = Threads.n_threads tm in
+  let multi = Array.make nt false in
+  for tid = 0 to nt - 1 do
+    multi.(tid) <- Threads.is_multi tm tid;
+    (* functions executed by the thread = those of its statement instances *)
+    List.iter
+      (fun iid ->
+        let g = (Threads.inst tm iid).Threads.i_gid in
+        let f = Icfg.fid_of icfg g in
+        runners.(f) <- Iset.add tid runners.(f))
+      (Threads.insts_of_thread tm tid)
+  done;
+  { icfg; runners; multi }
+
+let mec_proc t f g =
+  let rf = t.runners.(f) and rg = t.runners.(g) in
+  Iset.exists (fun a -> Iset.exists (fun b -> a <> b || t.multi.(a)) rg) rf
+
+let mec_stmt t g1 g2 = mec_proc t (Icfg.fid_of t.icfg g1) (Icfg.fid_of t.icfg g2)

@@ -1,0 +1,15 @@
+(** A procedure-level may-execute-concurrently baseline in the style of the
+    PCG analysis of Joisha et al. [14], used by the paper as the MHP
+    component of the NonSparse baseline and of FSAM's No-Interleaving
+    configuration (§4.3). Deliberately coarse: two statements may execute
+    concurrently when their enclosing procedures can be executed by two
+    distinct live threads (or by one multi-forked thread); joins and
+    happens-before are not modelled. *)
+
+type t
+
+val compute : Threads.t -> Icfg.t -> t
+val mec_stmt : t -> int -> int -> bool
+(** May the two statement gids execute concurrently? *)
+
+val mec_proc : t -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/workloads/minic_suite.ml: Buffer List Printf

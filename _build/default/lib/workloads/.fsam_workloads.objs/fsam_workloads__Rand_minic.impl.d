@@ -1,0 +1,1 @@
+lib/workloads/rand_minic.ml: Buffer List Printf Random

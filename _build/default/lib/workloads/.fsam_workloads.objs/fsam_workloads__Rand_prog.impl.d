@@ -1,0 +1,1 @@
+lib/workloads/rand_prog.ml: Builder Fsam_ir List Printf Random Ssa Stmt

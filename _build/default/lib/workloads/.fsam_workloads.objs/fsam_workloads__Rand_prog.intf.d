@@ -1,0 +1,1 @@
+lib/workloads/rand_prog.mli: Fsam_ir Prog

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Builder Fsam_ir List Printf Prog Random Stmt

@@ -1,0 +1,104 @@
+(* Text generation helpers: every function body gets [scale]-many lines of
+   mostly-local pointer traffic with periodic shared accesses, mirroring
+   Suite.web. *)
+
+let web buf ~prefix ~shared ~n =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n_locals = max 2 (n / 6) in
+  for i = 0 to n_locals - 1 do
+    pr "  int %s_cell%d;\n" prefix i;
+    pr "  int *%s_p%d;\n" prefix i;
+    pr "  %s_p%d = &%s_cell%d;\n" prefix i prefix i
+  done;
+  for k = 0 to n - 1 do
+    let l = k mod n_locals in
+    let l' = (k + 1) mod n_locals in
+    match k mod 6 with
+    | 0 -> pr "  %s = %s_p%d;\n" (List.nth shared (k mod List.length shared)) prefix l
+    | 1 -> pr "  %s_p%d = %s;\n" prefix l (List.nth shared (k mod List.length shared))
+    | 2 -> pr "  *%s_p%d = %s_p%d;\n" prefix l prefix l'
+    | 3 -> pr "  %s_p%d = *%s_p%d;\n" prefix l prefix l'
+    | 4 -> pr "  %s_p%d = %s_p%d;\n" prefix l prefix l'
+    | _ -> pr "  %s_p%d = malloc();\n" prefix l
+  done
+
+let wordcount ~scale =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "int *bucket0;\nint *bucket1;\nint *bucket2;\n";
+  pr "int *words;\nint result;\n";
+  pr "thread_t tids[8];\nlock_t bucket_lock;\n";
+  pr "void wordcount_map(int *chunk) {\n";
+  pr "  lock(&bucket_lock);\n";
+  web buf ~prefix:"m" ~shared:[ "bucket0"; "bucket1"; "bucket2" ] ~n:(scale / 2);
+  pr "  unlock(&bucket_lock);\n}\n";
+  pr "int main() {\n  int i;\n  int *final;\n";
+  pr "  words = &result;\n";
+  web buf ~prefix:"s" ~shared:[ "words" ] ~n:scale;
+  pr "  while (i < 8) { fork(&tids[i], wordcount_map, words); }\n";
+  pr "  while (i < 8) { join(&tids[i]); }\n";
+  web buf ~prefix:"t" ~shared:[ "bucket0"; "bucket1"; "bucket2" ] ~n:scale;
+  pr "  final = bucket0;\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let taskqueue ~scale =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "struct Queue { int *head; int *tail; };\n";
+  pr "struct Queue q0;\nstruct Queue q1;\n";
+  pr "lock_t l0;\nlock_t l1;\n";
+  pr "int *task_pool;\nthread_t workers[4];\n";
+  pr "void enqueue_task(int *task) {\n";
+  pr "  lock(&l0);\n  q0.tail = task;\n  q0.head = q0.tail;\n";
+  web buf ~prefix:"e" ~shared:[ "task_pool" ] ~n:(scale / 3);
+  pr "  unlock(&l0);\n";
+  pr "  lock(&l1);\n  q1.tail = task;\n";
+  web buf ~prefix:"e2" ~shared:[ "task_pool" ] ~n:(scale / 3);
+  pr "  unlock(&l1);\n}\n";
+  pr "int *dequeue_task() {\n  int *t;\n";
+  pr "  lock(&l0);\n  t = q0.head;\n  q0.head = null;\n  unlock(&l0);\n";
+  pr "  return t;\n}\n";
+  pr "void worker(int *arg) {\n  int *t;\n";
+  pr "  while (nondet()) {\n    t = dequeue_task();\n    enqueue_task(t);\n  }\n";
+  web buf ~prefix:"w" ~shared:[ "task_pool" ] ~n:(scale / 2);
+  pr "}\n";
+  pr "int main() {\n  int i;\n  int *seed;\n";
+  pr "  seed = malloc();\n  enqueue_task(seed);\n";
+  web buf ~prefix:"s" ~shared:[ "task_pool" ] ~n:scale;
+  pr "  while (i < 4) { fork(&workers[i], worker, null); }\n";
+  pr "  while (i < 4) { join(&workers[i]); }\n";
+  pr "  return 0;\n}\n";
+  Buffer.contents buf
+
+let server ~scale =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "int *srv_state0;\nint *srv_state1;\nint *conn_pool;\n";
+  pr "lock_t srv_lock;\nthread_t log_tid;\n";
+  let depth = 4 in
+  for i = depth - 1 downto 0 do
+    pr "void request_phase%d(int *r) {\n" i;
+    pr "  lock(&srv_lock);\n";
+    web buf ~prefix:(Printf.sprintf "ph%d" i) ~shared:[ "srv_state0"; "srv_state1" ]
+      ~n:(scale / 4);
+    pr "  unlock(&srv_lock);\n";
+    if i + 1 < depth then pr "  request_phase%d(r);\n" (i + 1);
+    pr "}\n"
+  done;
+  pr "void handle_request(int *conn) {\n";
+  web buf ~prefix:"h" ~shared:[ "conn_pool" ] ~n:(scale / 3);
+  pr "  request_phase0(conn);\n}\n";
+  pr "void logger_thread(int *arg) {\n";
+  pr "  while (nondet()) {\n";
+  pr "    lock(&srv_lock);\n    srv_state0 = srv_state1;\n    unlock(&srv_lock);\n  }\n}\n";
+  pr "int main() {\n";
+  web buf ~prefix:"m" ~shared:[ "srv_state0"; "conn_pool" ] ~n:scale;
+  pr "  fork(&log_tid, logger_thread, null);\n";
+  pr "  while (nondet()) { fork(null, handle_request, conn_pool); }\n";
+  pr "  join(&log_tid);\n";
+  web buf ~prefix:"t" ~shared:[ "srv_state0"; "srv_state1" ] ~n:scale;
+  pr "  return 0;\n}\n";
+  Buffer.contents buf
+
+let all =
+  [ ("wordcount", wordcount); ("taskqueue", taskqueue); ("server", server) ]

@@ -1,0 +1,16 @@
+(** MiniC {e source} renditions of representative benchmark skeletons, for
+    exercising the whole frontend at scale and for human inspection. The IR
+    generators in {!Suite} remain the canonical benchmark programs (they are
+    faster to build at large scales); these produce the same concurrency
+    patterns as compilable text. *)
+
+val wordcount : scale:int -> string
+(** Phoenix-style master–slave map-reduce with symmetric fork/join loops. *)
+
+val taskqueue : scale:int -> string
+(** Radiosity-style lock-protected task queues (paper Figure 13). *)
+
+val server : scale:int -> string
+(** httpd-style accept loop with detached handler threads. *)
+
+val all : (string * (scale:int -> string)) list

@@ -1,0 +1,82 @@
+let generate ~seed ~size =
+  let rng = Random.State.make [| seed; 0x3117 |] in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let chance p = Random.State.float rng 1.0 < p in
+  let globals = [ "g0"; "g1"; "g2" ] in
+  pr "struct S { int *f; int *g; };\n";
+  List.iter (fun g -> pr "int %s;\n" g) globals;
+  pr "int *gp;\n";
+  pr "struct S gs;\n";
+  pr "int *garr[4];\n";
+  pr "lock_t m;\n";
+  pr "thread_t tids[4];\n";
+  (* worker and helper bodies share the same statement generator *)
+  let gen_body ~vars ~n ~depth_allowed =
+    let vars = ref vars in
+    let nv = ref 0 in
+    let out = Buffer.create 256 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string out s) fmt in
+    let fresh () =
+      incr nv;
+      let v = Printf.sprintf "v%d" !nv in
+      line "  int *%s;\n" v;
+      vars := v :: !vars;
+      v
+    in
+    let var () = pick !vars in
+    let rec stmt depth =
+      match Random.State.int rng 12 with
+      | 0 -> line "  %s = &%s;\n" (var ()) (pick globals)
+      | 1 -> line "  %s = %s;\n" (var ()) (var ())
+      | 2 -> line "  %s = *%s;\n" (var ()) (var ())
+      | 3 -> line "  *%s = %s;\n" (var ()) (var ())
+      | 4 -> line "  %s = malloc();\n" (var ())
+      | 5 ->
+        if chance 0.5 then line "  gs.f = %s;\n" (var ())
+        else line "  %s = gs.%s;\n" (var ()) (pick [ "f"; "g" ])
+      | 6 ->
+        if chance 0.5 then line "  garr[1] = %s;\n" (var ())
+        else line "  %s = garr[0];\n" (var ())
+      | 7 -> line "  gp = %s;\n" (var ())
+      | 8 -> line "  %s = gp;\n" (var ())
+      | 9 when depth < 2 && depth_allowed ->
+        line "  if (nondet()) {\n";
+        stmt (depth + 1);
+        line "  } else {\n";
+        stmt (depth + 1);
+        line "  }\n"
+      | 10 when depth < 2 && depth_allowed ->
+        line "  while (nondet()) {\n";
+        stmt (depth + 1);
+        line "  }\n"
+      | _ ->
+        line "  lock(&m);\n";
+        stmt 2;
+        (* no further nesting inside the region *)
+        line "  unlock(&m);\n"
+    in
+    ignore (fresh ());
+    ignore (fresh ());
+    for _ = 1 to n do
+      stmt 0
+    done;
+    (!vars, Buffer.contents out)
+  in
+  let body_n = max 2 (size / 3) in
+  let wvars, wbody = gen_body ~vars:[ "arg" ] ~n:body_n ~depth_allowed:true in
+  pr "void worker(int *arg) {\n%s  *arg = %s;\n}\n" wbody (pick wvars);
+  let hvars, hbody = gen_body ~vars:[ "a"; "b" ] ~n:(body_n / 2) ~depth_allowed:false in
+  pr "int *helper(int *a, int *b) {\n%s  return %s;\n}\n" hbody (pick hvars);
+  let mvars, mbody = gen_body ~vars:[] ~n:body_n ~depth_allowed:true in
+  pr "int main() {\n%s" mbody;
+  pr "  %s = helper(%s, %s);\n" (pick mvars) (pick mvars) (pick mvars);
+  if chance 0.8 then begin
+    pr "  fork(&tids[0], worker, %s);\n" (pick mvars);
+    if chance 0.6 then pr "  fork(null, worker, %s);\n" (pick mvars);
+    if chance 0.7 then pr "  join(&tids[0]);\n";
+    pr "  %s = gp;\n" (pick mvars)
+  end;
+  pr "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Seeded random MiniC {e source} programs — the end-to-end counterpart of
+    {!Rand_prog}: generated text goes through the full frontend (lexer,
+    parser, lowering, SSA) before analysis, so the property suites exercise
+    that path against the interpreter too. *)
+
+val generate : seed:int -> size:int -> string

@@ -1,0 +1,142 @@
+open Fsam_ir
+module B = Builder
+
+type gen = {
+  b : B.t;
+  rng : Random.State.t;
+  globals : Stmt.obj list;
+  lock_obj : Stmt.obj;
+  forks : bool;
+}
+
+let pick g l = List.nth l (Random.State.int g.rng (List.length l))
+let chance g p = Random.State.float g.rng 1.0 < p
+
+(* Emit one random straight-line statement using (and extending) the pool of
+   available variables. *)
+let rec emit_stmt g fb ~fid ~depth pool =
+  let fresh name = B.fresh_var g.b name in
+  let var () = pick g !pool in
+  let add v = pool := v :: !pool in
+  match Random.State.int g.rng 10 with
+  | 0 ->
+    let v = fresh "a" in
+    let obj =
+      if chance g 0.7 then pick g g.globals else B.stack_obj g.b ~owner:fid "s"
+    in
+    B.addr_of fb v obj;
+    add v
+  | 1 ->
+    let v = fresh "c" in
+    B.copy fb v (var ());
+    add v
+  | 2 ->
+    let v = fresh "m" in
+    B.phi fb v [ var (); var () ];
+    add v
+  | 3 ->
+    let v = fresh "f" in
+    B.gep fb v (var ()) (pick g [ "f"; "g" ]);
+    add v
+  | 4 ->
+    let v = fresh "l" in
+    B.load fb v (var ());
+    add v
+  | 5 | 6 -> B.store fb (var ()) (var ())
+  | 7 when depth < 2 ->
+    (* balanced lock region around a couple of statements *)
+    let l = fresh "lk" in
+    B.addr_of fb l g.lock_obj;
+    B.lock fb l;
+    emit_stmt g fb ~fid ~depth:(depth + 1) pool;
+    emit_stmt g fb ~fid ~depth:(depth + 1) pool;
+    B.unlock fb l
+  | 8 when depth < 2 ->
+    (* variables defined inside a branch must not escape it: their defs
+       would not dominate later uses *)
+    let scoped body fb =
+      let saved = !pool in
+      body fb;
+      pool := saved
+    in
+    if chance g 0.5 then
+      B.if_ fb
+        ~then_:(scoped (fun fb -> emit_stmt g fb ~fid ~depth:(depth + 1) pool))
+        ~else_:(scoped (fun fb -> emit_stmt g fb ~fid ~depth:(depth + 1) pool))
+    else B.while_ fb (scoped (fun fb -> emit_stmt g fb ~fid ~depth:(depth + 1) pool))
+  | _ ->
+    let v = fresh "h" in
+    B.addr_of fb v (B.heap_obj g.b ~owner:fid "heap");
+    add v
+
+let emit_body g fb ~fid ~n pool =
+  for _ = 1 to n do
+    emit_stmt g fb ~fid ~depth:0 pool
+  done
+
+let generate ?(forks = true) ~seed ~size () =
+  let b = B.create () in
+  let rng = Random.State.make [| seed; 0xf5a9 |] in
+  let main = B.declare b "main" ~params:[] in
+  let helper = B.declare b "helper" ~params:[ "hp"; "hq" ] in
+  let n_workers = 1 + Random.State.int rng 2 in
+  let workers =
+    List.init n_workers (fun i ->
+        B.declare b (Printf.sprintf "worker%d" i) ~params:[ "wp"; "wq" ])
+  in
+  let globals = List.init 4 (fun i -> B.global_obj b (Printf.sprintf "g%d" i)) in
+  let lock_obj = B.global_obj b "the_lock" in
+  let g = { b; rng; globals; lock_obj; forks } in
+  let body_size = max 3 (size / (2 + n_workers)) in
+  (* helper: pure pointer shuffling over its params and the globals *)
+  B.define b helper (fun fb ->
+      let pool = ref [ B.param b helper 0; B.param b helper 1 ] in
+      emit_body g fb ~fid:helper ~n:(body_size / 2) pool;
+      B.ret fb (Some (pick g !pool)));
+  List.iter
+    (fun w ->
+      B.define b w (fun fb ->
+          let pool = ref [ B.param b w 0; B.param b w 1 ] in
+          emit_body g fb ~fid:w ~n:body_size pool))
+    workers;
+  B.define b main (fun fb ->
+      let pool = ref [] in
+      (* prime the pool so every function has pointers to play with *)
+      List.iter
+        (fun o ->
+          let v = B.fresh_var b "p" in
+          B.addr_of fb v o;
+          pool := v :: !pool)
+        globals;
+      emit_body g fb ~fid:main ~n:body_size pool;
+      (* a direct call through the helper *)
+      let r = B.fresh_var b "r" in
+      B.call fb ~ret:r (Stmt.Direct helper) [ pick g !pool; pick g !pool ];
+      pool := r :: !pool;
+      if forks then begin
+        let handles =
+          List.map
+            (fun w ->
+              let use_handle = chance g 0.7 in
+              if use_handle then begin
+                let tid = B.stack_obj b ~owner:main "tid" in
+                let h = B.fresh_var b "h" in
+                B.addr_of fb h tid;
+                B.fork fb ~handle:h (Stmt.Direct w) [ pick g !pool; pick g !pool ];
+                Some h
+              end
+              else begin
+                B.fork fb (Stmt.Direct w) [ pick g !pool; pick g !pool ];
+                None
+              end)
+            workers
+        in
+        emit_body g fb ~fid:main ~n:(body_size / 2) pool;
+        List.iter
+          (fun h -> match h with Some h when chance g 0.8 -> B.join fb h | _ -> ())
+          handles;
+        emit_body g fb ~fid:main ~n:(body_size / 2) pool
+      end
+      else emit_body g fb ~fid:main ~n:body_size pool);
+  let prog = B.finish b in
+  Ssa.transform prog

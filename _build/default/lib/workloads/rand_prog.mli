@@ -1,0 +1,11 @@
+open Fsam_ir
+
+(** Seeded random multithreaded IR programs, used by the property-based
+    test suites: the generated programs are valid partial SSA, use the full
+    statement universe (loads/stores through may-aliasing pointers, phis,
+    geps, calls, forks with and without handles, joins, balanced
+    lock/unlock pairs, branches and loops), and are small enough for the
+    concrete interpreter to explore many schedules. *)
+
+val generate : ?forks:bool -> seed:int -> size:int -> unit -> Prog.t
+(** [forks] (default true) — set false for purely sequential programs. *)

@@ -1,0 +1,657 @@
+open Fsam_ir
+module B = Builder
+
+type spec = {
+  name : string;
+  description : string;
+  paper_loc : int;
+  scale : int;
+  build : int -> Prog.t;
+}
+
+(* ------------------------------------------------------------------------- *)
+(* Deterministic generation helpers.                                          *)
+(* ------------------------------------------------------------------------- *)
+
+type gctx = {
+  b : B.t;
+  rng : Random.State.t;
+  mutable pool : Stmt.var list; (* available pointer values, per function *)
+}
+
+let mk b seed = { b; rng = Random.State.make [| seed |]; pool = [] }
+let pick g = List.nth g.pool (Random.State.int g.rng (List.length g.pool))
+let fresh g name = B.fresh_var g.b name
+let push g v = g.pool <- v :: g.pool
+
+(* A deterministic "pointer web": the bulk material of every benchmark.
+   Like the paper's benchmarks, the web is dominated by thread-local
+   state — most loads and stores go through freshly created function-local
+   objects with narrow points-to sets — with a configurable fraction of
+   accesses to the shared [objs] (the paper's §4.4 notes that concurrent
+   threads "manipulate not only global variables but also their local
+   variables frequently", which is what makes the value-flow phase
+   worthwhile). *)
+let web ?(shared_every = 6) g fb ~owner ~objs n =
+  (* local pointer material: pointers with a single local target *)
+  let locals = ref [] in
+  let new_local k =
+    let o = B.stack_obj g.b ~owner (Printf.sprintf "loc%d" k) in
+    let v = fresh g "lp" in
+    B.addr_of fb v o;
+    locals := v :: !locals;
+    v
+  in
+  ignore (new_local 0);
+  let pick_local () = List.nth !locals (Random.State.int g.rng (List.length !locals)) in
+  for k = 1 to n do
+    if k mod shared_every = 0 then begin
+      (* shared access through a fresh, single-target pointer *)
+      let o = List.nth objs (Random.State.int g.rng (List.length objs)) in
+      let p = fresh g "sp" in
+      B.addr_of fb p o;
+      if Random.State.bool g.rng then B.store fb p (pick g)
+      else begin
+        let v = fresh g "sv" in
+        B.load fb v p;
+        push g v
+      end
+    end
+    else
+      match Random.State.int g.rng 8 with
+      | 0 -> ignore (new_local k)
+      | 1 | 2 -> B.store fb (pick_local ()) (pick g)
+      | 3 | 4 ->
+        let v = fresh g "lv" in
+        B.load fb v (pick_local ());
+        push g v
+      | 5 ->
+        let v = fresh g "cp" in
+        B.copy fb v (pick_local ());
+        push g v
+      | 6 ->
+        let v = fresh g "gp" in
+        B.gep fb v (pick_local ()) "f";
+        push g v
+      | _ ->
+        let v = fresh g "hp" in
+        B.addr_of fb v (B.heap_obj g.b ~owner (Printf.sprintf "h%d" k));
+        locals := v :: !locals;
+        push g v
+  done
+
+let seed_pool g fb objs =
+  List.iter
+    (fun o ->
+      let v = fresh g "p" in
+      B.addr_of fb v o;
+      push g v)
+    objs
+
+let with_pool g f =
+  let saved = g.pool in
+  let r = f () in
+  g.pool <- saved;
+  r
+
+(* ------------------------------------------------------------------------- *)
+(* 1. word_count — Phoenix map-reduce master–slave (symmetric fork/join).     *)
+(* ------------------------------------------------------------------------- *)
+
+let build_word_count scale =
+  let b = B.create () in
+  let g = mk b 11 in
+  let main = B.declare b "main" ~params:[] in
+  let mapper = B.declare b "wordcount_map" ~params:[ "arg" ] in
+  let reduce = B.declare b "wordcount_reduce" ~params:[ "arg" ] in
+  let buckets = List.init 6 (fun i -> B.global_obj b (Printf.sprintf "bucket%d" i)) in
+  let words = List.init 6 (fun i -> B.global_obj b (Printf.sprintf "word%d" i)) in
+  let tids = B.global_obj ~is_array:true b "tids" in
+  let the_lock = B.global_obj b "bucket_lock" in
+  B.define b mapper (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b mapper 0 ];
+          seed_pool g fb (buckets @ words);
+          let l = fresh g "l" in
+          B.addr_of fb l the_lock;
+          B.while_ fb (fun fb ->
+              B.lock fb l;
+              web g fb ~owner:mapper ~objs:buckets (max 2 (scale / 4));
+              B.unlock fb l)));
+  B.define b reduce (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b reduce 0 ];
+          seed_pool g fb buckets;
+          web g fb ~owner:reduce ~objs:buckets (max 2 (scale / 4))));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (buckets @ words);
+      web g fb ~owner:main ~objs:words scale;
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      (* symmetric fork and join loops over the same handle array *)
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct mapper) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct reduce) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      (* master-side post-processing, heavy on the shared buckets: only the
+         interleaving analysis proves it serial (paper Figure 12) *)
+      web ~shared_every:2 g fb ~owner:main ~objs:buckets scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 2. kmeans — iterative re-fork of slave threads.                            *)
+(* ------------------------------------------------------------------------- *)
+
+let build_kmeans scale =
+  let b = B.create () in
+  let g = mk b 22 in
+  let main = B.declare b "main" ~params:[] in
+  let slave = B.declare b "cluster_points" ~params:[ "arg" ] in
+  let clusters = List.init 5 (fun i -> B.global_obj b (Printf.sprintf "cluster%d" i)) in
+  let points = List.init 5 (fun i -> B.global_obj b (Printf.sprintf "points%d" i)) in
+  let tids = B.global_obj ~is_array:true b "tids" in
+  let m = B.global_obj b "cluster_lock" in
+  B.define b slave (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b slave 0 ];
+          seed_pool g fb (clusters @ points);
+          let l = fresh g "l" in
+          B.addr_of fb l m;
+          B.lock fb l;
+          web ~shared_every:3 g fb ~owner:slave ~objs:clusters (max 2 (scale / 3));
+          B.unlock fb l));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (clusters @ points);
+      web g fb ~owner:main ~objs:points scale;
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      (* outer convergence loop: re-fork and re-join every iteration *)
+      B.while_ fb (fun fb ->
+          B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct slave) [ pick g ]);
+          B.while_ fb (fun fb -> B.join fb h);
+          web ~shared_every:2 g fb ~owner:main ~objs:clusters (max 2 (scale / 3)));
+      web ~shared_every:2 g fb ~owner:main ~objs:clusters scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 3. radiosity — lock-protected global task queue (paper Figure 13).         *)
+(* ------------------------------------------------------------------------- *)
+
+let build_radiosity scale =
+  let b = B.create () in
+  let g = mk b 33 in
+  let main = B.declare b "main" ~params:[] in
+  let n_queues = 4 in
+  let enqueue = B.declare b "enqueue_task" ~params:[ "task" ] in
+  let dequeue = B.declare b "dequeue_task" ~params:[ "qid" ] in
+  let worker = B.declare b "process_tasks" ~params:[ "arg" ] in
+  let queues = List.init n_queues (fun i -> B.global_obj b (Printf.sprintf "task_queue%d" i)) in
+  let qlocks = List.init n_queues (fun i -> B.global_obj b (Printf.sprintf "q_lock%d" i)) in
+  let tasks = List.init 6 (fun i -> B.global_obj b (Printf.sprintf "task%d" i)) in
+  let tids = B.global_obj ~is_array:true b "tids" in
+  B.define b enqueue (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b enqueue 0 ];
+          seed_pool g fb (queues @ tasks);
+          List.iter2
+            (fun q lk ->
+              let l = fresh g "l" in
+              B.addr_of fb l lk;
+              B.lock fb l;
+              web ~shared_every:2 g fb ~owner:enqueue ~objs:[ q ] (max 2 (scale / 8));
+              B.unlock fb l)
+            queues qlocks));
+  B.define b dequeue (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b dequeue 0 ];
+          seed_pool g fb (queues @ tasks);
+          List.iter2
+            (fun q lk ->
+              let l = fresh g "l" in
+              B.addr_of fb l lk;
+              B.lock fb l;
+              web ~shared_every:2 g fb ~owner:dequeue ~objs:[ q ] (max 2 (scale / 8));
+              B.unlock fb l)
+            queues qlocks;
+          B.ret fb (Some (pick g))));
+  B.define b worker (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b worker 0 ];
+          seed_pool g fb tasks;
+          B.while_ fb (fun fb ->
+              let t = fresh g "t" in
+              B.call fb ~ret:t (Stmt.Direct dequeue) [ pick g ];
+              push g t;
+              web g fb ~owner:worker ~objs:tasks (max 2 (scale / 6));
+              B.call fb (Stmt.Direct enqueue) [ pick g ])));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (queues @ tasks);
+      web g fb ~owner:main ~objs:tasks scale;
+      B.call fb (Stmt.Direct enqueue) [ pick g ];
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:(queues @ tasks) scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 4. automount — many independent lock-release spans.                        *)
+(* ------------------------------------------------------------------------- *)
+
+let build_automount scale =
+  let b = B.create () in
+  let g = mk b 44 in
+  let main = B.declare b "main" ~params:[] in
+  let n_mounts = max 4 (scale / 4) in
+  let worker = B.declare b "mount_worker" ~params:[ "arg" ] in
+  (* one mount point per handler, protected by the handler's own lock: the
+     critical sections are the only interference on each mount object, so
+     the lock analysis carries the precision (paper Figure 12) *)
+  let mounts = List.init n_mounts (fun i -> B.global_obj b (Printf.sprintf "mount%d" i)) in
+  let locks = List.init n_mounts (fun i -> B.global_obj b (Printf.sprintf "mnt_lock%d" i)) in
+  let handlers =
+    List.init n_mounts (fun i -> B.declare b (Printf.sprintf "handle_mount%d" i) ~params:[ "m" ])
+  in
+  List.iteri
+    (fun i h ->
+      B.define b h (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b h 0 ];
+              seed_pool g fb [ List.nth mounts i ];
+              let l = fresh g "l" in
+              B.addr_of fb l (List.nth locks i);
+              B.lock fb l;
+              web ~shared_every:2 g fb ~owner:h ~objs:[ List.nth mounts i ] 10;
+              B.unlock fb l)))
+    handlers;
+  B.define b worker (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b worker 0 ];
+          seed_pool g fb mounts;
+          List.iter (fun h -> B.call fb (Stmt.Direct h) [ pick g ]) handlers));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb mounts;
+      web g fb ~owner:main ~objs:mounts scale;
+      let tids = B.global_obj ~is_array:true b "tids" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:mounts scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 5. ferret — thread pipeline with per-stage queues.                         *)
+(* ------------------------------------------------------------------------- *)
+
+let build_ferret scale =
+  let b = B.create () in
+  let g = mk b 55 in
+  let main = B.declare b "main" ~params:[] in
+  let n_stages = 5 in
+  let stages =
+    List.init n_stages (fun i -> B.declare b (Printf.sprintf "stage%d" i) ~params:[ "arg" ])
+  in
+  let qs = List.init (n_stages + 1) (fun i -> B.global_obj b (Printf.sprintf "pipe_q%d" i)) in
+  let qlocks = List.init (n_stages + 1) (fun i -> B.global_obj b (Printf.sprintf "pipe_lock%d" i)) in
+  let items = List.init 5 (fun i -> B.global_obj b (Printf.sprintf "item%d" i)) in
+  List.iteri
+    (fun i st ->
+      B.define b st (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b st 0 ];
+              seed_pool g fb items;
+              let inq = List.nth qs i and outq = List.nth qs (i + 1) in
+              let inl = fresh g "inl" and outl = fresh g "outl" in
+              B.addr_of fb inl (List.nth qlocks i);
+              B.addr_of fb outl (List.nth qlocks (i + 1));
+              let qin = fresh g "qin" and qout = fresh g "qout" in
+              B.addr_of fb qin inq;
+              B.addr_of fb qout outq;
+              push g qin;
+              push g qout;
+              B.while_ fb (fun fb ->
+                  B.lock fb inl;
+                  let v = fresh g "v" in
+                  B.load fb v qin;
+                  push g v;
+                  B.unlock fb inl;
+                  web g fb ~owner:st ~objs:items (max 2 (scale / 4));
+                  B.lock fb outl;
+                  B.store fb qout (pick g);
+                  B.unlock fb outl))))
+    stages;
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (items @ qs);
+      web g fb ~owner:main ~objs:items scale;
+      let tids = B.global_obj ~is_array:true b "tids" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      List.iter (fun st -> B.fork fb ~handle:h (Stmt.Direct st) [ pick g ]) stages;
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:items scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 6. bodytrack — thread pool over a large pointer web.                       *)
+(* ------------------------------------------------------------------------- *)
+
+let build_bodytrack scale =
+  let b = B.create () in
+  let g = mk b 66 in
+  let main = B.declare b "main" ~params:[] in
+  let worker = B.declare b "particle_worker" ~params:[ "arg" ] in
+  let model = List.init 10 (fun i -> B.global_obj b (Printf.sprintf "model%d" i)) in
+  let particles = List.init 8 (fun i -> B.global_obj b (Printf.sprintf "particle%d" i)) in
+  let m = B.global_obj b "pool_lock" in
+  let helpers =
+    List.init 6 (fun i -> B.declare b (Printf.sprintf "estimate%d" i) ~params:[ "e" ])
+  in
+  List.iter
+    (fun hfn ->
+      B.define b hfn (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b hfn 0 ];
+              seed_pool g fb particles;
+              web g fb ~owner:hfn ~objs:particles (max 3 (scale / 3));
+              B.ret fb (Some (pick g)))))
+    helpers;
+  B.define b worker (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b worker 0 ];
+          seed_pool g fb (model @ particles);
+          let l = fresh g "l" in
+          B.addr_of fb l m;
+          B.while_ fb (fun fb ->
+              List.iter
+                (fun hfn ->
+                  let r = fresh g "r" in
+                  B.call fb ~ret:r (Stmt.Direct hfn) [ pick g ];
+                  push g r)
+                helpers;
+              B.lock fb l;
+              web g fb ~owner:worker ~objs:model (max 2 (scale / 4));
+              B.unlock fb l)));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (model @ particles);
+      web g fb ~owner:main ~objs:model (2 * scale);
+      let tids = B.global_obj ~is_array:true b "tids" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:(model @ particles) scale);
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 7/8. httpd_server, mt_daapd — detached workers from an accept loop.        *)
+(* ------------------------------------------------------------------------- *)
+
+let build_server ~seed ~depth ~partial_join scale =
+  let b = B.create () in
+  let g = mk b seed in
+  let main = B.declare b "main" ~params:[] in
+  let handler = B.declare b "handle_request" ~params:[ "conn" ] in
+  let logger = B.declare b "logger_thread" ~params:[ "arg" ] in
+  let chain =
+    List.init depth (fun i -> B.declare b (Printf.sprintf "request_phase%d" i) ~params:[ "r" ])
+  in
+  let conns = List.init 8 (fun i -> B.global_obj b (Printf.sprintf "conn%d" i)) in
+  let state = List.init 8 (fun i -> B.global_obj b (Printf.sprintf "srv_state%d" i)) in
+  let m = B.global_obj b "srv_lock" in
+  List.iteri
+    (fun i c ->
+      B.define b c (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b c 0 ];
+              seed_pool g fb state;
+              let l = fresh g "l" in
+              B.addr_of fb l m;
+              B.lock fb l;
+              web g fb ~owner:c ~objs:state (max 2 (scale / 4));
+              B.unlock fb l;
+              if i + 1 < depth then
+                B.call fb (Stmt.Direct (List.nth chain (i + 1))) [ pick g ])))
+    chain;
+  B.define b handler (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b handler 0 ];
+          seed_pool g fb conns;
+          web g fb ~owner:handler ~objs:conns (max 2 (scale / 3));
+          B.call fb (Stmt.Direct (List.hd chain)) [ pick g ]));
+  B.define b logger (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b logger 0 ];
+          seed_pool g fb state;
+          B.while_ fb (fun fb -> web g fb ~owner:logger ~objs:state (max 2 (scale / 4)))));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (conns @ state);
+      web g fb ~owner:main ~objs:state scale;
+      let tids = B.global_obj ~is_array:true b "log_tid" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.fork fb ~handle:h (Stmt.Direct logger) [ pick g ];
+      (* detached request handlers, never joined *)
+      B.while_ fb (fun fb -> B.fork fb (Stmt.Direct handler) [ pick g ]);
+      if partial_join then B.join fb h;
+      (* master-side post-processing: with the logger joined, mt_daapd-style
+         programs rely on the interleaving analysis for precision here *)
+      web ~shared_every:2 g fb ~owner:main ~objs:state scale);
+  B.finish b
+
+let build_httpd scale = build_server ~seed:77 ~depth:6 ~partial_join:true scale
+let build_mt_daapd scale = build_server ~seed:88 ~depth:9 ~partial_join:true scale
+
+(* ------------------------------------------------------------------------- *)
+(* 9. raytrace — deep call graph, big sequential core, few threads.           *)
+(* ------------------------------------------------------------------------- *)
+
+let build_raytrace scale =
+  let b = B.create () in
+  let g = mk b 99 in
+  let main = B.declare b "main" ~params:[] in
+  let worker = B.declare b "render_thread" ~params:[ "arg" ] in
+  let depth = 14 in
+  let trace =
+    List.init depth (fun i -> B.declare b (Printf.sprintf "trace%d" i) ~params:[ "ray"; "scene" ])
+  in
+  let scene = List.init 12 (fun i -> B.global_obj b (Printf.sprintf "scene%d" i)) in
+  let rays = List.init 8 (fun i -> B.global_obj b (Printf.sprintf "ray%d" i)) in
+  let m = B.global_obj b "frame_lock" in
+  List.iteri
+    (fun i fn ->
+      B.define b fn (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b fn 0; B.param b fn 1 ];
+              seed_pool g fb scene;
+              web g fb ~owner:fn ~objs:scene (max 3 (scale / 3));
+              if i + 1 < depth then begin
+                let r = fresh g "r" in
+                B.call fb ~ret:r (Stmt.Direct (List.nth trace (i + 1))) [ pick g; pick g ];
+                push g r
+              end;
+              B.ret fb (Some (pick g)))))
+    trace;
+  B.define b worker (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b worker 0 ];
+          seed_pool g fb (scene @ rays);
+          let l = fresh g "l" in
+          B.addr_of fb l m;
+          B.while_ fb (fun fb ->
+              let r = fresh g "r" in
+              B.call fb ~ret:r (Stmt.Direct (List.hd trace)) [ pick g; pick g ];
+              push g r;
+              B.lock fb l;
+              web g fb ~owner:worker ~objs:rays 3;
+              B.unlock fb l)));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (scene @ rays);
+      web g fb ~owner:main ~objs:scene (4 * scale);
+      let tids = B.global_obj ~is_array:true b "tids" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:(scene @ rays) (2 * scale));
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+(* 10. x264 — the largest: function-pointer tables, symmetric fork loops.     *)
+(* ------------------------------------------------------------------------- *)
+
+let build_x264 scale =
+  let b = B.create () in
+  let g = mk b 110 in
+  let main = B.declare b "main" ~params:[] in
+  let worker = B.declare b "encode_slice" ~params:[ "arg" ] in
+  let n_codecs = 8 in
+  let codecs =
+    List.init n_codecs (fun i -> B.declare b (Printf.sprintf "predict%d" i) ~params:[ "mb" ])
+  in
+  let frames = List.init 12 (fun i -> B.global_obj b (Printf.sprintf "frame%d" i)) in
+  let mbs = List.init 10 (fun i -> B.global_obj b (Printf.sprintf "macroblock%d" i)) in
+  let m = B.global_obj b "frame_lock" in
+  List.iter
+    (fun fn ->
+      B.define b fn (fun fb ->
+          with_pool g (fun () ->
+              g.pool <- [ B.param b fn 0 ];
+              seed_pool g fb mbs;
+              web g fb ~owner:fn ~objs:mbs (max 3 (scale / 3));
+              B.ret fb (Some (pick g)))))
+    codecs;
+  B.define b worker (fun fb ->
+      with_pool g (fun () ->
+          g.pool <- [ B.param b worker 0 ];
+          seed_pool g fb (frames @ mbs);
+          (* a function-pointer dispatch table *)
+          let fptrs =
+            List.map
+              (fun fn ->
+                let v = fresh g "fp" in
+                B.addr_of fb v (B.func_obj g.b fn);
+                v)
+              codecs
+          in
+          let tbl = fresh g "tbl" in
+          B.phi fb tbl fptrs;
+          let l = fresh g "l" in
+          B.addr_of fb l m;
+          B.while_ fb (fun fb ->
+              let r = fresh g "r" in
+              B.call fb ~ret:r (Stmt.Indirect tbl) [ pick g ];
+              push g r;
+              B.lock fb l;
+              web g fb ~owner:worker ~objs:frames 3;
+              B.unlock fb l)));
+  B.define b main (fun fb ->
+      g.pool <- [];
+      seed_pool g fb (frames @ mbs);
+      web g fb ~owner:main ~objs:frames (5 * scale);
+      let tids = B.global_obj ~is_array:true b "tids" in
+      let h = fresh g "h" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) [ pick g ]);
+      B.while_ fb (fun fb -> B.join fb h);
+      web g fb ~owner:main ~objs:(frames @ mbs) (3 * scale));
+  B.finish b
+
+(* ------------------------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      name = "word_count";
+      description = "Word counter based on map-reduce";
+      paper_loc = 6330;
+      scale = 600;
+      build = build_word_count;
+    };
+    {
+      name = "kmeans";
+      description = "Iterative clustering of 3-D points";
+      paper_loc = 6008;
+      scale = 550;
+      build = build_kmeans;
+    };
+    {
+      name = "radiosity";
+      description = "Graphics (lock-protected task queues)";
+      paper_loc = 12781;
+      scale = 650;
+      build = build_radiosity;
+    };
+    {
+      name = "automount";
+      description = "Manage autofs mount points";
+      paper_loc = 13170;
+      scale = 500;
+      build = build_automount;
+    };
+    {
+      name = "ferret";
+      description = "Content similarity search server (pipeline)";
+      paper_loc = 15735;
+      scale = 450;
+      build = build_ferret;
+    };
+    {
+      name = "bodytrack";
+      description = "Body tracking of a person (thread pool)";
+      paper_loc = 19063;
+      scale = 500;
+      build = build_bodytrack;
+    };
+    {
+      name = "httpd_server";
+      description = "Http server (detached handlers)";
+      paper_loc = 52616;
+      scale = 500;
+      build = build_httpd;
+    };
+    {
+      name = "mt_daapd";
+      description = "Multi-threaded DAAP daemon";
+      paper_loc = 57102;
+      scale = 520;
+      build = build_mt_daapd;
+    };
+    {
+      name = "raytrace";
+      description = "Real-time raytracing (deep call graph)";
+      paper_loc = 84373;
+      scale = 1000;
+      build = build_raytrace;
+    };
+    {
+      name = "x264";
+      description = "Media processing (function-pointer tables)";
+      paper_loc = 113481;
+      scale = 1300;
+      build = build_x264;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let program_stats prog =
+  let stmts = Prog.n_stmts prog in
+  let funcs = Prog.n_funcs prog in
+  let forks = ref 0 and joins = ref 0 and locks = ref 0 in
+  Prog.iter_stmts prog (fun _ _ s ->
+      match s with
+      | Stmt.Fork _ -> incr forks
+      | Stmt.Join _ -> incr joins
+      | Stmt.Lock _ -> incr locks
+      | _ -> ());
+  (stmts, funcs, !forks, !joins, !locks)

@@ -1,0 +1,30 @@
+open Fsam_ir
+
+(** The ten benchmark programs of the paper's Table 1, as synthetic IR
+    generators that mirror each program's concurrency skeleton and relative
+    size (see DESIGN.md for the substitution argument):
+
+    - [word_count], [kmeans] — Phoenix master–slave map-reduce: symmetric
+      fork/join loops (paper Figure 11), [kmeans] re-forks iteratively;
+    - [radiosity] — lock-protected global task queue (paper Figure 13);
+    - [automount] — many independent lock-release spans;
+    - [ferret] — thread pipeline with per-stage queues and locks;
+    - [bodytrack] — thread pool over a large pointer web;
+    - [httpd_server], [mt_daapd] — detached worker threads spawned in an
+      accept loop, never (or only partially) joined;
+    - [raytrace], [x264] — the two largest: deep call graphs, function
+      pointer tables, large webs — the programs on which NonSparse times
+      out in the paper. *)
+
+type spec = {
+  name : string;
+  description : string;
+  paper_loc : int;  (** LOC of the real program in Table 1 *)
+  scale : int;  (** default size knob (roughly statements / 10) *)
+  build : int -> Prog.t;  (** build at a given scale *)
+}
+
+val all : spec list
+val find : string -> spec option
+val program_stats : Prog.t -> int * int * int * int * int
+(** (statements, functions, forks, joins, lock sites). *)

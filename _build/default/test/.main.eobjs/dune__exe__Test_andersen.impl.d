@@ -1,0 +1,1 @@
+test/test_andersen.ml: Alcotest Builder Fsam_andersen Fsam_dsa Fsam_graph Fsam_ir Iset Prog Stmt

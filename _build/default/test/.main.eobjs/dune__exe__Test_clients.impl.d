@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Builder Fsam_core Fsam_ir List Stmt

@@ -1,0 +1,1 @@
+test/test_dsa.ml: Alcotest Array Bitvec Fsam_dsa Gen Iset List QCheck QCheck_alcotest Uf Vec

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Builder Fsam_andersen Fsam_core Fsam_frontend Fsam_ir Fsam_mta List Prog Stmt

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Builder Fsam_core Fsam_dsa Fsam_interp Fsam_ir Fsam_workloads List Prog Stmt

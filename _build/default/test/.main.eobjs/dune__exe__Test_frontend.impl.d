@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Fsam_core Fsam_dsa Fsam_frontend Fsam_interp Fsam_ir Func List Memobj Prog Stmt String

@@ -1,0 +1,1 @@
+test/test_fsam.ml: Alcotest Builder Fsam_andersen Fsam_core Fsam_dsa Fsam_ir List Stmt

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitvec Digraph Dominance Fsam_dsa Fsam_graph Gen Hashtbl List QCheck QCheck_alcotest Reach Scc

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Fsam_interp Fsam_ir List Printf Prog Stmt String

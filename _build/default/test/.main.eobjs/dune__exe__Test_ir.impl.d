@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Fsam_graph Fsam_ir Func List Memobj Prog Ssa Stmt String Validate

@@ -1,0 +1,1 @@
+test/test_iset.ml: Alcotest Fsam_dsa Gen Iset List QCheck QCheck_alcotest

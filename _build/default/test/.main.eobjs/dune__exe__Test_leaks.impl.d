@@ -1,0 +1,1 @@
+test/test_leaks.ml: Alcotest Fsam_core Fsam_frontend List

@@ -1,0 +1,1 @@
+test/test_minic_files.ml: Alcotest Fsam_core Fsam_frontend Fsam_ir Fun List String

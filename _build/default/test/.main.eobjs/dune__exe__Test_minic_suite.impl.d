@@ -1,0 +1,1 @@
+test/test_minic_suite.ml: Alcotest Fsam_core Fsam_frontend Fsam_ir Fsam_mta Fsam_workloads List Printexc

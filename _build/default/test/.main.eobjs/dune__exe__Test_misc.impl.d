@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Builder Fsam_andersen Fsam_core Fsam_dsa Fsam_interp Fsam_ir Fsam_mta Fsam_workloads List Option Printf Prog Stmt String

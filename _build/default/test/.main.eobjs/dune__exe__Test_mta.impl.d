@@ -1,0 +1,1 @@
+test/test_mta.ml: Alcotest Builder Fsam_andersen Fsam_dsa Fsam_ir Fsam_mta Func Icfg List Locks Mhp Pcg Prog Stmt Threads Validate

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Fsam_frontend List Printexc Printf Random

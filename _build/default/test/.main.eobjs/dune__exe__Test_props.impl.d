@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Format Fsam_andersen Fsam_core Fsam_dsa Fsam_frontend Fsam_interp Fsam_ir Fsam_workloads List Printexc Printf Prog

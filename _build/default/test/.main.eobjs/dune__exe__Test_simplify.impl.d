@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Builder Fsam_core Fsam_dsa Fsam_graph Fsam_interp Fsam_ir Fsam_workloads Func List Prog Simplify Stmt Validate

@@ -1,0 +1,1 @@
+test/test_steens.ml: Alcotest Builder Format Fsam_andersen Fsam_dsa Fsam_interp Fsam_ir Fsam_workloads List Prog Stmt

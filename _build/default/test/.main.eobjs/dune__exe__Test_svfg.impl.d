@@ -1,0 +1,1 @@
+test/test_svfg.ml: Alcotest Builder Fsam_andersen Fsam_core Fsam_ir Fsam_memssa Fsam_mta Func Hashtbl List Prog Stmt

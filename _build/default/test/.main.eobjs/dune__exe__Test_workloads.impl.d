@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fsam_andersen Fsam_core Fsam_ir Fsam_mta Fsam_workloads Func List Option Prog Stmt String Validate

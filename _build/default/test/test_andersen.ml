@@ -1,0 +1,298 @@
+open Fsam_ir
+open Fsam_dsa
+module B = Builder
+module A = Fsam_andersen.Solver
+module Modref = Fsam_andersen.Modref
+
+let set = Alcotest.testable Iset.pp Iset.equal
+
+let test_addr_copy () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.copy fb q p);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "pt(p)" (Iset.singleton x) (A.pt_var ast p);
+  Alcotest.(check set) "pt(q)" (Iset.singleton x) (A.pt_var ast q)
+
+let test_load_store () =
+  (* p = &x; r = &y; *p = r; s = *p   =>  x -> {y}, s -> {y} *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p"
+  and r = B.fresh_var b "r"
+  and s = B.fresh_var b "s" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb r y;
+      B.store fb p r;
+      B.load fb s p);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "x cell" (Iset.singleton y) (A.pt_obj ast x);
+  Alcotest.(check set) "pt(s)" (Iset.singleton y) (A.pt_var ast s)
+
+let test_flow_insensitive_merge () =
+  (* Andersen merges both stores: p=&x; *p=a; *p=b with a=&o1, b=&o2 *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" in
+  let o1 = B.stack_obj b ~owner:main "o1" and o2 = B.stack_obj b ~owner:main "o2" in
+  let p = B.fresh_var b "p"
+  and a = B.fresh_var b "a"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb a o1;
+      B.store fb p a;
+      let a2 = B.fresh_var b "a2" in
+      B.addr_of fb a2 o2;
+      B.store fb p a2;
+      B.load fb c p);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "pt(c) both" (Iset.of_list [ o1; o2 ]) (A.pt_var ast c)
+
+let test_phi () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" and m = B.fresh_var b "m" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.phi fb m [ p; q ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "phi merges" (Iset.of_list [ x; y ]) (A.pt_var ast m)
+
+let test_direct_call () =
+  (* foo(a) { ret = a }  main { p = &x; r = foo(p) } *)
+  let b = B.create () in
+  let foo = B.declare b "foo" ~params:[ "a" ] in
+  let main = B.declare b "main" ~params:[] in
+  let a = B.param b foo 0 in
+  B.define b foo (fun fb -> B.ret fb (Some a));
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" and r = B.fresh_var b "r" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.call fb ~ret:r (Stmt.Direct foo) [ p ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "param" (Iset.singleton x) (A.pt_var ast a);
+  Alcotest.(check set) "return flows back" (Iset.singleton x) (A.pt_var ast r);
+  Alcotest.(check (list int)) "callees" [ foo ] (A.callees ast ~fid:main ~idx:1)
+
+let test_indirect_call () =
+  let b = B.create () in
+  let foo = B.declare b "foo" ~params:[ "a" ] in
+  let bar = B.declare b "bar" ~params:[ "a" ] in
+  let main = B.declare b "main" ~params:[] in
+  B.define b foo (fun fb -> B.ret fb None);
+  B.define b bar (fun fb -> B.ret fb None);
+  let fo = B.func_obj b foo in
+  let x = B.stack_obj b ~owner:main "x" in
+  let fp = B.fresh_var b "fp" and p = B.fresh_var b "p" in
+  B.define b main (fun fb ->
+      B.addr_of fb fp fo;
+      B.addr_of fb p x;
+      B.call fb (Stmt.Indirect fp) [ p ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check (list int)) "indirect resolves to foo" [ foo ]
+    (A.callees ast ~fid:main ~idx:2);
+  Alcotest.(check set) "arg bound" (Iset.singleton x) (A.pt_var ast (B.param b foo 0));
+  Alcotest.(check set) "bar param untouched" Iset.empty (A.pt_var ast (B.param b bar 0));
+  (* call graph *)
+  let cg = A.call_graph ast in
+  Alcotest.(check bool) "cg edge" true (Fsam_graph.Digraph.has_edge cg main foo);
+  Alcotest.(check bool) "no cg edge to bar" false (Fsam_graph.Digraph.has_edge cg main bar)
+
+let test_fields () =
+  (* p = &s; f = &p->f; g = &p->g; a = &x; *f = a; vf = *f; vg = *g *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let s = B.stack_obj b ~owner:main "s" and x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p"
+  and f = B.fresh_var b "f"
+  and g = B.fresh_var b "g"
+  and a = B.fresh_var b "a"
+  and vf = B.fresh_var b "vf"
+  and vg = B.fresh_var b "vg" in
+  B.define b main (fun fb ->
+      B.addr_of fb p s;
+      B.gep fb f p "f";
+      B.gep fb g p "g";
+      B.addr_of fb a x;
+      B.store fb f a;
+      B.load fb vf f;
+      B.load fb vg g);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "field f sees the store" (Iset.singleton x) (A.pt_var ast vf);
+  Alcotest.(check set) "field g unaffected" Iset.empty (A.pt_var ast vg);
+  Alcotest.(check int) "distinct field objects" 1
+    (Iset.cardinal (A.pt_var ast f) + Iset.cardinal (A.pt_var ast g) - 1)
+
+let test_array_monolithic () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let arr = B.global_obj ~is_array:true b "arr" in
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p"
+  and f = B.fresh_var b "f"
+  and g = B.fresh_var b "g"
+  and a = B.fresh_var b "a"
+  and vg = B.fresh_var b "vg" in
+  B.define b main (fun fb ->
+      B.addr_of fb p arr;
+      B.gep fb f p "0";
+      B.gep fb g p "1";
+      B.addr_of fb a x;
+      B.store fb f a;
+      B.load fb vg g);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  (* array elements are not distinguished *)
+  Alcotest.(check set) "monolithic array" (Iset.singleton x) (A.pt_var ast vg)
+
+let test_fork_handle_and_join () =
+  let b = B.create () in
+  let worker = B.declare b "worker" ~params:[ "arg" ] in
+  let main = B.declare b "main" ~params:[] in
+  B.define b worker (fun fb -> B.ret fb None);
+  let tid = B.stack_obj b ~owner:main "tid" in
+  let x = B.stack_obj b ~owner:main "x" in
+  let h = B.fresh_var b "h" and p = B.fresh_var b "p" in
+  B.define b main (fun fb ->
+      B.addr_of fb h tid;
+      B.addr_of fb p x;
+      B.fork fb ~handle:h (Stmt.Direct worker) [ p ];
+      B.join fb h);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check (list int)) "fork target" [ worker ] (A.fork_targets ast 0);
+  Alcotest.(check set) "worker arg" (Iset.singleton x) (A.pt_var ast (B.param b worker 0));
+  (* handle cell holds the thread object *)
+  let tobj = Prog.thread_obj_of_fork prog 0 in
+  Alcotest.(check set) "tid cell" (Iset.singleton tobj) (A.pt_obj ast tid);
+  Alcotest.(check (list int)) "join resolves" [ 0 ] (A.join_threads ast ~fid:main ~idx:3)
+
+let test_recursion_terminates () =
+  let b = B.create () in
+  let f = B.declare b "f" ~params:[ "a" ] in
+  let main = B.declare b "main" ~params:[] in
+  let a = B.param b f 0 in
+  B.define b f (fun fb ->
+      B.call fb (Stmt.Direct f) [ a ];
+      B.ret fb None);
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.call fb (Stmt.Direct f) [ p ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "recursive param" (Iset.singleton x) (A.pt_var ast a)
+
+let test_copy_cycle_collapse () =
+  (* a cycle of copies must still converge: p->q->r->p *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" and r = B.fresh_var b "r" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      (* build the cycle with phis to stay in SSA: the constraint graph still
+         has the copy cycle p -> q -> r -> p *)
+      B.phi fb q [ p; r ];
+      B.phi fb r [ q ];
+      B.nop fb "tie");
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "cycle converges q" (Iset.singleton x) (A.pt_var ast q);
+  Alcotest.(check set) "cycle converges r" (Iset.singleton x) (A.pt_var ast r)
+
+let test_alias_targets () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" and r = B.fresh_var b "r" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.phi fb q [ p ];
+      B.addr_of fb r y);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  Alcotest.(check set) "p,q alias on x" (Iset.singleton x) (A.alias_targets ast p q);
+  Alcotest.(check set) "p,r no alias" Iset.empty (A.alias_targets ast p r)
+
+let test_modref () =
+  (* callee writes *p, caller's summary must include it transitively *)
+  let b = B.create () in
+  let leaf = B.declare b "leaf" ~params:[ "lp"; "lq" ] in
+  let mid = B.declare b "mid" ~params:[ "mp"; "mq" ] in
+  let main = B.declare b "main" ~params:[] in
+  let lp = B.param b leaf 0 and lq = B.param b leaf 1 in
+  B.define b leaf (fun fb -> B.store fb lp lq);
+  let mp = B.param b mid 0 and mq = B.param b mid 1 in
+  B.define b mid (fun fb -> B.call fb (Stmt.Direct leaf) [ mp; mq ]);
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.call fb (Stmt.Direct mid) [ p; q ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  let mr = Modref.compute prog ast in
+  Alcotest.(check bool) "leaf mods x" true (Iset.mem x (Modref.mod_of mr leaf));
+  Alcotest.(check bool) "mid mods x transitively" true (Iset.mem x (Modref.mod_of mr mid));
+  Alcotest.(check bool) "main mods x transitively" true (Iset.mem x (Modref.mod_of mr main));
+  Alcotest.(check bool) "callsite mod" true
+    (Iset.mem x (Modref.callsite_mod mr ast ~fid:main ~idx:2))
+
+let test_modref_through_fork () =
+  let b = B.create () in
+  let worker = B.declare b "worker" ~params:[ "wp" ] in
+  let main = B.declare b "main" ~params:[] in
+  let wp = B.param b worker 0 in
+  let g = B.global_obj b "g" in
+  B.define b worker (fun fb ->
+      let t = B.fresh_var b "t" in
+      B.addr_of fb t g;
+      B.store fb wp t);
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.fork fb (Stmt.Direct worker) [ p ]);
+  let prog = B.finish b in
+  let ast = A.run prog in
+  let mr = Modref.compute prog ast in
+  Alcotest.(check bool) "spawner inherits spawnee mod" true
+    (Iset.mem x (Modref.mod_of mr main))
+
+let suite =
+  [
+    Alcotest.test_case "addr/copy" `Quick test_addr_copy;
+    Alcotest.test_case "load/store" `Quick test_load_store;
+    Alcotest.test_case "flow-insensitive merge" `Quick test_flow_insensitive_merge;
+    Alcotest.test_case "phi" `Quick test_phi;
+    Alcotest.test_case "direct call" `Quick test_direct_call;
+    Alcotest.test_case "indirect call" `Quick test_indirect_call;
+    Alcotest.test_case "field sensitivity" `Quick test_fields;
+    Alcotest.test_case "arrays monolithic" `Quick test_array_monolithic;
+    Alcotest.test_case "fork handle and join" `Quick test_fork_handle_and_join;
+    Alcotest.test_case "recursion terminates" `Quick test_recursion_terminates;
+    Alcotest.test_case "copy cycle collapse" `Quick test_copy_cycle_collapse;
+    Alcotest.test_case "alias targets" `Quick test_alias_targets;
+    Alcotest.test_case "modref transitive" `Quick test_modref;
+    Alcotest.test_case "modref through fork" `Quick test_modref_through_fork;
+  ]

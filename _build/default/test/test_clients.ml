@@ -1,0 +1,137 @@
+(* Tests for the client analyses built on FSAM: race detection (covered more
+   in test_fsam), deadlock detection and the dynamic-race-detector
+   instrumentation filter (both proposed as clients by the paper's §6). *)
+
+open Fsam_ir
+module B = Builder
+module D = Fsam_core.Driver
+
+(* two threads taking two locks in opposite order *)
+let build_abba ~opposite =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let t1 = B.declare b "t1" ~params:[ "la"; "lb" ] in
+  let t2 = B.declare b "t2" ~params:[ "la"; "lb" ] in
+  let la1 = B.param b t1 0 and lb1 = B.param b t1 1 in
+  B.define b t1 (fun fb ->
+      B.lock fb la1;
+      B.lock fb lb1;
+      B.unlock fb lb1;
+      B.unlock fb la1);
+  let la2 = B.param b t2 0 and lb2 = B.param b t2 1 in
+  B.define b t2 (fun fb ->
+      if opposite then begin
+        B.lock fb lb2;
+        B.lock fb la2;
+        B.unlock fb la2;
+        B.unlock fb lb2
+      end
+      else begin
+        B.lock fb la2;
+        B.lock fb lb2;
+        B.unlock fb lb2;
+        B.unlock fb la2
+      end);
+  let ma = B.global_obj b "lockA" and mb = B.global_obj b "lockB" in
+  let pa = B.fresh_var b "pa" and pb = B.fresh_var b "pb" in
+  B.define b main (fun fb ->
+      B.addr_of fb pa ma;
+      B.addr_of fb pb mb;
+      B.fork fb (Stmt.Direct t1) [ pa; pb ];
+      B.fork fb (Stmt.Direct t2) [ pa; pb ]);
+  B.finish b
+
+let test_deadlock_found () =
+  let d = D.run (build_abba ~opposite:true) in
+  let dls = Fsam_core.Deadlocks.detect d in
+  Alcotest.(check bool) "AB-BA deadlock found" true (List.length dls >= 1)
+
+let test_no_deadlock_same_order () =
+  let d = D.run (build_abba ~opposite:false) in
+  let dls = Fsam_core.Deadlocks.detect d in
+  Alcotest.(check int) "consistent order is clean" 0 (List.length dls)
+
+let test_no_deadlock_sequential () =
+  (* the same opposite-order pattern but in one thread: never parallel *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let ma = B.global_obj b "lockA" and mb = B.global_obj b "lockB" in
+  let pa = B.fresh_var b "pa" and pb = B.fresh_var b "pb" in
+  B.define b main (fun fb ->
+      B.addr_of fb pa ma;
+      B.addr_of fb pb mb;
+      B.lock fb pa;
+      B.lock fb pb;
+      B.unlock fb pb;
+      B.unlock fb pa;
+      B.lock fb pb;
+      B.lock fb pa;
+      B.unlock fb pa;
+      B.unlock fb pb);
+  let d = D.run (B.finish b) in
+  Alcotest.(check int) "no MHP, no deadlock" 0
+    (List.length (Fsam_core.Deadlocks.detect d))
+
+let test_instrumentation_filter () =
+  (* one shared racy object among much thread-local traffic: most accesses
+     need no dynamic check *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let w = B.declare b "w" ~params:[ "p" ] in
+  let wp = B.param b w 0 in
+  B.define b w (fun fb ->
+      (* thread-local material *)
+      let lo = B.stack_obj b ~owner:w "wloc" in
+      let lp = B.fresh_var b "lp" in
+      B.addr_of fb lp lo;
+      for _ = 1 to 5 do
+        let v = B.fresh_var b "v" in
+        B.load fb v lp;
+        B.store fb lp v
+      done;
+      (* the single racy store *)
+      B.store fb wp wp);
+  let shared = B.global_obj b "shared" in
+  let p = B.fresh_var b "p" and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p shared;
+      let lo = B.stack_obj b ~owner:main "mloc" in
+      let lp = B.fresh_var b "mlp" in
+      B.addr_of fb lp lo;
+      for _ = 1 to 5 do
+        let v = B.fresh_var b "mv" in
+        B.load fb v lp;
+        B.store fb lp v
+      done;
+      B.fork fb (Stmt.Direct w) [ p ];
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  let r = Fsam_core.Instrument.analyze d in
+  Alcotest.(check bool) "some accesses instrumented" true (r.Fsam_core.Instrument.instrumented > 0);
+  Alcotest.(check bool) "most checks removed" true (r.Fsam_core.Instrument.reduction > 0.5);
+  Alcotest.(check bool) "counts consistent" true
+    (r.Fsam_core.Instrument.instrumented <= r.Fsam_core.Instrument.total_accesses)
+
+let test_instrumentation_sequential_program () =
+  (* no threads: nothing needs instrumentation *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let o = B.stack_obj b ~owner:main "o" in
+  let p = B.fresh_var b "p" and v = B.fresh_var b "v" in
+  B.define b main (fun fb ->
+      B.addr_of fb p o;
+      B.store fb p p;
+      B.load fb v p);
+  let d = D.run (B.finish b) in
+  let r = Fsam_core.Instrument.analyze d in
+  Alcotest.(check int) "nothing instrumented" 0 r.Fsam_core.Instrument.instrumented;
+  Alcotest.(check bool) "full reduction" true (r.Fsam_core.Instrument.reduction > 0.99)
+
+let suite =
+  [
+    Alcotest.test_case "AB-BA deadlock detected" `Quick test_deadlock_found;
+    Alcotest.test_case "consistent lock order clean" `Quick test_no_deadlock_same_order;
+    Alcotest.test_case "sequential opposite order clean" `Quick test_no_deadlock_sequential;
+    Alcotest.test_case "tsan filter removes most checks" `Quick test_instrumentation_filter;
+    Alcotest.test_case "tsan filter sequential" `Quick test_instrumentation_sequential_program;
+  ]

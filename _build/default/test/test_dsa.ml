@@ -1,0 +1,96 @@
+open Fsam_dsa
+
+let test_bitvec_basics () =
+  let b = Bitvec.create () in
+  Alcotest.(check bool) "initially unset" false (Bitvec.get b 5);
+  Bitvec.set b 5;
+  Bitvec.set b 1000;
+  Alcotest.(check bool) "set 5" true (Bitvec.get b 5);
+  Alcotest.(check bool) "set 1000 (grown)" true (Bitvec.get b 1000);
+  Alcotest.(check bool) "999 unset" false (Bitvec.get b 999);
+  Alcotest.(check int) "cardinal" 2 (Bitvec.cardinal b);
+  Bitvec.clear b 5;
+  Alcotest.(check bool) "cleared" false (Bitvec.get b 5);
+  Alcotest.(check bool) "set_if_unset true" true (Bitvec.set_if_unset b 7);
+  Alcotest.(check bool) "set_if_unset false" false (Bitvec.set_if_unset b 7)
+
+let test_bitvec_union () =
+  let a = Bitvec.create () and b = Bitvec.create () in
+  Bitvec.set a 1;
+  Bitvec.set b 2;
+  Bitvec.set b 300;
+  Alcotest.(check bool) "union changes" true (Bitvec.union_into ~dst:a ~src:b);
+  Alcotest.(check bool) "union idempotent" false (Bitvec.union_into ~dst:a ~src:b);
+  Alcotest.(check (list int)) "members" [ 1; 2; 300 ] (Iset.elements (Bitvec.to_iset a))
+
+let test_bitvec_iter () =
+  let b = Bitvec.create () in
+  List.iter (Bitvec.set b) [ 0; 7; 8; 63; 64; 129 ];
+  let acc = ref [] in
+  Bitvec.iter_set (fun i -> acc := i :: !acc) b;
+  Alcotest.(check (list int)) "iter_set ascending" [ 0; 7; 8; 63; 64; 129 ] (List.rev !acc);
+  Bitvec.clear_all b;
+  Alcotest.(check int) "clear_all" 0 (Bitvec.cardinal b)
+
+let test_uf () =
+  let u = Uf.create 10 in
+  Alcotest.(check bool) "initially apart" false (Uf.same u 1 2);
+  ignore (Uf.union u 1 2);
+  ignore (Uf.union u 3 4);
+  Alcotest.(check bool) "joined" true (Uf.same u 1 2);
+  Alcotest.(check bool) "still apart" false (Uf.same u 2 3);
+  ignore (Uf.union u 2 4);
+  Alcotest.(check bool) "transitively joined" true (Uf.same u 1 3);
+  Alcotest.(check int) "class count" 7 (Uf.n_classes u)
+
+let test_uf_union_to () =
+  let u = Uf.create 5 in
+  let r = Uf.union_to u ~keep:2 ~absorb:4 in
+  Alcotest.(check int) "keeps representative" 2 r;
+  Alcotest.(check int) "find absorbed" 2 (Uf.find u 4);
+  (* growing on demand *)
+  Alcotest.(check int) "fresh key is own root" 50 (Uf.find u 50)
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check int) "push returns index" 0 (Vec.push v "a");
+  Alcotest.(check int) "second index" 1 (Vec.push v "b");
+  Vec.set v 0 "z";
+  Alcotest.(check string) "set/get" "z" (Vec.get v 0);
+  Alcotest.(check (list string)) "to_list" [ "z"; "b" ] (Vec.to_list v);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index 5 out of bounds (len 2)")
+    (fun () -> ignore (Vec.get v 5))
+
+let prop_uf_model =
+  (* union-find agrees with a naive equivalence closure *)
+  QCheck.Test.make ~name:"union-find vs naive closure"
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_bound 15) (int_bound 15)))
+    (fun pairs ->
+      let u = Uf.create 16 in
+      List.iter (fun (a, b) -> ignore (Uf.union u a b)) pairs;
+      (* naive: iterate closure *)
+      let cls = Array.init 16 (fun i -> i) in
+      let rec croot i = if cls.(i) = i then i else croot cls.(i) in
+      List.iter
+        (fun (a, b) ->
+          let ra = croot a and rb = croot b in
+          if ra <> rb then cls.(ra) <- rb)
+        pairs;
+      let ok = ref true in
+      for i = 0 to 15 do
+        for j = 0 to 15 do
+          if Uf.same u i j <> (croot i = croot j) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "bitvec basics" `Quick test_bitvec_basics;
+    Alcotest.test_case "bitvec union" `Quick test_bitvec_union;
+    Alcotest.test_case "bitvec iter/clear" `Quick test_bitvec_iter;
+    Alcotest.test_case "union-find" `Quick test_uf;
+    Alcotest.test_case "union-find union_to/grow" `Quick test_uf_union_to;
+    Alcotest.test_case "vec" `Quick test_vec;
+    QCheck_alcotest.to_alcotest prop_uf_model;
+  ]

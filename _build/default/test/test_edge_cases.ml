@@ -1,0 +1,170 @@
+(* Edge cases across layers: frontend error handling, partial joins,
+   call-arity mismatches, unresolved targets, deep gep chains. *)
+
+open Fsam_ir
+module B = Builder
+module D = Fsam_core.Driver
+module F = Fsam_frontend
+
+let expect_lower_error src =
+  match F.Lower.compile_string src with
+  | exception F.Lower.Error _ -> ()
+  | _ -> Alcotest.fail "expected a lowering error"
+
+let test_frontend_errors () =
+  expect_lower_error "int g; int g; int main() { return 0; }";
+  expect_lower_error "int main() { x = null; return 0; }";
+  expect_lower_error "struct S { int f; }; void f(struct S s) { } int main() { return 0; }";
+  expect_lower_error "int f() { return 0; }" (* no main *)
+
+let test_pthread_join_second_arg () =
+  (* pthread_join(t, &ret) — the second argument is tolerated *)
+  let prog =
+    F.Lower.compile_string
+      {|
+      thread_t t;
+      int *ret;
+      void w(int *a) { }
+      int main() {
+        fork(&t, w, null);
+        join(&t, &ret);
+        return 0;
+      }
+      |}
+  in
+  let d = D.run prog in
+  Alcotest.(check int) "thread model sees two threads" 2
+    (Fsam_mta.Threads.n_threads d.D.tm)
+
+let test_partial_join_not_full () =
+  (* a thread joined only on one branch is not fully joined; statements on
+     the non-joining path remain parallel with it *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let w = B.declare b "w" ~params:[] in
+  B.define b w (fun fb -> B.nop fb "s_w");
+  let tid = B.stack_obj b ~owner:main "tid" in
+  let h = B.fresh_var b "h" in
+  B.define b main (fun fb ->
+      B.addr_of fb h tid;
+      B.fork fb ~handle:h (Stmt.Direct w) [];
+      B.if_ fb
+        ~then_:(fun fb ->
+          B.join fb h;
+          B.nop fb "after_join")
+        ~else_:(fun fb -> B.nop fb "no_join");
+      B.nop fb "merge");
+  let prog = B.finish b in
+  let ast = Fsam_andersen.Solver.run prog in
+  let icfg = Fsam_mta.Icfg.build prog ast in
+  let tm = Fsam_mta.Threads.build prog ast icfg in
+  let mhp = Fsam_mta.Mhp.compute tm in
+  let find name =
+    let r = ref (-1) in
+    Prog.iter_stmts prog (fun g _ s -> if s = Stmt.Nop name then r := g);
+    !r
+  in
+  (* after the join on the joining path: dead *)
+  Alcotest.(check bool) "not parallel after join" false
+    (Fsam_mta.Mhp.mhp_stmt mhp (find "after_join") (find "s_w"));
+  (* on the non-joining path: alive *)
+  Alcotest.(check bool) "parallel on the other branch" true
+    (Fsam_mta.Mhp.mhp_stmt mhp (find "no_join") (find "s_w"));
+  (* at the merge point both paths meet: soundly parallel *)
+  Alcotest.(check bool) "parallel at merge" true
+    (Fsam_mta.Mhp.mhp_stmt mhp (find "merge") (find "s_w"));
+  (* and the thread is NOT fully joined *)
+  let w_tid = 1 in
+  Alcotest.(check bool) "not a full join" false (Fsam_mta.Threads.fully_joins tm 0 w_tid)
+
+let test_call_arity_mismatch () =
+  (* extra arguments are dropped, missing parameters stay null — no crash,
+     sound results *)
+  let b = B.create () in
+  let f2 = B.declare b "f2" ~params:[ "a"; "b" ] in
+  let main = B.declare b "main" ~params:[] in
+  let d2 = B.fresh_var b "d" in
+  B.define b f2 (fun fb ->
+      B.copy fb d2 (B.param b f2 1);
+      B.ret fb (Some (B.param b f2 0)));
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" and r1 = B.fresh_var b "r1" and r2 = B.fresh_var b "r2" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.call fb ~ret:r1 (Stmt.Direct f2) [ p ] (* too few *);
+      B.call fb ~ret:r2 (Stmt.Direct f2) [ p; p; p ] (* too many *));
+  let d = D.run (B.finish b) in
+  Alcotest.(check (list string)) "first arg still flows" [ "x" ] (D.pt_names d r1);
+  Alcotest.(check (list string)) "extra args dropped" [ "x" ] (D.pt_names d r2)
+
+let test_unresolved_indirect_fork () =
+  (* a fork through a null function pointer spawns nothing and must not
+     crash any phase *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let fp = B.fresh_var b "fp" in
+  B.define b main (fun fb ->
+      B.fork fb (Stmt.Indirect fp) [];
+      B.nop fb "after");
+  let d = D.run (B.finish b) in
+  Alcotest.(check int) "only main thread" 1 (Fsam_mta.Threads.n_threads d.D.tm)
+
+let test_deep_gep_flattens () =
+  (* &(&(&s->a)->b)->c flattens onto the root: finitely many field objects *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let s = B.stack_obj b ~owner:main "s" in
+  let p = B.fresh_var b "p"
+  and f1 = B.fresh_var b "f1"
+  and f2 = B.fresh_var b "f2"
+  and f3 = B.fresh_var b "f3" in
+  B.define b main (fun fb ->
+      B.addr_of fb p s;
+      B.gep fb f1 p "a";
+      B.gep fb f2 f1 "b";
+      B.gep fb f3 f2 "a");
+  let prog = B.finish b in
+  let d = D.run prog in
+  (* f3's target is the root's field "a" — same object as f1's target *)
+  Alcotest.(check (list string)) "nested gep flattened" (D.pt_names d f1) (D.pt_names d f3);
+  Alcotest.(check bool) "b field distinct" true (D.pt_names d f2 <> D.pt_names d f1)
+
+let test_self_recursive_locals_not_singleton () =
+  (* a recursive function's local is multiply instantiated: both stores must
+     accumulate (no strong update) *)
+  let b = B.create () in
+  let rec_f = B.declare b "rec_f" ~params:[ "cell"; "v" ] in
+  let main = B.declare b "main" ~params:[] in
+  let cell = B.param b rec_f 0 and v = B.param b rec_f 1 in
+  B.define b rec_f (fun fb ->
+      B.store fb cell v;
+      B.if_ fb
+        ~then_:(fun fb ->
+          let mine = B.stack_obj b ~owner:rec_f "mine" in
+          let m = B.fresh_var b "m" in
+          B.addr_of fb m mine;
+          B.call fb (Stmt.Direct rec_f) [ cell; m ])
+        ~else_:(fun fb -> B.nop fb "leaf"));
+  let g = B.global_obj b "g" in
+  let x = B.stack_obj b ~owner:main "x" in
+  let p = B.fresh_var b "p" and q = B.fresh_var b "q" and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p g;
+      B.addr_of fb q x;
+      B.call fb (Stmt.Direct rec_f) [ p; q ];
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  let got = D.pt_names d c in
+  Alcotest.(check bool) "both x and the recursive local flow" true
+    (List.mem "x" got && List.mem "mine" got)
+
+let suite =
+  [
+    Alcotest.test_case "frontend errors" `Quick test_frontend_errors;
+    Alcotest.test_case "pthread_join second arg" `Quick test_pthread_join_second_arg;
+    Alcotest.test_case "partial join" `Quick test_partial_join_not_full;
+    Alcotest.test_case "call arity mismatch" `Quick test_call_arity_mismatch;
+    Alcotest.test_case "unresolved indirect fork" `Quick test_unresolved_indirect_fork;
+    Alcotest.test_case "deep gep flattens" `Quick test_deep_gep_flattens;
+    Alcotest.test_case "recursive locals accumulate" `Quick test_self_recursive_locals_not_singleton;
+  ]

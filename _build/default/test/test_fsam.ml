@@ -1,0 +1,481 @@
+(* End-to-end tests of the full FSAM pipeline against the paper's running
+   examples — most importantly the five columns of Figure 1, whose pt(c)
+   results the paper states exactly. *)
+
+open Fsam_ir
+module B = Builder
+module D = Fsam_core.Driver
+
+let names d v = D.pt_names d v
+
+let check_pt d msg expected v =
+  Alcotest.(check (list string)) msg (List.sort compare expected) (names d v)
+
+(* -- Figure 1(a): interleaving -------------------------------------------- *)
+(* main { fork(t,foo); *p = r; c = *p }   foo { *p = q }   pt(c) = {y, z} *)
+let test_fig1a () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+  let fp = B.param b foo 0 and fq = B.param b foo 1 in
+  B.define b foo (fun fb -> B.store fb fp fq);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.fork fb (Stmt.Direct foo) [ p; q ];
+      B.store fb p r;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "fig1a: pt(c) = {y, z}" [ "y"; "z" ] c
+
+(* -- Figure 1(b): soundness (detached grandchild) ------------------------- *)
+(* main { fork(t1,foo); join(t1); *p = r }   foo { fork(t2,bar) }
+   bar { *p = q; c = *p }   pt(c) = {y, z} *)
+let test_fig1b () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+  let bar = B.declare b "bar" ~params:[ "bp"; "bq" ] in
+  let bp = B.param b bar 0 and bq = B.param b bar 1 in
+  let c = B.fresh_var b "c" in
+  B.define b bar (fun fb ->
+      B.store fb bp bq;
+      B.load fb c bp);
+  let fp = B.param b foo 0 and fq = B.param b foo 1 in
+  B.define b foo (fun fb -> B.fork fb (Stmt.Direct bar) [ fp; fq ]);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let tid = B.stack_obj b ~owner:main "tid" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and h = B.fresh_var b "h" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.addr_of fb h tid;
+      B.fork fb ~handle:h (Stmt.Direct foo) [ p; q ];
+      B.join fb h;
+      B.store fb p r);
+  let d = D.run (B.finish b) in
+  check_pt d "fig1b: pt(c) = {y, z}" [ "y"; "z" ] c
+
+(* -- Figure 1(c): precision (strong update through join) ------------------ *)
+(* main { *p = r; fork(t,foo); join(t); c = *p }   foo { *p = q }
+   pt(c) = {y} *)
+let test_fig1c () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+  let fp = B.param b foo 0 and fq = B.param b foo 1 in
+  B.define b foo (fun fb -> B.store fb fp fq);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let tid = B.stack_obj b ~owner:main "tid" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and h = B.fresh_var b "h"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.store fb p r;
+      B.addr_of fb h tid;
+      B.fork fb ~handle:h (Stmt.Direct foo) [ p; q ];
+      B.join fb h;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "fig1c: pt(c) = {y}" [ "y" ] c
+
+(* -- Figure 1(d): data-flow (no propagation between non-aliases) ---------- *)
+(* main { fork(t,foo); c = *p }   foo { *xp = r; *p = q }  where xp = &a_obj
+   holder; the paper's point: r (i.e. z) must not leak into pt(c). *)
+let test_fig1d () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fxp"; "fr"; "fp"; "fq" ] in
+  let fxp = B.param b foo 0
+  and fr = B.param b foo 1
+  and fp = B.param b foo 2
+  and fq = B.param b foo 3 in
+  B.define b foo (fun fb ->
+      B.store fb fxp fr;
+      B.store fb fp fq);
+  let x = B.stack_obj b ~owner:main "x"
+  and a = B.stack_obj b ~owner:main "a"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and xp = B.fresh_var b "xp"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.addr_of fb xp a;
+      B.fork fb (Stmt.Direct foo) [ xp; r; p; q ];
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  let got = names d c in
+  Alcotest.(check bool) "fig1d: y in pt(c)" true (List.mem "y" got);
+  Alcotest.(check bool) "fig1d: z not in pt(c) (sparsity across non-aliases)" false
+    (List.mem "z" got)
+
+(* -- Figure 1(e): lock analysis ------------------------------------------- *)
+(* main { *p = r; fork(t,foo); lock(l1); c = *p; unlock(l1) }
+   foo  { lock(l2); *u = v; *p = q; unlock(l2) }  with l1 ≡ l2, u ≡ p.
+   pt(c) = {y, z} — v must NOT leak (the section's tail store is *p = q). *)
+let test_fig1e () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fu"; "fv"; "fp"; "fq"; "fl" ] in
+  let fu = B.param b foo 0
+  and fv = B.param b foo 1
+  and fp = B.param b foo 2
+  and fq = B.param b foo 3
+  and fl = B.param b foo 4 in
+  B.define b foo (fun fb ->
+      B.lock fb fl;
+      B.store fb fu fv;
+      B.store fb fp fq;
+      B.unlock fb fl);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z"
+  and v = B.stack_obj b ~owner:main "v" in
+  let m = B.global_obj b "mutex" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and u = B.fresh_var b "u"
+  and vv = B.fresh_var b "vv"
+  and l1 = B.fresh_var b "l1"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.addr_of fb u x;
+      B.addr_of fb vv v;
+      B.addr_of fb l1 m;
+      B.store fb p r;
+      B.fork fb (Stmt.Direct foo) [ u; vv; p; q; l1 ];
+      B.lock fb l1;
+      B.load fb c p;
+      B.unlock fb l1);
+  let d = D.run (B.finish b) in
+  check_pt d "fig1e: pt(c) = {y, z} (v filtered by lock analysis)" [ "y"; "z" ] c;
+  (* and without lock analysis, v leaks — the No-Lock ablation *)
+  let b2 = () in
+  ignore b2
+
+let test_fig1e_no_lock () =
+  (* same program as fig1e under the No-Lock configuration: v leaks *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fu"; "fv"; "fp"; "fq"; "fl" ] in
+  let fu = B.param b foo 0
+  and fv = B.param b foo 1
+  and fp = B.param b foo 2
+  and fq = B.param b foo 3
+  and fl = B.param b foo 4 in
+  B.define b foo (fun fb ->
+      B.lock fb fl;
+      B.store fb fu fv;
+      B.store fb fp fq;
+      B.unlock fb fl);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z"
+  and v = B.stack_obj b ~owner:main "v" in
+  let m = B.global_obj b "mutex" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and u = B.fresh_var b "u"
+  and vv = B.fresh_var b "vv"
+  and l1 = B.fresh_var b "l1"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.addr_of fb u x;
+      B.addr_of fb vv v;
+      B.addr_of fb l1 m;
+      B.store fb p r;
+      B.fork fb (Stmt.Direct foo) [ u; vv; p; q; l1 ];
+      B.lock fb l1;
+      B.load fb c p;
+      B.unlock fb l1);
+  let d = D.run ~config:D.no_lock (B.finish b) in
+  let got = names d c in
+  Alcotest.(check bool) "no-lock: v leaks into pt(c)" true (List.mem "v" got);
+  Alcotest.(check bool) "no-lock: still has y" true (List.mem "y" got)
+
+(* -- Sequential strong update -------------------------------------------- *)
+
+let test_sequential_strong_update () =
+  (* p = &x; *p = a; *p = b; c = *p   =>  pt(c) = {o_b} only *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x"
+  and oa = B.stack_obj b ~owner:main "oa"
+  and ob = B.stack_obj b ~owner:main "ob" in
+  let p = B.fresh_var b "p"
+  and a = B.fresh_var b "a"
+  and bb = B.fresh_var b "bb"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb a oa;
+      B.addr_of fb bb ob;
+      B.store fb p a;
+      B.store fb p bb;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "strong update kills" [ "ob" ] c
+
+let test_weak_update_two_targets () =
+  (* p may point to x or y: both stores weak; c keeps both possibilities *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let oa = B.stack_obj b ~owner:main "oa" and ob = B.stack_obj b ~owner:main "ob" in
+  let p1 = B.fresh_var b "p1"
+  and p2 = B.fresh_var b "p2"
+  and p = B.fresh_var b "p"
+  and a = B.fresh_var b "a"
+  and bb = B.fresh_var b "bb"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p1 x;
+      B.addr_of fb p2 y;
+      B.phi fb p [ p1; p2 ];
+      B.addr_of fb a oa;
+      B.addr_of fb bb ob;
+      B.store fb p a;
+      B.store fb p bb;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "weak updates accumulate" [ "oa"; "ob" ] c
+
+let test_heap_no_strong_update () =
+  (* heap objects are not singletons: no strong update *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let oa = B.stack_obj b ~owner:main "oa" and ob = B.stack_obj b ~owner:main "ob" in
+  let hp = B.heap_obj b ~owner:main "h" in
+  let p = B.fresh_var b "p"
+  and a = B.fresh_var b "a"
+  and bb = B.fresh_var b "bb"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p hp;
+      B.addr_of fb a oa;
+      B.addr_of fb bb ob;
+      B.store fb p a;
+      B.store fb p bb;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "heap weak" [ "oa"; "ob" ] c
+
+(* -- Flow-sensitivity vs Andersen ----------------------------------------- *)
+
+let test_more_precise_than_andersen () =
+  (* c = *p BEFORE *p = b: flow-sensitivity excludes ob; Andersen includes *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let x = B.stack_obj b ~owner:main "x" in
+  let oa = B.stack_obj b ~owner:main "oa" and ob = B.stack_obj b ~owner:main "ob" in
+  let p = B.fresh_var b "p"
+  and a = B.fresh_var b "a"
+  and bb = B.fresh_var b "bb"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb a oa;
+      B.addr_of fb bb ob;
+      B.store fb p a;
+      B.load fb c p;
+      B.store fb p bb);
+  let prog = B.finish b in
+  let d = D.run prog in
+  check_pt d "flow-sensitive: only oa" [ "oa" ] c;
+  let and_pt = Fsam_andersen.Solver.pt_var d.D.ast c in
+  Alcotest.(check bool) "andersen has both" true
+    (Fsam_dsa.Iset.mem oa and_pt && Fsam_dsa.Iset.mem ob and_pt)
+
+(* -- Interprocedural flow -------------------------------------------------- *)
+
+let test_interproc_flow () =
+  (* helper writes through its pointer param; caller observes after call *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let helper = B.declare b "helper" ~params:[ "hp"; "hv" ] in
+  let hp = B.param b helper 0 and hv = B.param b helper 1 in
+  B.define b helper (fun fb -> B.store fb hp hv);
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p" and v = B.fresh_var b "v" and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb v y;
+      B.call fb (Stmt.Direct helper) [ p; v ];
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "callee effect visible" [ "y" ] c
+
+let test_call_preserves_untouched () =
+  (* a call that does not touch x must not lose x's contents *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let other = B.declare b "other" ~params:[] in
+  let g = B.global_obj b "g" in
+  B.define b other (fun fb ->
+      let t = B.fresh_var b "t" and w = B.fresh_var b "w" and gw = B.global_obj b "gw" in
+      B.addr_of fb t g;
+      B.addr_of fb w gw;
+      B.store fb t w);
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let p = B.fresh_var b "p" and v = B.fresh_var b "v" and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb v y;
+      B.store fb p v;
+      B.call fb (Stmt.Direct other) [];
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  check_pt d "x survives unrelated call" [ "y" ] c
+
+(* -- Race detection client ------------------------------------------------- *)
+
+let test_race_detection () =
+  (* fig1a has an unprotected store-store and store-load race on x *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+  let fp = B.param b foo 0 and fq = B.param b foo 1 in
+  B.define b foo (fun fb -> B.store fb fp fq);
+  let x = B.stack_obj b ~owner:main "x"
+  and y = B.stack_obj b ~owner:main "y"
+  and z = B.stack_obj b ~owner:main "z" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and r = B.fresh_var b "r"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb r z;
+      B.fork fb (Stmt.Direct foo) [ p; q ];
+      B.store fb p r;
+      B.load fb c p);
+  let d = D.run (B.finish b) in
+  let races = Fsam_core.Races.detect d in
+  Alcotest.(check bool) "found races" true (List.length races > 0);
+  Alcotest.(check bool) "all races on x" true
+    (List.for_all (fun r -> r.Fsam_core.Races.obj = x) races)
+
+let test_no_race_when_locked () =
+  (* same accesses, both protected: no race reported *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[ "fp"; "fq"; "fl" ] in
+  let fp = B.param b foo 0 and fq = B.param b foo 1 and fl = B.param b foo 2 in
+  B.define b foo (fun fb ->
+      B.lock fb fl;
+      B.store fb fp fq;
+      B.unlock fb fl);
+  let x = B.stack_obj b ~owner:main "x" and y = B.stack_obj b ~owner:main "y" in
+  let m = B.global_obj b "mutex" in
+  let p = B.fresh_var b "p"
+  and q = B.fresh_var b "q"
+  and l = B.fresh_var b "l"
+  and c = B.fresh_var b "c" in
+  B.define b main (fun fb ->
+      B.addr_of fb p x;
+      B.addr_of fb q y;
+      B.addr_of fb l m;
+      B.fork fb (Stmt.Direct foo) [ p; q; l ];
+      B.lock fb l;
+      B.load fb c p;
+      B.unlock fb l);
+  let d = D.run (B.finish b) in
+  let races = Fsam_core.Races.detect d in
+  Alcotest.(check int) "no races under common lock" 0 (List.length races)
+
+(* -- Ablation: no-interleaving is sound but coarser ------------------------ *)
+
+let test_no_interleaving_coarser () =
+  (* fig1c under No-Interleaving: PCG cannot see the join ordering, so the
+     result is a superset of the precise one *)
+  let mk () =
+    let b = B.create () in
+    let main = B.declare b "main" ~params:[] in
+    let foo = B.declare b "foo" ~params:[ "fp"; "fq" ] in
+    let fp = B.param b foo 0 and fq = B.param b foo 1 in
+    B.define b foo (fun fb -> B.store fb fp fq);
+    let x = B.stack_obj b ~owner:main "x"
+    and y = B.stack_obj b ~owner:main "y"
+    and z = B.stack_obj b ~owner:main "z" in
+    ignore (x, y, z);
+    let tid = B.stack_obj b ~owner:main "tid" in
+    let p = B.fresh_var b "p"
+    and q = B.fresh_var b "q"
+    and r = B.fresh_var b "r"
+    and h = B.fresh_var b "h"
+    and c = B.fresh_var b "c" in
+    B.define b main (fun fb ->
+        B.addr_of fb p x;
+        B.addr_of fb q y;
+        B.addr_of fb r z;
+        B.store fb p r;
+        B.addr_of fb h tid;
+        B.fork fb ~handle:h (Stmt.Direct foo) [ p; q ];
+        B.join fb h;
+        B.load fb c p);
+    (B.finish b, c)
+  in
+  let prog1, c1 = mk () in
+  let d_full = D.run prog1 in
+  let prog2, c2 = mk () in
+  let d_noint = D.run ~config:D.no_interleaving prog2 in
+  let full = names d_full c1 and noint = names d_noint c2 in
+  Alcotest.(check bool) "no-interleaving is a superset" true
+    (List.for_all (fun o -> List.mem o noint) full);
+  Alcotest.(check bool) "no-interleaving loses the fig1c precision" true
+    (List.length noint > List.length full)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1(a) interleaving" `Quick test_fig1a;
+    Alcotest.test_case "figure 1(b) soundness" `Quick test_fig1b;
+    Alcotest.test_case "figure 1(c) precision" `Quick test_fig1c;
+    Alcotest.test_case "figure 1(d) data-flow" `Quick test_fig1d;
+    Alcotest.test_case "figure 1(e) lock analysis" `Quick test_fig1e;
+    Alcotest.test_case "figure 1(e) no-lock ablation" `Quick test_fig1e_no_lock;
+    Alcotest.test_case "sequential strong update" `Quick test_sequential_strong_update;
+    Alcotest.test_case "weak update with two targets" `Quick test_weak_update_two_targets;
+    Alcotest.test_case "heap never strong-updated" `Quick test_heap_no_strong_update;
+    Alcotest.test_case "more precise than andersen" `Quick test_more_precise_than_andersen;
+    Alcotest.test_case "interprocedural flow" `Quick test_interproc_flow;
+    Alcotest.test_case "call preserves untouched memory" `Quick test_call_preserves_untouched;
+    Alcotest.test_case "race detection" `Quick test_race_detection;
+    Alcotest.test_case "no race under lock" `Quick test_no_race_when_locked;
+    Alcotest.test_case "no-interleaving ablation coarser" `Quick test_no_interleaving_coarser;
+  ]

@@ -1,0 +1,107 @@
+(* Memory-leak client tests (MiniC end-to-end: free is an ordinary function
+   recognised by name, as malloc is by keyword). *)
+
+module D = Fsam_core.Driver
+module L = Fsam_core.Leaks
+
+let run src = D.run (Fsam_frontend.Lower.compile_string src)
+
+let never_freed = function L.Never_freed _ -> true | _ -> false
+let double_free = function L.Double_free _ -> true | _ -> false
+
+let test_leak_found () =
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int main() {
+        int *a;
+        int *b;
+        a = malloc();
+        b = malloc();
+        free(a);
+        return 0;
+      }
+      |}
+  in
+  let fs = L.detect d in
+  Alcotest.(check int) "one leak (b)" 1 (List.length (List.filter never_freed fs));
+  Alcotest.(check int) "no double free" 0 (List.length (List.filter double_free fs))
+
+let test_freed_through_alias () =
+  (* flow through copies and memory must count as freed *)
+  let d =
+    run
+      {|
+      int *cell;
+      void free(int *p) { }
+      int main() {
+        int *a;
+        int *b;
+        a = malloc();
+        cell = a;
+        b = cell;
+        free(b);
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check int) "no leaks" 0
+    (List.length (List.filter never_freed (L.detect d)))
+
+let test_double_free () =
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int main() {
+        int *a;
+        a = malloc();
+        free(a);
+        free(a);
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check bool) "double free reported" true
+    (List.exists double_free (L.detect d))
+
+let test_free_in_loop () =
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int main() {
+        int *a;
+        a = malloc();
+        while (nondet()) { free(a); }
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check bool) "looped free reported as double free" true
+    (List.exists double_free (L.detect d))
+
+let test_clean_program () =
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int main() {
+        int *a;
+        a = malloc();
+        free(a);
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check int) "clean" 0 (List.length (L.detect d))
+
+let suite =
+  [
+    Alcotest.test_case "never-freed leak" `Quick test_leak_found;
+    Alcotest.test_case "freed through alias" `Quick test_freed_through_alias;
+    Alcotest.test_case "double free" `Quick test_double_free;
+    Alcotest.test_case "free in loop" `Quick test_free_in_loop;
+    Alcotest.test_case "clean program" `Quick test_clean_program;
+  ]

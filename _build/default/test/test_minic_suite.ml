@@ -1,0 +1,64 @@
+(* The MiniC text renditions of the benchmark skeletons compile through the
+   whole frontend at scale and analyze with the expected concurrency
+   structure. *)
+
+module D = Fsam_core.Driver
+module MS = Fsam_workloads.Minic_suite
+
+let compile s = Fsam_frontend.Lower.compile_string s
+
+let test_all_compile () =
+  List.iter
+    (fun (name, gen) ->
+      let src = gen ~scale:120 in
+      match compile src with
+      | prog ->
+        Fsam_ir.Validate.check_exn prog;
+        let d = D.run prog in
+        Alcotest.(check bool)
+          (name ^ " analyzed")
+          true
+          (Fsam_core.Sparse.pts_entries d.D.sparse > 0)
+      | exception e ->
+        Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
+    MS.all
+
+let test_wordcount_symmetric () =
+  let prog = compile (MS.wordcount ~scale:60) in
+  let d = D.run prog in
+  let tm = d.D.tm in
+  let handled = ref false in
+  for i = 0 to Fsam_mta.Threads.n_insts tm - 1 do
+    if Fsam_mta.Threads.join_kills tm i <> [] then handled := true
+  done;
+  Alcotest.(check bool) "symmetric join recognized in MiniC build" true !handled
+
+let test_server_detached () =
+  let prog = compile (MS.server ~scale:60) in
+  let d = D.run prog in
+  let tm = d.D.tm in
+  let multi = ref false in
+  for t = 0 to Fsam_mta.Threads.n_threads tm - 1 do
+    if Fsam_mta.Threads.is_multi tm t then multi := true
+  done;
+  Alcotest.(check bool) "detached handlers multi-forked" true !multi
+
+let test_taskqueue_spans () =
+  let prog = compile (MS.taskqueue ~scale:60) in
+  let d = D.run prog in
+  Alcotest.(check bool) "queue spans found" true (Fsam_mta.Locks.n_spans d.D.locks >= 3)
+
+let test_scaling () =
+  let small = compile (MS.wordcount ~scale:40) in
+  let big = compile (MS.wordcount ~scale:120) in
+  Alcotest.(check bool) "scales" true
+    (Fsam_ir.Prog.n_stmts big > Fsam_ir.Prog.n_stmts small)
+
+let suite =
+  [
+    Alcotest.test_case "all compile and analyze" `Quick test_all_compile;
+    Alcotest.test_case "wordcount symmetric join" `Quick test_wordcount_symmetric;
+    Alcotest.test_case "server detached handlers" `Quick test_server_detached;
+    Alcotest.test_case "taskqueue lock spans" `Quick test_taskqueue_spans;
+    Alcotest.test_case "text generators scale" `Quick test_scaling;
+  ]

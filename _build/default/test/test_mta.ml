@@ -1,0 +1,425 @@
+open Fsam_ir
+open Fsam_mta
+module B = Builder
+module A = Fsam_andersen.Solver
+
+let setup prog =
+  let ast = A.run prog in
+  let icfg = Icfg.build prog ast in
+  let tm = Threads.build prog ast icfg in
+  (ast, icfg, tm)
+
+(* -- Paper Figure 8 ------------------------------------------------------- *)
+
+(* main()  { s1; fk1: fork(t1,foo1); s2; jn1: join(t1);
+             fk2: fork(t2,foo2); s3; jn2: join(t2); }
+   foo1()  { fk3: fork(t3,bar); jn3: join(t3); }
+   foo2()  { cs4: bar(); s4; }
+   bar()   { s5; } *)
+type fig8 = {
+  prog : Prog.t;
+  s2 : int; (* gids *)
+  s3 : int;
+  s4 : int;
+  s5 : int;
+  fk1_gid : int;
+  main_fid : int;
+  foo1 : int;
+  foo2 : int;
+  bar : int;
+}
+
+let build_fig8 () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo1 = B.declare b "foo1" ~params:[] in
+  let foo2 = B.declare b "foo2" ~params:[] in
+  let bar = B.declare b "bar" ~params:[] in
+  B.define b bar (fun fb -> B.nop fb "s5");
+  B.define b foo1 (fun fb ->
+      let h3 = B.fresh_var b "h3" in
+      let tid3 = B.stack_obj b ~owner:foo1 "tid3" in
+      B.addr_of fb h3 tid3;
+      B.fork fb ~handle:h3 (Stmt.Direct bar) [];
+      B.join fb h3);
+  B.define b foo2 (fun fb ->
+      B.call fb (Stmt.Direct bar) [];
+      B.nop fb "s4");
+  B.define b main (fun fb ->
+      let h1 = B.fresh_var b "h1" and h2 = B.fresh_var b "h2" in
+      let tid1 = B.stack_obj b ~owner:main "tid1" in
+      let tid2 = B.stack_obj b ~owner:main "tid2" in
+      B.nop fb "s1";
+      B.addr_of fb h1 tid1;
+      B.fork fb ~handle:h1 (Stmt.Direct foo1) [];
+      B.nop fb "s2";
+      B.join fb h1;
+      B.addr_of fb h2 tid2;
+      B.fork fb ~handle:h2 (Stmt.Direct foo2) [];
+      B.nop fb "s3";
+      B.join fb h2);
+  let prog = B.finish b in
+  Validate.check_exn prog;
+  let find_nop fid name =
+    let f = Prog.func prog fid in
+    let r = ref (-1) in
+    Func.iter_stmts f (fun i s -> if s = Stmt.Nop name then r := Prog.gid prog ~fid ~idx:i);
+    assert (!r >= 0);
+    !r
+  in
+  let find_fork fid =
+    let f = Prog.func prog fid in
+    let r = ref (-1) in
+    Func.iter_stmts f (fun i s ->
+        match s with Stmt.Fork _ when !r < 0 -> r := Prog.gid prog ~fid ~idx:i | _ -> ());
+    !r
+  in
+  {
+    prog;
+    s2 = find_nop main "s2";
+    s3 = find_nop main "s3";
+    s4 = find_nop foo2 "s4";
+    s5 = find_nop bar "s5";
+    fk1_gid = find_fork main;
+    main_fid = main;
+    foo1;
+    foo2;
+    bar;
+  }
+
+let tid_starting tm fid =
+  let r = ref (-1) in
+  for t = 0 to Threads.n_threads tm - 1 do
+    if Threads.start_fns tm t = [ fid ] then r := t
+  done;
+  !r
+
+let test_fig8_threads () =
+  let f8 = build_fig8 () in
+  let _ast, _icfg, tm = setup f8.prog in
+  Alcotest.(check int) "four threads" 4 (Threads.n_threads tm);
+  let t1 = tid_starting tm f8.foo1
+  and t2 = tid_starting tm f8.foo2
+  and t3 = tid_starting tm f8.bar in
+  Alcotest.(check bool) "all found" true (t1 > 0 && t2 > 0 && t3 > 0);
+  Alcotest.(check (option int)) "t1 parent main" (Some 0) (Threads.parent tm t1);
+  Alcotest.(check (option int)) "t3 parent t1" (Some t1) (Threads.parent tm t3);
+  Alcotest.(check bool) "t0 => t3 transitively" true
+    (Fsam_dsa.Iset.mem t3 (Threads.descendants tm 0));
+  Alcotest.(check bool) "none multi-forked" false
+    (Threads.is_multi tm t1 || Threads.is_multi tm t2 || Threads.is_multi tm t3);
+  (* sibling relations *)
+  Alcotest.(check bool) "t1 ~ t2 siblings" true (Threads.siblings tm t1 t2);
+  Alcotest.(check bool) "t3 ~ t2 siblings" true (Threads.siblings tm t3 t2);
+  Alcotest.(check bool) "t1 not sibling of t3" false (Threads.siblings tm t1 t3);
+  (* happens-before *)
+  Alcotest.(check bool) "t1 > t2" true (Threads.happens_before tm t1 t2);
+  Alcotest.(check bool) "t3 > t2 (via full join of t3 by t1)" true
+    (Threads.happens_before tm t3 t2);
+  Alcotest.(check bool) "not t2 > t1" false (Threads.happens_before tm t2 t1);
+  Alcotest.(check bool) "t1 fully joins t3" true (Threads.fully_joins tm t1 t3)
+
+let test_fig8_mhp () =
+  let f8 = build_fig8 () in
+  let _ast, _icfg, tm = setup f8.prog in
+  let mhp = Mhp.compute tm in
+  (* the three pairs of Figure 8(d) *)
+  Alcotest.(check bool) "s2 || s5" true (Mhp.mhp_stmt mhp f8.s2 f8.s5);
+  Alcotest.(check bool) "s3 || s5" true (Mhp.mhp_stmt mhp f8.s3 f8.s5);
+  Alcotest.(check bool) "s3 || s4" true (Mhp.mhp_stmt mhp f8.s3 f8.s4);
+  (* precision: s2 must not interleave with foo2/bar-via-foo2 *)
+  Alcotest.(check bool) "s2 not || s4" false (Mhp.mhp_stmt mhp f8.s2 f8.s4);
+  (* context-sensitivity: the two instances of s5 (via t3 and via t2) are
+     distinguished; s5 does not interleave with itself *)
+  Alcotest.(check bool) "s5 not || s5" false (Mhp.mhp_stmt mhp f8.s5 f8.s5);
+  (* s5 has two instances, one per calling thread/context *)
+  Alcotest.(check int) "two instances of s5" 2 (List.length (Threads.insts_of_gid tm f8.s5))
+
+(* -- Figure 1(b): a detached grandchild outlives its joined parent -------- *)
+
+let test_detached_thread () =
+  (* main { fork(h1,foo); join(h1); s_store }   foo { fork(bar); s_q }  bar { s_bar } *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo = B.declare b "foo" ~params:[] in
+  let bar = B.declare b "bar" ~params:[] in
+  B.define b bar (fun fb -> B.nop fb "s_bar");
+  B.define b foo (fun fb ->
+      B.fork fb (Stmt.Direct bar) [];
+      B.nop fb "s_q");
+  B.define b main (fun fb ->
+      let h1 = B.fresh_var b "h1" in
+      let tid1 = B.stack_obj b ~owner:main "tid1" in
+      B.addr_of fb h1 tid1;
+      B.fork fb ~handle:h1 (Stmt.Direct foo) [];
+      B.join fb h1;
+      B.nop fb "s_store");
+  let prog = B.finish b in
+  let _ast, _icfg, tm = setup prog in
+  let mhp = Mhp.compute tm in
+  let find fid name =
+    let f = Prog.func prog fid in
+    let r = ref (-1) in
+    Func.iter_stmts f (fun i s -> if s = Stmt.Nop name then r := Prog.gid prog ~fid ~idx:i);
+    !r
+  in
+  let s_store = find main "s_store" and s_bar = find bar "s_bar" and s_q = find foo "s_q" in
+  (* t2 (bar) is never joined: it stays alive after join(t1) *)
+  Alcotest.(check bool) "detached t2 || main after join" true (Mhp.mhp_stmt mhp s_store s_bar);
+  (* but t1 itself is dead after its join *)
+  Alcotest.(check bool) "joined t1 dead after join" false (Mhp.mhp_stmt mhp s_store s_q)
+
+(* -- Multi-forked threads -------------------------------------------------- *)
+
+let build_loop_fork ~with_join_loop =
+  (* main { while(..){ fork(h,worker) }; [while(..){ join(h) };] s_after }
+     worker { s_w } *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let worker = B.declare b "worker" ~params:[] in
+  B.define b worker (fun fb -> B.nop fb "s_w");
+  B.define b main (fun fb ->
+      let h = B.fresh_var b "h" in
+      let tids = B.global_obj ~is_array:true b "tids" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) []);
+      if with_join_loop then B.while_ fb (fun fb -> B.join fb h);
+      B.nop fb "s_after");
+  let prog = B.finish b in
+  let _ast, _icfg, tm = setup prog in
+  let find fid name =
+    let f = Prog.func prog fid in
+    let r = ref (-1) in
+    Func.iter_stmts f (fun i s -> if s = Stmt.Nop name then r := Prog.gid prog ~fid ~idx:i);
+    !r
+  in
+  (prog, tm, find main "s_after", find worker "s_w")
+
+let test_multiforked () =
+  let _prog, tm, s_after, s_w = build_loop_fork ~with_join_loop:false in
+  Alcotest.(check int) "two threads" 2 (Threads.n_threads tm);
+  Alcotest.(check bool) "worker multi-forked" true (Threads.is_multi tm 1);
+  let mhp = Mhp.compute tm in
+  (* no join: workers still alive after the loop *)
+  Alcotest.(check bool) "after || worker" true (Mhp.mhp_stmt mhp s_after s_w);
+  (* a multi-forked thread interleaves with itself *)
+  Alcotest.(check bool) "worker || worker" true (Mhp.mhp_stmt mhp s_w s_w)
+
+let test_symmetric_fork_join_loops () =
+  (* the word_count pattern of paper Figure 11 *)
+  let _prog, tm, s_after, s_w = build_loop_fork ~with_join_loop:true in
+  Alcotest.(check bool) "worker multi-forked" true (Threads.is_multi tm 1);
+  let mhp = Mhp.compute tm in
+  Alcotest.(check bool) "joined in symmetric loop: not after || worker" false
+    (Mhp.mhp_stmt mhp s_after s_w);
+  Alcotest.(check bool) "worker self-parallel inside region" true (Mhp.mhp_stmt mhp s_w s_w)
+
+let test_single_join_of_multiforked_is_unhandled () =
+  (* fork in a loop but a single non-loop join: must NOT kill the thread *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let worker = B.declare b "worker" ~params:[] in
+  B.define b worker (fun fb -> B.nop fb "s_w");
+  B.define b main (fun fb ->
+      let h = B.fresh_var b "h" in
+      let tids = B.global_obj ~is_array:true b "tids" in
+      B.addr_of fb h tids;
+      B.while_ fb (fun fb -> B.fork fb ~handle:h (Stmt.Direct worker) []);
+      B.join fb h;
+      B.nop fb "s_after");
+  let prog = B.finish b in
+  let _ast, _icfg, tm = setup prog in
+  let mhp = Mhp.compute tm in
+  let find fid name =
+    let f = Prog.func prog fid in
+    let r = ref (-1) in
+    Func.iter_stmts f (fun i s -> if s = Stmt.Nop name then r := Prog.gid prog ~fid ~idx:i);
+    !r
+  in
+  Alcotest.(check bool) "soundness: still parallel after single join" true
+    (Mhp.mhp_stmt mhp (find main "s_after") (find worker "s_w"))
+
+(* -- Recursive spawner ----------------------------------------------------- *)
+
+let test_recursive_fork_multi () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let rec_f = B.declare b "rec_f" ~params:[] in
+  let worker = B.declare b "worker" ~params:[] in
+  B.define b worker (fun fb -> B.nop fb "s_w");
+  B.define b rec_f (fun fb ->
+      B.fork fb (Stmt.Direct worker) [];
+      B.if_ fb
+        ~then_:(fun fb -> B.call fb (Stmt.Direct rec_f) [])
+        ~else_:(fun fb -> B.nop fb "leaf"));
+  B.define b main (fun fb -> B.call fb (Stmt.Direct rec_f) []);
+  let prog = B.finish b in
+  let _ast, _icfg, tm = setup prog in
+  let w = tid_starting tm worker in
+  Alcotest.(check bool) "worker exists" true (w > 0);
+  Alcotest.(check bool) "fork under recursion is multi-forked" true (Threads.is_multi tm w)
+
+(* -- Lock spans ------------------------------------------------------------ *)
+
+let test_lock_spans () =
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let m = B.global_obj b "mutex" in
+  let l = B.fresh_var b "l" in
+  B.define b main (fun fb ->
+      B.addr_of fb l m;
+      B.nop fb "before";
+      B.lock fb l;
+      B.nop fb "inside1";
+      B.nop fb "inside2";
+      B.unlock fb l;
+      B.nop fb "after");
+  let prog = B.finish b in
+  let ast, _icfg, tm = setup prog in
+  let lk = Locks.compute prog ast tm in
+  Alcotest.(check int) "one span" 1 (Locks.n_spans lk);
+  Alcotest.(check int) "span lock object" m (Locks.span_lock lk 0);
+  let member_names =
+    List.filter_map
+      (fun iid ->
+        match Prog.stmt_at prog (Threads.inst tm iid).Threads.i_gid with
+        | Stmt.Nop n -> Some n
+        | _ -> None)
+      (Locks.span_members lk 0)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "members between lock and unlock"
+    [ "inside1"; "inside2" ] member_names
+
+let test_lock_spans_interproc () =
+  (* lock(l); call helper(); unlock(l) — helper's statements in the span *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let helper = B.declare b "helper" ~params:[] in
+  B.define b helper (fun fb -> B.nop fb "in_helper");
+  let m = B.global_obj b "mutex" in
+  let l = B.fresh_var b "l" in
+  B.define b main (fun fb ->
+      B.addr_of fb l m;
+      B.lock fb l;
+      B.call fb (Stmt.Direct helper) [];
+      B.unlock fb l);
+  let prog = B.finish b in
+  let ast, _icfg, tm = setup prog in
+  let lk = Locks.compute prog ast tm in
+  Alcotest.(check int) "one span" 1 (Locks.n_spans lk);
+  let has_helper =
+    List.exists
+      (fun iid ->
+        Prog.stmt_at prog (Threads.inst tm iid).Threads.i_gid = Stmt.Nop "in_helper")
+      (Locks.span_members lk 0)
+  in
+  Alcotest.(check bool) "helper body inside the span" true has_helper
+
+let test_lock_not_singleton () =
+  (* a lock pointer that may point to two locks yields no span *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let m1 = B.global_obj b "m1" and m2 = B.global_obj b "m2" in
+  let l1 = B.fresh_var b "l1" and l2 = B.fresh_var b "l2" and l = B.fresh_var b "l" in
+  B.define b main (fun fb ->
+      B.addr_of fb l1 m1;
+      B.addr_of fb l2 m2;
+      B.phi fb l [ l1; l2 ];
+      B.lock fb l;
+      B.unlock fb l);
+  let prog = B.finish b in
+  let ast, _icfg, tm = setup prog in
+  let lk = Locks.compute prog ast tm in
+  Alcotest.(check int) "no must-alias span" 0 (Locks.n_spans lk)
+
+(* -- Paper Figure 9: context-sensitive span membership ---------------------- *)
+
+let test_fig9_context_sensitive_spans () =
+  (* main { cs1: bar(); fork(t1, foo1); fork(t2, foo2) }
+     foo1 { s1: *p=..; lock(l1); s2: *p=..; s3: *p=..; unlock(l1) }
+     foo2 { lock(l2); cs4: bar(); unlock(l2) }
+     bar  { s4: ..=*q }
+     Only the instance of s4 called from cs4 is inside the span of l2. *)
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let foo1 = B.declare b "foo1" ~params:[ "p"; "l" ] in
+  let foo2 = B.declare b "foo2" ~params:[ "q"; "l" ] in
+  let bar = B.declare b "bar" ~params:[ "bq" ] in
+  let o = B.global_obj b "o" in
+  let m = B.global_obj b "the_lock" in
+  let d4 = B.fresh_var b "d4" in
+  B.define b bar (fun fb -> B.load fb d4 (B.param b bar 0));
+  B.define b foo1 (fun fb ->
+      let p = B.param b foo1 0 and l = B.param b foo1 1 in
+      B.store fb p p;
+      B.lock fb l;
+      B.store fb p p;
+      B.store fb p p;
+      B.unlock fb l);
+  B.define b foo2 (fun fb ->
+      let q = B.param b foo2 0 and l = B.param b foo2 1 in
+      B.lock fb l;
+      B.call fb (Stmt.Direct bar) [ q ];
+      B.unlock fb l);
+  B.define b main (fun fb ->
+      let po = B.fresh_var b "po" and pl = B.fresh_var b "pl" in
+      B.addr_of fb po o;
+      B.addr_of fb pl m;
+      (* cs1: bar() called OUTSIDE any lock region *)
+      B.call fb (Stmt.Direct bar) [ po ];
+      B.fork fb (Stmt.Direct foo1) [ po; pl ];
+      B.fork fb (Stmt.Direct foo2) [ po; pl ]);
+  let prog = B.finish b in
+  let ast, _icfg, tm = setup prog in
+  let lk = Locks.compute prog ast tm in
+  (* find the s4 (load) instances: one via main's cs1, one via foo2's cs4 *)
+  let load_gid = Prog.gid prog ~fid:bar ~idx:0 in
+  let insts = Threads.insts_of_gid tm load_gid in
+  Alcotest.(check int) "two instances of s4" 2 (List.length insts);
+  let inside, outside =
+    List.partition (fun iid -> Locks.spans_of_inst lk iid <> []) insts
+  in
+  Alcotest.(check int) "exactly one instance inside the span" 1 (List.length inside);
+  Alcotest.(check int) "the other outside" 1 (List.length outside);
+  (* the inside one belongs to thread t2 (foo2's thread), not main *)
+  (match inside with
+  | [ iid ] ->
+    let t = (Threads.inst tm iid).Threads.i_thread in
+    Alcotest.(check bool) "inside instance runs in foo2's thread" true
+      (Threads.start_fns tm t = [ foo2 ])
+  | _ -> ())
+
+(* -- PCG baseline ----------------------------------------------------------- *)
+
+let test_pcg_coarse () =
+  (* PCG (no join modelling) must report MEC even after the join, where the
+     precise interleaving analysis does not *)
+  let f8 = build_fig8 () in
+  let ast, icfg, tm = setup f8.prog in
+  ignore ast;
+  let pcg = Pcg.compute tm icfg in
+  let mhp = Mhp.compute tm in
+  (* both agree on a true pair *)
+  Alcotest.(check bool) "pcg s2||s5" true (Pcg.mec_stmt pcg f8.s2 f8.s5);
+  (* pcg is coarser: claims s2 || s4 because main and foo2 run in parallel
+     threads at the procedure level *)
+  Alcotest.(check bool) "pcg coarser than mhp" true
+    (Pcg.mec_stmt pcg f8.s2 f8.s4 && not (Mhp.mhp_stmt mhp f8.s2 f8.s4))
+
+let suite =
+  [
+    Alcotest.test_case "fig8 thread model" `Quick test_fig8_threads;
+    Alcotest.test_case "fig8 MHP pairs" `Quick test_fig8_mhp;
+    Alcotest.test_case "detached thread (fig 1b)" `Quick test_detached_thread;
+    Alcotest.test_case "multi-forked loop" `Quick test_multiforked;
+    Alcotest.test_case "symmetric fork/join loops (fig 11)" `Quick test_symmetric_fork_join_loops;
+    Alcotest.test_case "single join of multi-forked unhandled" `Quick
+      test_single_join_of_multiforked_is_unhandled;
+    Alcotest.test_case "recursive fork multi" `Quick test_recursive_fork_multi;
+    Alcotest.test_case "lock span basic" `Quick test_lock_spans;
+    Alcotest.test_case "lock span interprocedural" `Quick test_lock_spans_interproc;
+    Alcotest.test_case "non-singleton lock ignored" `Quick test_lock_not_singleton;
+    Alcotest.test_case "fig9 context-sensitive spans" `Quick test_fig9_context_sensitive_spans;
+    Alcotest.test_case "pcg coarser baseline" `Quick test_pcg_coarse;
+  ]

@@ -1,0 +1,102 @@
+(* MiniC pretty-printer: parse . print = identity (on already-desugared
+   ASTs), checked on hand-written sources and on randomly generated ASTs. *)
+
+module F = Fsam_frontend
+open F.Ast
+
+let reparse src = F.Parser.parse_string src
+
+let roundtrip_src src =
+  let ast1 = reparse src in
+  let printed = F.Pretty.to_string ast1 in
+  let ast2 =
+    try reparse printed
+    with e ->
+      Alcotest.failf "re-parse failed: %s\nprinted:\n%s" (Printexc.to_string e) printed
+  in
+  if ast1 <> ast2 then Alcotest.failf "round-trip mismatch; printed:\n%s" printed
+
+let test_roundtrip_samples () =
+  List.iter roundtrip_src
+    [
+      "int main() { return 0; }";
+      {| struct S { int f; int *g; };
+         struct S s;
+         int *gp = &s;
+         int main() { int *p; p = &s.f; p = gp->g; return 0; } |};
+      {| int arr[4];
+         thread_t tid[2];
+         lock_t m;
+         void w(int *a) { lock(&m); *a = a; unlock(&m); }
+         int main() {
+           int i;
+           while (i < 2) { fork(&tid[i], w, arr[0]); }
+           if (i == 0) { join(&tid[0]); } else { i = i + 1; }
+           return 0;
+         } |};
+      "int main() { int *p; p = malloc(8); fork(null, main); return 0; }";
+    ]
+
+(* random AST generation for the round-trip property *)
+let gen_ast seed =
+  let rng = Random.State.make [| seed |] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let rec gen_expr depth =
+    if depth <= 0 then pick [ Eid "x"; Eid "y"; Eint 3; Enull; Enondet; Emalloc ]
+    else
+      match Random.State.int rng 8 with
+      | 0 -> Eaddr (Eid (pick [ "x"; "g" ]))
+      | 1 -> Ederef (gen_expr (depth - 1))
+      | 2 -> Efield (gen_expr (depth - 1), pick [ "f"; "g" ], Random.State.bool rng)
+      | 3 -> Eindex (Eid "arr", gen_expr (depth - 1))
+      | 4 -> Ecall (Eid "h", [ gen_expr (depth - 1) ])
+      | 5 -> Ebinop ("'+'", gen_expr (depth - 1), gen_expr (depth - 1))
+      | 6 -> Ebinop ("'=='", gen_expr (depth - 1), gen_expr (depth - 1))
+      | _ -> gen_expr 0
+  in
+  let rec gen_stmt depth =
+    match Random.State.int rng 9 with
+    | 0 -> Sdecl (Tptr Tint, Printf.sprintf "v%d" (Random.State.int rng 100), None)
+    | 1 -> Sassign (Eid "x", gen_expr 2)
+    | 2 -> Sexpr (gen_expr 2)
+    | 3 when depth < 2 ->
+      Sif (gen_expr 1, [ gen_stmt (depth + 1) ], [ gen_stmt (depth + 1) ])
+    | 4 when depth < 2 -> Swhile (gen_expr 1, [ gen_stmt (depth + 1) ])
+    | 5 -> Sreturn (Some (gen_expr 1))
+    | 6 -> Sfork (Some (Eaddr (Eid "tid")), Eid "h", [ gen_expr 1 ])
+    | 7 -> Slock (Eaddr (Eid "m"))
+    | _ -> Sjoin (Eaddr (Eid "tid"))
+  in
+  [
+    Dglobal (Tptr Tint, "g", None);
+    Dglobal (Tarray (Tint, 4), "arr", None);
+    Dglobal (Tlock, "m", None);
+    Dglobal (Tthread, "tid", None);
+    Dstruct ("S", [ (Tint, "f"); (Tptr Tint, "g") ]);
+    Dfun
+      {
+        fname = "h";
+        ret_ty = Tptr Tint;
+        params = [ (Tptr Tint, "x"); (Tptr Tint, "y") ];
+        body = List.init 5 (fun _ -> gen_stmt 0);
+      };
+    Dfun { fname = "main"; ret_ty = Tint; params = []; body = List.init 8 (fun _ -> gen_stmt 0) };
+  ]
+
+let test_roundtrip_random () =
+  for seed = 0 to 60 do
+    let ast = gen_ast seed in
+    let printed = F.Pretty.to_string ast in
+    let ast2 =
+      try reparse printed
+      with e ->
+        Alcotest.failf "seed %d: re-parse failed: %s\n%s" seed (Printexc.to_string e) printed
+    in
+    if ast <> ast2 then Alcotest.failf "seed %d: round-trip mismatch:\n%s" seed printed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "round-trip samples" `Quick test_roundtrip_samples;
+    Alcotest.test_case "round-trip random ASTs" `Quick test_roundtrip_random;
+  ]

@@ -1,0 +1,1 @@
+tools/fig12_test.mli:

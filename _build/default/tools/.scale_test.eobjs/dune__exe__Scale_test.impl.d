@@ -1,0 +1,1 @@
+tools/scale_test.ml: Array Fsam_core Fsam_workloads Option Printf Sys

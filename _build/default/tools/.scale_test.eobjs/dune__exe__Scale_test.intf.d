@@ -1,0 +1,1 @@
+tools/scale_test.mli:
