@@ -17,9 +17,19 @@
 module D = Fsam_core.Driver
 module W = Fsam_workloads.Suite
 module Measure' = Fsam_core.Measure
+module J = Fsam_obs.Json
 
 let budget = ref 120.
 let quick = ref false
+
+(* Persist a table as JSON next to the scrollback output so the perf
+   trajectory across PRs stays diffable (BENCH_table2.json etc.). *)
+let write_bench path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> J.to_channel oc doc);
+  Printf.printf "(wrote %s)\n\n" path
 
 (* programs analyzable by NonSparse within the budget get a scale that
    terminates; the two largest are sized to exceed it (like raytrace / x264
@@ -58,26 +68,55 @@ let table2 () =
     "FSAM facts" "NonSp (s)" "NonSp facts" "speedup" "mem rat";
   Printf.printf "%s\n" (String.make 90 '-');
   let speedups = ref [] and mem_ratios = ref [] in
+  let rows = ref [] in
   List.iter
     (fun (s : W.spec) ->
       let prog = s.build (scale_of s) in
       let mf = Measure'.run (fun () -> D.run prog) in
-      let f_time = mf.Measure'.seconds in
+      let f_time = mf.Measure'.wall_seconds in
       let f_facts = Fsam_core.Sparse.pts_entries mf.Measure'.value.D.sparse in
       let cfg = { D.default_config with nonsparse_budget = !budget } in
       let prog2 = s.build (scale_of s) in
       let mn = Measure'.run (fun () -> D.run_nonsparse ~config:cfg prog2) in
+      let fsam_json =
+        [
+          ("fsam_wall_s", J.Float f_time);
+          ("fsam_cpu_s", J.Float mf.Measure'.cpu_seconds);
+          ("fsam_live_mb", J.Float mf.Measure'.live_mb);
+          ("fsam_facts", J.Int f_facts);
+        ]
+      in
       (match fst mn.Measure'.value with
       | Fsam_core.Nonsparse.Done ns ->
-        let n_time = mn.Measure'.seconds in
+        let n_time = mn.Measure'.wall_seconds in
         let n_facts = Fsam_core.Nonsparse.pts_entries ns in
         let sp = n_time /. max 1e-6 f_time in
         let mr = float_of_int n_facts /. float_of_int (max 1 f_facts) in
         speedups := sp :: !speedups;
         mem_ratios := mr :: !mem_ratios;
+        rows :=
+          J.Obj
+            (("program", J.String s.name)
+             :: fsam_json
+            @ [
+                ("nonsparse_status", J.String "done");
+                ("nonsparse_wall_s", J.Float n_time);
+                ("nonsparse_cpu_s", J.Float mn.Measure'.cpu_seconds);
+                ("nonsparse_live_mb", J.Float mn.Measure'.live_mb);
+                ("nonsparse_facts", J.Int n_facts);
+                ("speedup", J.Float sp);
+                ("mem_ratio", J.Float mr);
+              ])
+          :: !rows;
         Printf.printf "%-14s | %10.2f %12d | %12.2f %12d | %7.1fx %7.1fx\n" s.name f_time
           f_facts n_time n_facts sp mr
-      | Fsam_core.Nonsparse.Timeout _ ->
+      | Fsam_core.Nonsparse.Timeout b ->
+        rows :=
+          J.Obj
+            (("program", J.String s.name)
+             :: fsam_json
+            @ [ ("nonsparse_status", J.String "oot"); ("nonsparse_budget_s", J.Float b) ])
+          :: !rows;
         Printf.printf "%-14s | %10.2f %12d | %12s %12s | %8s %8s\n" s.name f_time f_facts
           "OOT" "-" "-" "-");
       flush stdout)
@@ -87,7 +126,17 @@ let table2 () =
     "Geometric mean over mutually-analyzable programs: %.1fx faster, %.1fx fewer \
      points-to facts\n"
     (geomean !speedups) (geomean !mem_ratios);
-  Printf.printf "(paper: 12x faster, 28x less memory; OOT expected on raytrace and x264)\n\n"
+  Printf.printf "(paper: 12x faster, 28x less memory; OOT expected on raytrace and x264)\n\n";
+  write_bench "BENCH_table2.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.table2/1");
+         ("budget_s", J.Float !budget);
+         ("quick", J.Bool !quick);
+         ("geomean_speedup", J.Float (geomean !speedups));
+         ("geomean_mem_ratio", J.Float (geomean !mem_ratios));
+         ("rows", J.List (List.rev !rows));
+       ])
 
 (* ------------------------------------------------------------------------- *)
 (* Figure 12 — impact of the three thread-interference phases.                *)
@@ -102,27 +151,60 @@ let figure12 () =
   Printf.printf "%-14s | %9s | %-18s %-18s %-18s\n" "Program" "FSAM (s)" "No-Interleaving"
     "No-Value-Flow" "No-Lock";
   Printf.printf "%s\n" (String.make 86 '-');
+  let rows = ref [] in
   List.iter
     (fun (s : W.spec) ->
       let run config =
         let prog = s.build (scale_of s) in
         let m = Measure'.run (fun () -> D.run ~config prog) in
-        (m.Measure'.seconds, Fsam_core.Sparse.pts_entries m.Measure'.value.D.sparse)
+        (m.Measure'.wall_seconds, Fsam_core.Sparse.pts_entries m.Measure'.value.D.sparse)
       in
       let base_t, base_f = run D.default_config in
-      let cell config =
+      let cells = ref [] in
+      let cell name config =
         let t, f = run config in
-        Printf.sprintf "%5.2fx [%5.2fx]" (t /. max 1e-6 base_t)
-          (float_of_int f /. float_of_int (max 1 base_f))
+        let slowdown = t /. max 1e-6 base_t in
+        let growth = float_of_int f /. float_of_int (max 1 base_f) in
+        cells :=
+          ( name,
+            J.Obj
+              [
+                ("wall_s", J.Float t);
+                ("slowdown", J.Float slowdown);
+                ("fact_growth", J.Float growth);
+              ] )
+          :: !cells;
+        Printf.sprintf "%5.2fx [%5.2fx]" slowdown growth
       in
-      Printf.printf "%-14s | %9.2f | %-18s %-18s %-18s\n" s.name base_t
-        (cell D.no_interleaving) (cell D.no_value_flow) (cell D.no_lock);
+      let printed =
+        Printf.sprintf "%-14s | %9.2f | %-18s %-18s %-18s" s.name base_t
+          (cell "no_interleaving" D.no_interleaving)
+          (cell "no_value_flow" D.no_value_flow)
+          (cell "no_lock" D.no_lock)
+      in
+      Printf.printf "%s\n" printed;
+      rows :=
+        J.Obj
+          [
+            ("program", J.String s.name);
+            ("base_wall_s", J.Float base_t);
+            ("base_facts", J.Int base_f);
+            ("ablations", J.Obj (List.rev !cells));
+          ]
+        :: !rows;
       flush stdout)
     W.all;
   Printf.printf
     "(paper: value-flow matters most on average; interleaving dominates on \
      master-slave programs — kmeans, httpd_server, mt_daapd; locks on automount and \
-     radiosity)\n\n"
+     radiosity)\n\n";
+  write_bench "BENCH_figure12.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.figure12/1");
+         ("quick", J.Bool !quick);
+         ("rows", J.List (List.rev !rows));
+       ])
 
 (* ------------------------------------------------------------------------- *)
 (* Micro-benchmarks (bechamel): core kernels.                                 *)

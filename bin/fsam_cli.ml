@@ -51,15 +51,44 @@ let with_program f source =
 
 (* -- analyze ---------------------------------------------------------------- *)
 
-let analyze source config_name engine dump_pts =
+module T = Fsam_core.Telemetry
+
+(* shared by analyze/races: write the telemetry document and/or the Chrome
+   trace of the spans recorded by the last pipeline run *)
+let export ~json ~trace mk_doc =
+  try
+    (match json with Some path -> T.write_json path (mk_doc ()) | None -> ());
+    match trace with Some path -> T.write_trace path | None -> ()
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full report, metrics registry and span tree as JSON.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the span tree in Chrome trace_event format \
+                 (chrome://tracing, Perfetto).")
+
+let analyze source config_name engine dump_pts json trace =
   with_program
     (fun prog ->
       match engine with
       | "andersen" ->
         let m = Fsam_core.Measure.run (fun () -> Fsam_andersen.Solver.run prog) in
         Format.printf "%a@." Fsam_andersen.Solver.pp_stats m.Fsam_core.Measure.value;
-        Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+        Format.printf "time: %.3fs (%.3fs cpu), live heap: %.1f MB@."
+          m.Fsam_core.Measure.wall_seconds m.Fsam_core.Measure.cpu_seconds
           m.Fsam_core.Measure.live_mb;
+        export ~json ~trace (fun () ->
+            T.analysis_json ~program:source ~engine:"andersen" ~config:config_name
+              ~wall_seconds:m.Fsam_core.Measure.wall_seconds
+              ~cpu_seconds:m.Fsam_core.Measure.cpu_seconds
+              ~live_mb:m.Fsam_core.Measure.live_mb ());
         if dump_pts then
           for v = 0 to Prog.n_vars prog - 1 do
             let pts = Fsam_andersen.Solver.pt_var m.Fsam_core.Measure.value v in
@@ -68,15 +97,21 @@ let analyze source config_name engine dump_pts =
                 (String.concat ", "
                    (List.map (Prog.obj_name prog) (Fsam_dsa.Iset.elements pts)))
           done
-      | "nonsparse" -> (
+      | "nonsparse" ->
         let m = Fsam_core.Measure.run (fun () -> D.run_nonsparse prog) in
-        match fst m.Fsam_core.Measure.value with
+        (match fst m.Fsam_core.Measure.value with
         | Fsam_core.Nonsparse.Done ns ->
           Format.printf "%a@." Fsam_core.Nonsparse.pp_stats ns;
-          Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+          Format.printf "time: %.3fs (%.3fs cpu), live heap: %.1f MB@."
+            m.Fsam_core.Measure.wall_seconds m.Fsam_core.Measure.cpu_seconds
             m.Fsam_core.Measure.live_mb
         | Fsam_core.Nonsparse.Timeout budget ->
-          Format.printf "nonsparse: OOT (budget %.0fs exceeded)@." budget)
+          Format.printf "nonsparse: OOT (budget %.0fs exceeded)@." budget);
+        export ~json ~trace (fun () ->
+            T.analysis_json ~program:source ~engine:"nonsparse" ~config:config_name
+              ~wall_seconds:m.Fsam_core.Measure.wall_seconds
+              ~cpu_seconds:m.Fsam_core.Measure.cpu_seconds
+              ~live_mb:m.Fsam_core.Measure.live_mb ())
       | "fsam" -> (
         match config_of_string config_name with
         | Error e ->
@@ -86,8 +121,15 @@ let analyze source config_name engine dump_pts =
           let m = Fsam_core.Measure.run (fun () -> D.run ~config prog) in
           let d = m.Fsam_core.Measure.value in
           Format.printf "%a@." D.pp_summary d;
-          Format.printf "time: %.3fs, live heap: %.1f MB@." m.Fsam_core.Measure.seconds
+          Format.printf "time: %.3fs (%.3fs cpu), live heap: %.1f MB@."
+            m.Fsam_core.Measure.wall_seconds m.Fsam_core.Measure.cpu_seconds
             m.Fsam_core.Measure.live_mb;
+          export ~json ~trace (fun () ->
+              T.analysis_json ~program:source ~engine:"fsam" ~config:config_name
+                ~wall_seconds:m.Fsam_core.Measure.wall_seconds
+                ~cpu_seconds:m.Fsam_core.Measure.cpu_seconds
+                ~live_mb:m.Fsam_core.Measure.live_mb
+                ~report:(Fsam_core.Report.build d) ());
           if dump_pts then
             for v = 0 to Prog.n_vars prog - 1 do
               let names = D.pt_names d v in
@@ -110,11 +152,11 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
-    Term.(const analyze $ source_arg $ config_arg $ engine $ dump)
+    Term.(const analyze $ source_arg $ config_arg $ engine $ dump $ json_arg $ trace_arg)
 
 (* -- races ------------------------------------------------------------------- *)
 
-let races source =
+let races source json trace =
   with_program
     (fun prog ->
       let d = D.run prog in
@@ -123,13 +165,14 @@ let races source =
       else begin
         Format.printf "%d potential data race(s):@." (List.length rs);
         List.iter (fun r -> Format.printf "  %a@." (Fsam_core.Races.pp_race d) r) rs
-      end)
+      end;
+      export ~json ~trace (fun () -> T.races_json d rs))
     source
 
 let races_cmd =
   Cmd.v
     (Cmd.info "races" ~doc:"Detect data races using FSAM's points-to results")
-    Term.(const races $ source_arg)
+    Term.(const races $ source_arg $ json_arg $ trace_arg)
 
 (* -- deadlocks ---------------------------------------------------------------- *)
 

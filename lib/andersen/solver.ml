@@ -1,5 +1,6 @@
 open Fsam_dsa
 open Fsam_ir
+module Obs = Fsam_obs
 
 (* Constraint-graph nodes: top-level variables occupy ids [0, V); the cell of
    object [o] is node [V + o]. The object table grows as field objects are
@@ -35,6 +36,9 @@ type t = {
   mutable in_queue : Bitvec.t;
   mutable iterations : int;
   mutable edges_since_collapse : int;
+  mutable queue_peak : int;
+  mutable copy_edges : int;
+  mutable collapses : int;
 }
 
 let node_of_var _t v = v
@@ -60,7 +64,11 @@ let rep t n =
 
 let push t n =
   let n = rep t n in
-  if Bitvec.set_if_unset t.in_queue n then Queue.add n t.queue
+  if Bitvec.set_if_unset t.in_queue n then begin
+    Queue.add n t.queue;
+    let depth = Queue.length t.queue in
+    if depth > t.queue_peak then t.queue_peak <- depth
+  end
 
 let add_pts t n set =
   let n = rep t n in
@@ -79,6 +87,7 @@ let add_edge t u v =
   if u <> v && not (Iset.mem v t.succs.(u)) then begin
     t.succs.(u) <- Iset.add v t.succs.(u);
     t.edges_since_collapse <- t.edges_since_collapse + 1;
+    t.copy_edges <- t.copy_edges + 1;
     (* flow everything u already knows into v *)
     add_pts t v t.pts.(u)
   end
@@ -114,6 +123,8 @@ let fork_of_stmt t cs fork_id callee =
 
 (* Online cycle collapsing over the copy-edge graph. *)
 let collapse t =
+  t.collapses <- t.collapses + 1;
+  let merged = Obs.Metrics.counter "andersen.pwc_merged_nodes" in
   let n = Array.length t.pts in
   let g = Fsam_graph.Digraph.create ~size_hint:n () in
   for u = 0 to n - 1 do
@@ -132,6 +143,7 @@ let collapse t =
       match members with
       | [] | [ _ ] -> ()
       | first :: rest ->
+        Obs.Metrics.add merged (List.length rest);
         let keep = Uf.find t.uf first in
         let merged_pts = ref t.pts.(keep) in
         let merged_succs = ref t.succs.(keep) in
@@ -236,6 +248,13 @@ let process t n =
     Iset.iter (fun m -> add_pts t m delta) t.succs.(n)
   end
 
+let total_pts_size t =
+  let total = ref 0 in
+  Array.iteri
+    (fun n s -> if Uf.find t.uf n = n then total := !total + Iset.cardinal s)
+    t.pts;
+  !total
+
 let run prog =
   let nvars = Prog.n_vars prog in
   let size = nvars + Prog.n_objs prog + 64 in
@@ -268,11 +287,15 @@ let run prog =
       in_queue = Bitvec.create ~capacity:size ();
       iterations = 0;
       edges_since_collapse = 0;
+      queue_peak = 0;
+      copy_edges = 0;
+      collapses = 0;
     }
   in
   Fsam_graph.Digraph.ensure_node t.cg (Prog.n_funcs prog - 1);
   Fsam_graph.Digraph.ensure_node t.cg_nf (Prog.n_funcs prog - 1);
   (* Initial constraints. *)
+  Obs.Span.with_ ~name:"andersen.constraints" (fun () ->
   Prog.iter_funcs prog (fun f ->
       let fid = f.Func.fid in
       Func.iter_stmts f (fun idx s ->
@@ -301,15 +324,24 @@ let run prog =
             match target with
             | Stmt.Direct f -> fork_of_stmt t cs fork_id f
             | Stmt.Indirect v -> tbl_add t.icalls (node_of_var t v) cs)
-          | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ()));
-  (* Fixpoint. *)
+          | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ())));
+  (* Fixpoint: waves of difference propagation punctuated by PWC/cycle
+     collapsing passes whenever enough new copy edges accumulated. *)
   let collapse_threshold = max 512 (size / 2) in
-  while not (Queue.is_empty t.queue) do
-    let n = Queue.pop t.queue in
-    Bitvec.clear t.in_queue n;
-    process t n;
-    if t.edges_since_collapse > collapse_threshold then collapse t
-  done;
+  Obs.Span.with_ ~name:"andersen.fixpoint" (fun () ->
+      while not (Queue.is_empty t.queue) do
+        let n = Queue.pop t.queue in
+        Bitvec.clear t.in_queue n;
+        process t n;
+        if t.edges_since_collapse > collapse_threshold then
+          Obs.Span.with_ ~name:"andersen.collapse" (fun () -> collapse t)
+      done);
+  Obs.Metrics.(add (counter "andersen.iterations") t.iterations);
+  Obs.Metrics.(add (counter "andersen.copy_edges") t.copy_edges);
+  Obs.Metrics.(add (counter "andersen.collapses") t.collapses);
+  Obs.Metrics.(set_max (gauge "andersen.worklist_peak") t.queue_peak);
+  Obs.Metrics.(set (gauge "andersen.pts_entries") (total_pts_size t));
+  Obs.Metrics.(set (gauge "andersen.objects") (Prog.n_objs prog));
   t
 
 (* Queries ----------------------------------------------------------------- *)
@@ -347,13 +379,6 @@ let reachable_funcs t =
   Fsam_graph.Reach.from t.cg (Prog.main_fid t.prog)
 
 let n_solver_iterations t = t.iterations
-
-let total_pts_size t =
-  let total = ref 0 in
-  Array.iteri
-    (fun n s -> if Uf.find t.uf n = n then total := !total + Iset.cardinal s)
-    t.pts;
-  !total
 
 let pp_stats ppf t =
   Format.fprintf ppf "andersen: %d iterations, %d pts entries, %d objects"

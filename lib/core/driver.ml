@@ -3,6 +3,7 @@ module A = Fsam_andersen.Solver
 module Modref = Fsam_andersen.Modref
 module Mta = Fsam_mta
 module Svfg = Fsam_memssa.Svfg
+module Obs = Fsam_obs
 
 type config = {
   svfg : Svfg.config;
@@ -44,61 +45,98 @@ type t = {
   times : phase_times;
 }
 
-let timed f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
-
+(* Each [run] owns the process-global observability buffers: spans and
+   metrics are reset at entry, so after [run] returns they describe exactly
+   that pipeline execution (exported by [Telemetry]). *)
 let run ?(config = default_config) prog =
   Validate.check_exn prog;
-  let (ast, modref), t_pre =
-    timed (fun () ->
-        let ast = A.run prog in
-        (ast, Modref.compute prog ast))
-  in
-  let (icfg, tm), t_thread_model =
-    timed (fun () ->
-        let icfg = Mta.Icfg.build prog ast in
-        (icfg, Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg))
-  in
-  let mhp, t_interleaving = timed (fun () -> Mta.Mhp.compute tm) in
-  let locks, t_lock = timed (fun () -> Mta.Locks.compute prog ast tm) in
-  let pcg = Mta.Pcg.compute tm icfg in
-  let svfg, t_svfg =
-    timed (fun () -> Svfg.build ~config:config.svfg prog ast modref icfg tm mhp locks pcg)
-  in
-  let sparse, t_solve =
-    timed (fun () ->
-        let singleton = Singletons.compute prog ast tm icfg in
-        Sparse.solve prog ast svfg ~singleton)
-  in
-  {
-    prog;
-    ast;
-    modref;
-    icfg;
-    tm;
-    mhp;
-    locks;
-    pcg;
-    svfg;
-    sparse;
-    times = { t_pre; t_thread_model; t_interleaving; t_lock; t_svfg; t_solve };
-  }
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Span.with_ ~name:"fsam.run" (fun () ->
+      let (ast, modref), sp_pre =
+        Obs.Span.with_timed ~name:"phase.pre" (fun () ->
+            let ast = A.run prog in
+            let modref =
+              Obs.Span.with_ ~name:"modref.compute" (fun () -> Modref.compute prog ast)
+            in
+            (ast, modref))
+      in
+      let (icfg, tm), sp_threads =
+        Obs.Span.with_timed ~name:"phase.threads" (fun () ->
+            let icfg = Obs.Span.with_ ~name:"icfg.build" (fun () -> Mta.Icfg.build prog ast) in
+            let tm =
+              Obs.Span.with_ ~name:"threads.build" (fun () ->
+                  Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg)
+            in
+            (icfg, tm))
+      in
+      let mhp, sp_mhp = Obs.Span.with_timed ~name:"phase.mhp" (fun () -> Mta.Mhp.compute tm) in
+      let locks, sp_lock =
+        Obs.Span.with_timed ~name:"phase.locks" (fun () -> Mta.Locks.compute prog ast tm)
+      in
+      let pcg = Obs.Span.with_ ~name:"pcg.compute" (fun () -> Mta.Pcg.compute tm icfg) in
+      let svfg, sp_svfg =
+        Obs.Span.with_timed ~name:"phase.svfg" (fun () ->
+            Svfg.build ~config:config.svfg prog ast modref icfg tm mhp locks pcg)
+      in
+      let sparse, sp_solve =
+        Obs.Span.with_timed ~name:"phase.solve" (fun () ->
+            let singleton =
+              Obs.Span.with_ ~name:"singletons.compute" (fun () ->
+                  Singletons.compute prog ast tm icfg)
+            in
+            Sparse.solve prog ast svfg ~singleton)
+      in
+      {
+        prog;
+        ast;
+        modref;
+        icfg;
+        tm;
+        mhp;
+        locks;
+        pcg;
+        svfg;
+        sparse;
+        times =
+          {
+            t_pre = sp_pre.Obs.Span.dur_s;
+            t_thread_model = sp_threads.Obs.Span.dur_s;
+            t_interleaving = sp_mhp.Obs.Span.dur_s;
+            t_lock = sp_lock.Obs.Span.dur_s;
+            t_svfg = sp_svfg.Obs.Span.dur_s;
+            t_solve = sp_solve.Obs.Span.dur_s;
+          };
+      })
 
 let run_nonsparse ?(config = default_config) prog =
   Validate.check_exn prog;
-  let t0 = Sys.time () in
-  let ast = A.run prog in
-  let icfg = Mta.Icfg.build prog ast in
-  let tm = Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg in
-  let pcg = Mta.Pcg.compute tm icfg in
-  let singleton = Singletons.compute prog ast tm icfg in
-  let remaining = config.nonsparse_budget -. (Sys.time () -. t0) in
-  let outcome =
-    Nonsparse.solve ~budget_seconds:(max 0.1 remaining) prog ast icfg pcg ~singleton
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  let outcome, root =
+    Obs.Span.with_timed ~name:"nonsparse.run" (fun () ->
+        let t0 = Sys.time () in
+        let (ast, icfg, pcg, singleton), _ =
+          Obs.Span.with_timed ~name:"phase.pre" (fun () ->
+              let ast = A.run prog in
+              let icfg = Obs.Span.with_ ~name:"icfg.build" (fun () -> Mta.Icfg.build prog ast) in
+              let tm =
+                Obs.Span.with_ ~name:"threads.build" (fun () ->
+                    Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg)
+              in
+              let pcg = Obs.Span.with_ ~name:"pcg.compute" (fun () -> Mta.Pcg.compute tm icfg) in
+              let singleton =
+                Obs.Span.with_ ~name:"singletons.compute" (fun () ->
+                    Singletons.compute prog ast tm icfg)
+              in
+              (ast, icfg, pcg, singleton))
+        in
+        (* the OOT budget stays CPU-time based, like Nonsparse.solve itself *)
+        let remaining = config.nonsparse_budget -. (Sys.time () -. t0) in
+        Obs.Span.with_ ~name:"nonsparse.solve" (fun () ->
+            Nonsparse.solve ~budget_seconds:(max 0.1 remaining) prog ast icfg pcg ~singleton))
   in
-  (outcome, Sys.time () -. t0)
+  (outcome, root.Obs.Span.dur_s)
 
 let pt t v = Sparse.pt_top t.sparse v
 

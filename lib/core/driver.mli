@@ -23,8 +23,13 @@ type phase_times = {
   t_interleaving : float;  (** MHP analysis *)
   t_lock : float;  (** lock-span analysis *)
   t_svfg : float;  (** def-use construction incl. value-flow phase *)
-  t_solve : float;  (** sparse solve *)
+  t_solve : float;  (** singleton detection + sparse solve *)
 }
+(** Per-phase {e wall-clock} seconds (historically these were [Sys.time]
+    CPU seconds). Each field is the duration of the matching [phase.*]
+    span; the full span tree — with CPU time and allocation deltas — is
+    available from [Fsam_obs.Span.roots] after [run] returns, and the
+    benchmark harness reports CPU time separately via [Measure]. *)
 
 type t = {
   prog : Prog.t;
@@ -42,12 +47,15 @@ type t = {
 
 val run : ?config:config -> Prog.t -> t
 (** Runs the full FSAM pipeline. The program must be in partial SSA
-    (checked). *)
+    (checked). Resets [Fsam_obs] (spans and metrics) at entry; after it
+    returns, the global span tree and metrics registry describe this run. *)
 
 val run_nonsparse :
   ?config:config -> Prog.t -> Nonsparse.outcome * float
 (** Runs the NonSparse baseline (pre-analysis + PCG + iterative data-flow);
-    returns the outcome and the total analysis time in seconds. *)
+    returns the outcome and the total wall-clock analysis time in seconds.
+    Also resets and repopulates the [Fsam_obs] state. The OOT budget is
+    still accounted in CPU time inside [Nonsparse.solve]. *)
 
 (* Convenience queries ---------------------------------------------------- *)
 

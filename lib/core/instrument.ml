@@ -3,6 +3,7 @@ module Mta = Fsam_mta
 module Svfg = Fsam_memssa.Svfg
 
 type report = { total_accesses : int; instrumented : int; reduction : float }
+type sets = (int, unit) Hashtbl.t
 
 (* An access must keep its dynamic check when it is one end of a surviving
    thread-aware def-use edge (an interfering MHP pair on a common object,
@@ -37,11 +38,26 @@ let instrumented_set d =
       | _ -> ());
   need
 
-let must_instrument d gid = Hashtbl.mem (instrumented_set d) gid
+(* One-entry memo keyed by physical equality: per-query callers
+   ([must_instrument]) no longer rebuild the full set, and the cache stays
+   bounded — at most one analysis result is retained, replaced as soon as a
+   different driver value is queried. *)
+let cache : (Driver.t * sets) option ref = ref None
+
+let instrumented_sets d =
+  match !cache with
+  | Some (d0, s) when d0 == d -> s
+  | _ ->
+    let s = instrumented_set d in
+    cache := Some (d, s);
+    s
+
+let must_instrument_in sets gid = Hashtbl.mem sets gid
+let must_instrument d gid = must_instrument_in (instrumented_sets d) gid
 
 let analyze d =
   let prog = d.Driver.prog in
-  let need = instrumented_set d in
+  let need = instrumented_sets d in
   let total = ref 0 and kept = ref 0 in
   Prog.iter_stmts prog (fun gid _ s ->
       match s with

@@ -14,5 +14,17 @@ type report = {
 
 val analyze : Driver.t -> report
 
+type sets
+(** Precomputed instrumentation sets for one analysis result. *)
+
+val instrumented_sets : Driver.t -> sets
+(** Compute (or fetch from a one-entry cache keyed on the driver value) the
+    set of accesses that need dynamic checks. *)
+
+val must_instrument_in : sets -> int -> bool
+(** O(1) query against a precomputed set. *)
+
 val must_instrument : Driver.t -> int -> bool
-(** Whether the load/store at this gid needs a dynamic check. *)
+(** Whether the load/store at this gid needs a dynamic check. Memoized:
+    repeated queries against the same [Driver.t] reuse the precomputed set
+    instead of rebuilding it per call. *)

@@ -1,4 +1,9 @@
-type 'a measured = { value : 'a; seconds : float; live_mb : float }
+type 'a measured = {
+  value : 'a;
+  wall_seconds : float;
+  cpu_seconds : float;
+  live_mb : float;
+}
 
 let word_bytes = Sys.word_size / 8
 let words_to_mb w = float_of_int (w * word_bytes) /. (1024. *. 1024.)
@@ -9,8 +14,10 @@ let live_words () =
 
 let run f =
   let before = live_words () in
-  let t0 = Sys.time () in
+  let w0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
   let value = f () in
-  let seconds = Sys.time () -. t0 in
+  let cpu_seconds = Sys.time () -. c0 in
+  let wall_seconds = Unix.gettimeofday () -. w0 in
   let after = live_words () in
-  { value; seconds; live_mb = words_to_mb (max 0 (after - before)) }
+  { value; wall_seconds; cpu_seconds; live_mb = words_to_mb (max 0 (after - before)) }

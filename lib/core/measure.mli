@@ -1,9 +1,18 @@
-(** Timing and memory measurement for the benchmark harness. Memory is
-    reported as the delta of live heap words across the measured computation
-    (after a major collection), converted to MB — a faithful stand-in for
-    the RSS numbers of the paper's Table 2 for {e relative} comparisons. *)
+(** Timing and memory measurement for the benchmark harness. Time is
+    reported both as wall-clock ([Unix.gettimeofday]) and CPU time
+    ([Sys.time]) — the two differ under GC pressure or system load, and
+    conflating them is exactly what Table 2 comparisons must avoid. Memory
+    is reported as the delta of live heap words across the measured
+    computation (after a major collection), converted to MB — a faithful
+    stand-in for the RSS numbers of the paper's Table 2 for {e relative}
+    comparisons. *)
 
-type 'a measured = { value : 'a; seconds : float; live_mb : float }
+type 'a measured = {
+  value : 'a;
+  wall_seconds : float;  (** elapsed real time *)
+  cpu_seconds : float;  (** process CPU time *)
+  live_mb : float;
+}
 
 val run : (unit -> 'a) -> 'a measured
 val words_to_mb : int -> float

@@ -224,4 +224,6 @@ let solve ?(budget_seconds = 7200.) prog ast icfg pcg ~singleton =
          succs
      done
    with Exit -> ());
+  Fsam_obs.Metrics.(add (counter "nonsparse.iterations") t.iterations);
+  Fsam_obs.Metrics.(set (gauge "nonsparse.pts_entries") (pts_entries t));
   if !timed_out then Timeout budget_seconds else Done t

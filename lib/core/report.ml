@@ -73,6 +73,72 @@ let build (d : Driver.t) =
     r_times = d.Driver.times;
   }
 
+let to_json r =
+  let module J = Fsam_obs.Json in
+  let t = r.r_times in
+  J.Obj
+    [
+      ( "program",
+        J.Obj
+          [
+            ("stmts", J.Int r.r_stmts);
+            ("funcs", J.Int r.r_funcs);
+            ("vars", J.Int r.r_vars);
+            ("objs", J.Int r.r_objs);
+          ] );
+      ( "pre_analysis",
+        J.Obj
+          [
+            ("iterations", J.Int r.r_andersen_iters);
+            ("facts", J.Int r.r_andersen_facts);
+            ("reachable_funcs", J.Int r.r_reachable_funcs);
+          ] );
+      ( "thread_model",
+        J.Obj
+          [
+            ("threads", J.Int r.r_threads);
+            ("multi_forked", J.Int r.r_multi_forked);
+            ("instances", J.Int r.r_instances);
+            ("handled_join_insts", J.Int r.r_handled_join_insts);
+          ] );
+      ( "interleaving",
+        J.Obj [ ("iterations", J.Int r.r_mhp_iters); ("facts", J.Int r.r_mhp_facts) ] );
+      ("lock_analysis", J.Obj [ ("spans", J.Int r.r_lock_spans) ]);
+      ( "def_use_graph",
+        J.Obj
+          [
+            ("nodes", J.Int r.r_svfg_nodes);
+            ("edges", J.Int r.r_svfg_edges);
+            ("thread_aware_edges", J.Int r.r_thread_aware_edges);
+          ] );
+      ( "sparse_solve",
+        J.Obj
+          [
+            ("iterations", J.Int r.r_solver_iters);
+            ("facts", J.Int r.r_pts_facts);
+            ("strong_updates", J.Int r.r_strong_updates);
+            ("weak_updates", J.Int r.r_weak_updates);
+          ] );
+      ( "clients",
+        J.Obj
+          [
+            ("races", J.Int r.r_races);
+            ("deadlocks", J.Int r.r_deadlocks);
+            ("instrumented_accesses", J.Int r.r_instrumented);
+            ("total_accesses", J.Int r.r_accesses);
+          ] );
+      ( "phase_seconds",
+        J.Obj
+          [
+            ("pre", J.Float t.Driver.t_pre);
+            ("thread_model", J.Float t.Driver.t_thread_model);
+            ("interleaving", J.Float t.Driver.t_interleaving);
+            ("lock", J.Float t.Driver.t_lock);
+            ("svfg", J.Float t.Driver.t_svfg);
+            ("solve", J.Float t.Driver.t_solve);
+          ] );
+    ]
+
 let pp ppf r =
   let t = r.r_times in
   Format.fprintf ppf

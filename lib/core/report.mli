@@ -41,3 +41,7 @@ type t = {
 
 val build : Driver.t -> t
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Fsam_obs.Json.t
+(** Machine-readable form of the report, grouped like [pp]; embedded in the
+    [Telemetry] export. *)

@@ -2,6 +2,7 @@ open Fsam_dsa
 open Fsam_ir
 module A = Fsam_andersen.Solver
 module Svfg = Fsam_memssa.Svfg
+module Obs = Fsam_obs
 
 type t = {
   prog : Prog.t;
@@ -53,24 +54,31 @@ let solve prog ast svfg ~singleton =
   let n_units = n_stmts + Svfg.n_nodes svfg in
   let queue = Queue.create () in
   let queued = Bitvec.create ~capacity:n_units () in
-  let push u = if Bitvec.set_if_unset queued u then Queue.add u queue in
+  let peak = ref 0 in
+  let push u =
+    if Bitvec.set_if_unset queued u then begin
+      Queue.add u queue;
+      let depth = Queue.length queue in
+      if depth > !peak then peak := depth
+    end
+  in
   (* var -> statements to reprocess when its points-to set grows *)
   let var_users = Array.make (Prog.n_vars prog) [] in
-  Prog.iter_funcs prog (fun f ->
-      Func.iter_stmts f (fun i s ->
-          let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
-          List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
-          (* a call's result depends on the callees' returned variables *)
-          match s with
-          | Stmt.Call { ret = Some _; _ } ->
-            List.iter
-              (fun callee ->
+  Obs.Span.with_ ~name:"sparse.index" (fun () ->
+      Prog.iter_funcs prog (fun f ->
+          Func.iter_stmts f (fun i s ->
+              let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
+              List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
+              (* a call's result depends on the callees' returned variables *)
+              match s with
+              | Stmt.Call { ret = Some _; _ } ->
                 List.iter
-                  (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
-                  (A.ret_vars ast callee))
-              (A.callees ast ~fid:f.Func.fid ~idx:i)
-          | _ -> ()))
-  ;
+                  (fun callee ->
+                    List.iter
+                      (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
+                      (A.ret_vars ast callee))
+                  (A.callees ast ~fid:f.Func.fid ~idx:i)
+              | _ -> ())));
   let add_var v set =
     let u = Iset.union t.ptv.(v) set in
     if not (u == t.ptv.(v)) then begin
@@ -175,15 +183,30 @@ let solve prog ast svfg ~singleton =
     in
     List.iter (fun (o', d) -> if o' = o then add_obj n o (pto_get t d o)) (Svfg.o_preds svfg n)
   in
-  for g = 0 to n_stmts - 1 do
-    push g
-  done;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Bitvec.clear queued u;
-    t.iterations <- t.iterations + 1;
-    if u < n_stmts then process u else process_node (u - n_stmts)
-  done;
+  (* worklist drain, including the strong/weak update loop inside stores *)
+  Obs.Span.with_ ~name:"sparse.drain" (fun () ->
+      for g = 0 to n_stmts - 1 do
+        push g
+      done;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Bitvec.clear queued u;
+        t.iterations <- t.iterations + 1;
+        if u < n_stmts then process u else process_node (u - n_stmts)
+      done);
+  Obs.Metrics.(add (counter "sparse.propagations") t.iterations);
+  Obs.Metrics.(add (counter "sparse.strong_updates") t.strong_updates);
+  Obs.Metrics.(add (counter "sparse.weak_updates") t.weak_updates);
+  Obs.Metrics.(set_max (gauge "sparse.worklist_peak") !peak);
+  Obs.Metrics.(set (gauge "sparse.pts_entries") (pts_entries t));
+  (* points-to set size distribution over all non-empty locations *)
+  let histo = Obs.Metrics.histogram "sparse.pts_set_size" in
+  Array.iter
+    (fun s -> if not (Iset.is_empty s) then Obs.Metrics.observe histo (Iset.cardinal s))
+    t.ptv;
+  Hashtbl.iter
+    (fun _ s -> if not (Iset.is_empty s) then Obs.Metrics.observe histo (Iset.cardinal s))
+    t.pto;
   t
 
 let pp_stats ppf t =

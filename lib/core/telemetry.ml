@@ -1,0 +1,46 @@
+module Obs = Fsam_obs
+module J = Obs.Json
+
+let schema = "fsam.telemetry/1"
+
+let spans_json () = J.List (List.map Obs.Span.to_json (Obs.Span.roots ()))
+
+let analysis_json ~program ~engine ~config ~wall_seconds ~cpu_seconds ~live_mb ?report ()
+    =
+  J.Obj
+    ([
+       ("schema", J.String schema);
+       ("program", J.String program);
+       ("engine", J.String engine);
+       ("config", J.String config);
+       ( "measure",
+         J.Obj
+           [
+             ("wall_seconds", J.Float wall_seconds);
+             ("cpu_seconds", J.Float cpu_seconds);
+             ("live_mb", J.Float live_mb);
+           ] );
+     ]
+    @ (match report with Some r -> [ ("report", Report.to_json r) ] | None -> [])
+    @ [ ("metrics", Obs.Metrics.to_json ()); ("spans", spans_json ()) ])
+
+let races_json d races =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("engine", J.String "fsam");
+      ("n_races", J.Int (List.length races));
+      ( "races",
+        J.List
+          (List.map
+             (fun r -> J.String (Format.asprintf "%a" (Races.pp_race d) r))
+             races) );
+      ("metrics", Obs.Metrics.to_json ());
+      ("spans", spans_json ());
+    ]
+
+let write_json path j =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> J.to_channel oc j)
+
+let write_trace path = Obs.Trace.write path (Obs.Span.roots ())

@@ -1,0 +1,29 @@
+(** Machine-readable telemetry export: bundles the full report, the metrics
+    registry and the span tree of the last analysis run into one JSON
+    document (schema ["fsam.telemetry/1"]), and the span tree alone into a
+    Chrome [trace_event] file that opens in [chrome://tracing] / Perfetto.
+    Backs the CLI's [--json] / [--trace] flags. *)
+
+val analysis_json :
+  program:string ->
+  engine:string ->
+  config:string ->
+  wall_seconds:float ->
+  cpu_seconds:float ->
+  live_mb:float ->
+  ?report:Report.t ->
+  unit ->
+  Fsam_obs.Json.t
+(** Assemble the telemetry document from the current [Fsam_obs] state (the
+    spans and metrics of the last [Driver.run]-style call). [report] is
+    present for the FSAM engine, absent for andersen/nonsparse runs. *)
+
+val races_json : Driver.t -> Races.race list -> Fsam_obs.Json.t
+(** Telemetry document for [fsam races]: the findings (rendered with
+    [Races.pp_race]) plus metrics and spans. *)
+
+val write_json : string -> Fsam_obs.Json.t -> unit
+(** Write a JSON document to a file (pretty-printed, trailing newline). *)
+
+val write_trace : string -> unit
+(** Write the current span forest as a Chrome trace_event file. *)

@@ -3,6 +3,7 @@ open Fsam_ir
 module A = Fsam_andersen.Solver
 module Modref = Fsam_andersen.Modref
 module Mta = Fsam_mta
+module Obs = Fsam_obs
 
 type node =
   | Stmt_node of int
@@ -297,6 +298,8 @@ let span_hd_tl t ~oblivious ast tm lk cache sid o =
 
 let build_thread_aware t config ast tm mhp lk pcg =
   let prog = t.prog in
+  let c_lock_filtered = Obs.Metrics.counter "svfg.lock_filtered_edges" in
+  let c_considered = Obs.Metrics.counter "svfg.thread_pairs_considered" in
   (* index stores and accesses per object *)
   let stores_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
   let accesses_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
@@ -347,11 +350,13 @@ let build_thread_aware t config ast tm mhp lk pcg =
       (Mta.Locks.common_lock lk i j)
   in
   let consider_edge o s s' =
+    Obs.Metrics.incr c_considered;
     if stmt_mhp s s' then begin
       let pairs = inst_pairs s s' in
       let blocked =
         config.use_lock && pairs <> [] && List.for_all (non_interfering o) pairs
       in
+      if blocked then Obs.Metrics.incr c_lock_filtered;
       if not blocked then begin
         let a = intern t (Stmt_node s) and b = intern t (Stmt_node s') in
         if not (has_edge t a o b) then begin
@@ -448,9 +453,18 @@ let build ?(config = default_config) prog ast mr icfg tm mhp lk pcg =
       racy = Hashtbl.create 64;
     }
   in
-  let join_info = join_info_tbl tm mr in
-  build_oblivious t ast mr icfg join_info;
-  if config.thread_aware then build_thread_aware t config ast tm mhp lk pcg;
+  (* mu/chi annotation material (what each join makes visible) *)
+  let join_info = Obs.Span.with_ ~name:"svfg.join_info" (fun () -> join_info_tbl tm mr) in
+  (* thread-oblivious def-use edge derivation (memory-SSA reaching defs) *)
+  Obs.Span.with_ ~name:"svfg.oblivious" (fun () -> build_oblivious t ast mr icfg join_info);
+  (* [THREAD-VF] edges, filtered by the lock analysis *)
+  if config.thread_aware then
+    Obs.Span.with_ ~name:"svfg.thread_aware" (fun () ->
+        build_thread_aware t config ast tm mhp lk pcg);
+  Obs.Metrics.(set (gauge "svfg.nodes") (n_nodes t));
+  Obs.Metrics.(set (gauge "svfg.edges") (n_edges t));
+  Obs.Metrics.(set (gauge "svfg.thread_aware_edges") t.thread_edges);
+  Obs.Metrics.(set (gauge "svfg.racy_stores") (Hashtbl.length t.racy));
   t
 
 let racy_objs t gid = Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy gid)

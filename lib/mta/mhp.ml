@@ -1,4 +1,5 @@
 open Fsam_dsa
+module Obs = Fsam_obs
 
 type t = {
   tm : Threads.t;
@@ -18,7 +19,14 @@ let compute tm =
   let t = { tm; facts; iterations = 0 } in
   let queue = Queue.create () in
   let queued = Bitvec.create ~capacity:n () in
-  let push i = if Bitvec.set_if_unset queued i then Queue.add i queue in
+  let peak = ref 0 in
+  let push i =
+    if Bitvec.set_if_unset queued i then begin
+      Queue.add i queue;
+      let depth = Queue.length queue in
+      if depth > !peak then peak := depth
+    end
+  in
   let add i set =
     let u = Iset.union facts.(i) set in
     if not (u == facts.(i)) then begin
@@ -26,52 +34,57 @@ let compute tm =
       push i
     end
   in
-  (* Seeds. *)
-  let nt = Threads.n_threads tm in
-  for tid = 0 to nt - 1 do
-    (* [I-DESCENDANT] second conclusion: ancestors at the entry *)
-    let anc = Threads.ancestors tm tid in
-    if not (Iset.is_empty anc) then
-      List.iter (fun e -> add e anc) (Threads.entry_insts tm tid)
-  done;
-  (* [I-SIBLING] *)
-  for a = 0 to nt - 1 do
-    for b = a + 1 to nt - 1 do
-      if
-        Threads.siblings tm a b
-        && (not (Threads.happens_before tm a b))
-        && not (Threads.happens_before tm b a)
-      then begin
-        List.iter (fun e -> add e (Iset.singleton b)) (Threads.entry_insts tm a);
-        List.iter (fun e -> add e (Iset.singleton a)) (Threads.entry_insts tm b)
-      end
-    done
-  done;
-  (* [I-DESCENDANT] first conclusion is seeded flow-sensitively below: a
-     fork's out-fact includes the spawned descendant closure even when the
-     in-fact is empty, so prime every fork instance. *)
-  for iid = 0 to n - 1 do
-    match Threads.fork_spawnees tm iid with [] -> () | _ -> push iid
-  done;
+  Obs.Span.with_ ~name:"mhp.seed" (fun () ->
+      (* Seeds. *)
+      let nt = Threads.n_threads tm in
+      for tid = 0 to nt - 1 do
+        (* [I-DESCENDANT] second conclusion: ancestors at the entry *)
+        let anc = Threads.ancestors tm tid in
+        if not (Iset.is_empty anc) then
+          List.iter (fun e -> add e anc) (Threads.entry_insts tm tid)
+      done;
+      (* [I-SIBLING] *)
+      for a = 0 to nt - 1 do
+        for b = a + 1 to nt - 1 do
+          if
+            Threads.siblings tm a b
+            && (not (Threads.happens_before tm a b))
+            && not (Threads.happens_before tm b a)
+          then begin
+            List.iter (fun e -> add e (Iset.singleton b)) (Threads.entry_insts tm a);
+            List.iter (fun e -> add e (Iset.singleton a)) (Threads.entry_insts tm b)
+          end
+        done
+      done;
+      (* [I-DESCENDANT] first conclusion is seeded flow-sensitively below: a
+         fork's out-fact includes the spawned descendant closure even when the
+         in-fact is empty, so prime every fork instance. *)
+      for iid = 0 to n - 1 do
+        match Threads.fork_spawnees tm iid with [] -> () | _ -> push iid
+      done);
   (* Fixpoint. *)
-  while not (Queue.is_empty queue) do
-    let iid = Queue.pop queue in
-    Bitvec.clear queued iid;
-    t.iterations <- t.iterations + 1;
-    let fact = facts.(iid) in
-    let out =
-      match Threads.fork_spawnees tm iid with
-      | [] -> (
-        match Threads.join_kills tm iid with
-        | [] -> fact
-        | kills -> List.fold_left (fun f k -> Iset.remove k f) fact kills)
-      | spawnees ->
-        List.fold_left
-          (fun f s -> Iset.add s (Iset.union f (Threads.descendants tm s)))
-          fact spawnees
-    in
-    List.iter (fun j -> add j out) (Threads.inst_succs tm iid)
-  done;
+  Obs.Span.with_ ~name:"mhp.fixpoint" (fun () ->
+      while not (Queue.is_empty queue) do
+        let iid = Queue.pop queue in
+        Bitvec.clear queued iid;
+        t.iterations <- t.iterations + 1;
+        let fact = facts.(iid) in
+        let out =
+          match Threads.fork_spawnees tm iid with
+          | [] -> (
+            match Threads.join_kills tm iid with
+            | [] -> fact
+            | kills -> List.fold_left (fun f k -> Iset.remove k f) fact kills)
+          | spawnees ->
+            List.fold_left
+              (fun f s -> Iset.add s (Iset.union f (Threads.descendants tm s)))
+              fact spawnees
+        in
+        List.iter (fun j -> add j out) (Threads.inst_succs tm iid)
+      done);
+  Obs.Metrics.(add (counter "mhp.iterations") t.iterations);
+  Obs.Metrics.(set_max (gauge "mhp.worklist_peak") !peak);
+  Obs.Metrics.(set (gauge "mhp.interference_facts") (total_fact_size t));
   t
 
 let mhp_inst t i j =

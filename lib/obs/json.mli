@@ -1,0 +1,29 @@
+(** Minimal JSON tree, emitter and parser — hand-rolled so the telemetry
+    layer adds no external dependencies. The emitter always produces valid
+    JSON (non-finite floats become [null]); the parser accepts the subset
+    the emitter produces plus standard escapes, and exists mainly so tests
+    and downstream tools can round-trip our own output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Pretty-printed with two-space indentation unless [minify] is set. *)
+
+val to_channel : ?minify:bool -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parser; [Error msg] carries the offset of failure. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Int 1] and [Float 1.] are distinct). *)

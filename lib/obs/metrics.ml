@@ -1,0 +1,111 @@
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : int }
+
+(* buckets.(0): values <= 0; buckets.(k): values in (2^(k-2), 2^(k-1)] *)
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  h_buckets : int array;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let reset () = Hashtbl.reset registry
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %S has another kind" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { c_value = 0 } in
+    Hashtbl.replace registry name (C c);
+    c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { g_value = 0 } in
+    Hashtbl.replace registry name (G g);
+    g
+
+let set g v = g.g_value <- v
+let set_max g v = if v > g.g_value then g.g_value <- v
+let gauge_value g = g.g_value
+
+let n_buckets = 63
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let h = { h_count = 0; h_sum = 0; h_buckets = Array.make n_buckets 0 } in
+    Hashtbl.replace registry name (H h);
+    h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let k = ref 1 and ub = ref 1 in
+    while v > !ub && !k < n_buckets - 1 do
+      Stdlib.incr k;
+      ub := !ub * 2
+    done;
+    !k
+  end
+
+let bucket_le = function 0 -> 0 | k -> 1 lsl (k - 1)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with Some (C c) -> Some c.c_value | _ -> None
+
+let find_gauge name =
+  match Hashtbl.find_opt registry name with Some (G g) -> Some g.g_value | _ -> None
+
+let to_json () =
+  let named p =
+    Hashtbl.fold (fun name m acc -> match p m with Some j -> (name, j) :: acc | None -> acc)
+      registry []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let histo_json h =
+    let buckets = ref [] in
+    for k = n_buckets - 1 downto 0 do
+      if h.h_buckets.(k) > 0 then
+        buckets :=
+          Json.Obj [ ("le", Json.Int (bucket_le k)); ("count", Json.Int h.h_buckets.(k)) ]
+          :: !buckets
+    done;
+    Json.Obj
+      [
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Int h.h_sum);
+        ("buckets", Json.List !buckets);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (named (function C c -> Some (Json.Int c.c_value) | _ -> None)));
+      ("gauges", Json.Obj (named (function G g -> Some (Json.Int g.g_value) | _ -> None)));
+      ("histograms", Json.Obj (named (function H h -> Some (histo_json h) | _ -> None)));
+    ]

@@ -1,0 +1,46 @@
+(** Process-global metrics registry: named monotonic counters, gauges and
+    power-of-two histograms.
+
+    Handles are found-or-created by name, so hot loops pay a single table
+    lookup up front and a field mutation per event. [Driver.run] calls
+    [reset] at entry; handles created {e before} a reset keep working but
+    are no longer exported, so producers should (re-)acquire their handles
+    at the start of each run — which the pipeline does naturally by
+    creating them inside the solver entry points. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create. Raises [Invalid_argument] if the name is registered as
+    a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add] with a negative delta raises [Invalid_argument]: counters are
+    monotonic by contract. *)
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> int -> unit
+val set_max : gauge -> int -> unit
+(** [set_max g v] = [set g (max v (current value))] — peak tracking. *)
+
+val gauge_value : gauge -> int
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+(** Buckets are powers of two: bucket [0] counts values [<= 0], bucket [2^k]
+    counts values in [(2^(k-1), 2^k]]. *)
+
+val reset : unit -> unit
+(** Empty the registry. *)
+
+val find_counter : string -> int option
+val find_gauge : string -> int option
+
+val to_json : unit -> Json.t
+(** [{ "counters": {..}, "gauges": {..}, "histograms": {name: { "count",
+    "sum", "buckets": [{"le", "count"}, ...] }} }], names sorted. *)

@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  start_s : float;
+  dur_s : float;
+  cpu_s : float;
+  minor_words : float;
+  major_words : float;
+  children : t list;
+}
+
+type frame = {
+  f_name : string;
+  f_start : float;
+  f_cpu : float;
+  f_minor : float;
+  f_major : float;
+  mutable f_children_rev : t list;
+}
+
+let stack : frame list ref = ref []
+let roots_rev : t list ref = ref []
+
+let reset () = roots_rev := []
+
+let with_timed ~name f =
+  (* [Gc.minor_words] reads the allocation pointer, so it is exact between
+     collections; [quick_stat]'s minor_words field only updates at GC points
+     and would report 0 for short spans. Major words stay on [quick_stat] —
+     both are collection-free. *)
+  let gc0 = Gc.quick_stat () in
+  let fr =
+    {
+      f_name = name;
+      f_start = Unix.gettimeofday ();
+      f_cpu = Sys.time ();
+      f_minor = Gc.minor_words ();
+      f_major = gc0.Gc.major_words;
+      f_children_rev = [];
+    }
+  in
+  stack := fr :: !stack;
+  let completed = ref None in
+  let finally () =
+    (* Unwind to our own frame: spans opened below us that escaped via an
+       exception are discarded rather than corrupting the tree. *)
+    let rec drop = function
+      | s :: rest -> if s == fr then rest else drop rest
+      | [] -> []
+    in
+    stack := drop !stack;
+    let gc1 = Gc.quick_stat () in
+    let sp =
+      {
+        name = fr.f_name;
+        start_s = fr.f_start;
+        dur_s = Unix.gettimeofday () -. fr.f_start;
+        cpu_s = Sys.time () -. fr.f_cpu;
+        minor_words = Gc.minor_words () -. fr.f_minor;
+        major_words = gc1.Gc.major_words -. fr.f_major;
+        children = List.rev fr.f_children_rev;
+      }
+    in
+    (match !stack with
+    | parent :: _ -> parent.f_children_rev <- sp :: parent.f_children_rev
+    | [] -> roots_rev := sp :: !roots_rev);
+    completed := Some sp
+  in
+  let v = Fun.protect ~finally f in
+  (v, Option.get !completed)
+
+let with_ ~name f = fst (with_timed ~name f)
+
+let roots () = List.rev !roots_rev
+
+let rec count sp = List.fold_left (fun acc c -> acc + count c) 1 sp.children
+
+let distinct_names forest =
+  let tbl = Hashtbl.create 32 in
+  let rec go sp =
+    Hashtbl.replace tbl sp.name ();
+    List.iter go sp.children
+  in
+  List.iter go forest;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let find name forest =
+  let rec go = function
+    | [] -> None
+    | sp :: rest -> (
+      if String.equal sp.name name then Some sp
+      else
+        match go sp.children with
+        | Some _ as r -> r
+        | None -> go rest)
+  in
+  go forest
+
+let rec to_json sp =
+  Json.Obj
+    [
+      ("name", Json.String sp.name);
+      ("start_s", Json.Float sp.start_s);
+      ("dur_s", Json.Float sp.dur_s);
+      ("cpu_s", Json.Float sp.cpu_s);
+      ("minor_words", Json.Float sp.minor_words);
+      ("major_words", Json.Float sp.major_words);
+      ("children", Json.List (List.map to_json sp.children));
+    ]

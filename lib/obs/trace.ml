@@ -1,0 +1,39 @@
+let to_json forest =
+  let t0 =
+    List.fold_left (fun acc sp -> Float.min acc sp.Span.start_s) Float.infinity forest
+  in
+  let events = ref [] in
+  let rec go sp =
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String sp.Span.name);
+          ("cat", Json.String "fsam");
+          ("ph", Json.String "X");
+          ("ts", Json.Float ((sp.Span.start_s -. t0) *. 1e6));
+          ("dur", Json.Float (sp.Span.dur_s *. 1e6));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj
+              [
+                ("cpu_s", Json.Float sp.Span.cpu_s);
+                ("minor_words", Json.Float sp.Span.minor_words);
+                ("major_words", Json.Float sp.Span.major_words);
+              ] );
+        ]
+      :: !events;
+    List.iter go sp.Span.children
+  in
+  List.iter go forest;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path forest =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Json.to_channel ~minify:true oc (to_json forest))

@@ -1,0 +1,10 @@
+(** Chrome [trace_event] export: converts a span forest into the JSON
+    object format ({["traceEvents": [...]]}) that [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto} open directly. Each span becomes a
+    complete ("ph": "X") event; timestamps are microseconds relative to the
+    earliest root span. *)
+
+val to_json : Span.t list -> Json.t
+
+val write : string -> Span.t list -> unit
+(** Write [to_json] of the forest to a file (minified). *)

@@ -23,4 +23,5 @@ let () =
       ("steensgaard", Test_steens.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("simplify", Test_simplify.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -117,7 +117,10 @@ let test_mhp_stats () =
 
 let test_measure () =
   let m = Fsam_core.Measure.run (fun () -> Array.make 100_000 0) in
-  Alcotest.(check bool) "time non-negative" true (m.Fsam_core.Measure.seconds >= 0.);
+  Alcotest.(check bool) "wall time non-negative" true
+    (m.Fsam_core.Measure.wall_seconds >= 0.);
+  Alcotest.(check bool) "cpu time non-negative" true
+    (m.Fsam_core.Measure.cpu_seconds >= 0.);
   Alcotest.(check bool) "allocation observed" true (m.Fsam_core.Measure.live_mb > 0.2);
   Alcotest.(check int) "value returned" 100_000 (Array.length m.Fsam_core.Measure.value)
 

@@ -4,7 +4,7 @@ let () =
   let name = Sys.argv.(1) in
   let scale = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else (Option.get (W.find name)).W.scale in
   let s = Option.get (W.find name) in
-  let time config = (Fsam_core.Measure.run (fun () -> D.run ~config (s.W.build scale))).Fsam_core.Measure.seconds in
+  let time config = (Fsam_core.Measure.run (fun () -> D.run ~config (s.W.build scale))).Fsam_core.Measure.wall_seconds in
   let base = time D.default_config in
   Printf.printf "%s: base=%.2fs no-int=%.2fx no-vf=%.2fx no-lock=%.2fx\n%!" name base
     (time D.no_interleaving /. base) (time D.no_value_flow /. base) (time D.no_lock /. base)

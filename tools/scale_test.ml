@@ -8,10 +8,10 @@ let () =
   let stmts, _, _, _, _ = W.program_stats prog in
   Printf.printf "%s scale=%d stmts=%d %!" name scale stmts;
   let m = Fsam_core.Measure.run (fun () -> D.run prog) in
-  Printf.printf "fsam %.2fs %.1fMB (pts=%d) %!" m.Fsam_core.Measure.seconds m.Fsam_core.Measure.live_mb
+  Printf.printf "fsam %.2fs %.1fMB (pts=%d) %!" m.Fsam_core.Measure.wall_seconds m.Fsam_core.Measure.live_mb
     (Fsam_core.Sparse.pts_entries (m.Fsam_core.Measure.value).D.sparse);
   let cfg = { D.default_config with nonsparse_budget = 120. } in
   let m2 = Fsam_core.Measure.run (fun () -> D.run_nonsparse ~config:cfg prog) in
   (match fst m2.Fsam_core.Measure.value with
-   | Fsam_core.Nonsparse.Done ns -> Printf.printf "nonsparse %.2fs %.1fMB (pts=%d)\n%!" m2.Fsam_core.Measure.seconds m2.Fsam_core.Measure.live_mb (Fsam_core.Nonsparse.pts_entries ns)
+   | Fsam_core.Nonsparse.Done ns -> Printf.printf "nonsparse %.2fs %.1fMB (pts=%d)\n%!" m2.Fsam_core.Measure.wall_seconds m2.Fsam_core.Measure.live_mb (Fsam_core.Nonsparse.pts_entries ns)
    | Fsam_core.Nonsparse.Timeout _ -> Printf.printf "nonsparse OOT\n%!")
