@@ -4,8 +4,10 @@
      dune exec bench/main.exe -- table1            # Table 1: program statistics
      dune exec bench/main.exe -- table2            # Table 2: FSAM vs NonSparse
      dune exec bench/main.exe -- figure12          # Figure 12: phase ablations
+     dune exec bench/main.exe -- sched             # FIFO vs priority worklist
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- table2 --budget 60 --quick
+     dune exec bench/main.exe -- table2 --only word_count,kmeans
 
    Absolute numbers differ from the paper's (their substrate was LLVM on
    real Parsec binaries; ours is the MiniC IR on synthetic mirrors — see
@@ -21,6 +23,13 @@ module J = Fsam_obs.Json
 
 let budget = ref 120.
 let quick = ref false
+let only : string list option ref = ref None
+
+let workloads () =
+  match !only with
+  | None -> W.all
+  | Some names ->
+    List.filter (fun (s : W.spec) -> List.mem s.name names) W.all
 
 (* Persist a table as JSON next to the scrollback output so the perf
    trajectory across PRs stays diffable (BENCH_table2.json etc.). *)
@@ -51,7 +60,7 @@ let table1 () =
       let stmts, funcs, forks, joins, locks = W.program_stats prog in
       Printf.printf "%-14s %-45s %9d | %8d %6d %6d %6d %6d\n" s.name s.description
         s.paper_loc stmts funcs forks joins locks)
-    W.all;
+    (workloads ());
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------------- *)
@@ -120,7 +129,7 @@ let table2 () =
         Printf.printf "%-14s | %10.2f %12d | %12s %12s | %8s %8s\n" s.name f_time f_facts
           "OOT" "-" "-" "-");
       flush stdout)
-    W.all;
+    (workloads ());
   Printf.printf "%s\n" (String.make 90 '-');
   Printf.printf
     "Geometric mean over mutually-analyzable programs: %.1fx faster, %.1fx fewer \
@@ -193,7 +202,7 @@ let figure12 () =
           ]
         :: !rows;
       flush stdout)
-    W.all;
+    (workloads ());
   Printf.printf
     "(paper: value-flow matters most on average; interleaving dominates on \
      master-slave programs — kmeans, httpd_server, mt_daapd; locks on automount and \
@@ -202,6 +211,90 @@ let figure12 () =
     (J.Obj
        [
          ("schema", J.String "fsam.bench.figure12/1");
+         ("quick", J.Bool !quick);
+         ("rows", J.List (List.rev !rows));
+       ])
+
+(* ------------------------------------------------------------------------- *)
+(* Scheduler comparison — FIFO queue vs SVFG-condensation priority worklist. *)
+(* ------------------------------------------------------------------------- *)
+
+module S = Fsam_core.Sparse
+module Prog = Fsam_ir.Prog
+
+(* Byte-identical results: every top-level set and every (node, obj) memory
+   fact must coincide. Both runs share the hash-cons table, so [Iset.equal]
+   is exact pointer comparison here. *)
+let results_identical (a : D.t) (b : D.t) =
+  let ok = ref true in
+  for v = 0 to Prog.n_vars a.D.prog - 1 do
+    if not (Fsam_dsa.Iset.equal (S.pt_top a.D.sparse v) (S.pt_top b.D.sparse v)) then
+      ok := false
+  done;
+  let tbl = Hashtbl.create 4096 in
+  S.iter_pto a.D.sparse (fun ~node ~obj s -> Hashtbl.replace tbl (node, obj) s);
+  let n_b = ref 0 in
+  S.iter_pto b.D.sparse (fun ~node ~obj s ->
+      incr n_b;
+      match Hashtbl.find_opt tbl (node, obj) with
+      | Some s' when Fsam_dsa.Iset.equal s s' -> ()
+      | _ -> ok := false);
+  if Hashtbl.length tbl <> !n_b then ok := false;
+  !ok
+
+let sched () =
+  Printf.printf
+    "Scheduler comparison: FIFO queue vs priority worklist (SVFG condensation).\n\
+     Propagations = processed work units until fixpoint; results must be\n\
+     byte-identical (the fixpoint is unique).\n";
+  Printf.printf "%-14s | %12s %12s %8s | %10s %10s | %9s\n" "Program" "FIFO props"
+    "prio props" "ratio" "FIFO (s)" "prio (s)" "identical";
+  Printf.printf "%s\n" (String.make 90 '-');
+  let rows = ref [] in
+  List.iter
+    (fun (s : W.spec) ->
+      let run scheduler =
+        let prog = s.build (scale_of s) in
+        let m =
+          Measure'.run (fun () ->
+              D.run ~config:{ D.default_config with scheduler } prog)
+        in
+        let props =
+          Option.value ~default:0 (Fsam_obs.Metrics.find_counter "sparse.propagations")
+        in
+        (m.Measure'.value, m.Measure'.wall_seconds, props)
+      in
+      let d_fifo, t_fifo, p_fifo = run S.Fifo in
+      let d_prio, t_prio, p_prio = run S.Priority in
+      let identical = results_identical d_fifo d_prio in
+      let ratio = float_of_int p_fifo /. float_of_int (max 1 p_prio) in
+      Printf.printf "%-14s | %12d %12d %7.2fx | %10.2f %10.2f | %9s\n" s.name p_fifo
+        p_prio ratio t_fifo t_prio
+        (if identical then "yes" else "NO");
+      rows :=
+        J.Obj
+          [
+            ("program", J.String s.name);
+            ("fifo_propagations", J.Int p_fifo);
+            ("priority_propagations", J.Int p_prio);
+            ("propagation_ratio", J.Float ratio);
+            ("fifo_wall_s", J.Float t_fifo);
+            ("priority_wall_s", J.Float t_prio);
+            ("identical_results", J.Bool identical);
+            ("pts_entries", J.Int (S.pts_entries d_prio.D.sparse));
+          ]
+        :: !rows;
+      if not identical then begin
+        Printf.eprintf "error: schedulers disagree on %s\n" s.name;
+        exit 1
+      end;
+      flush stdout)
+    (workloads ());
+  Printf.printf "\n";
+  write_bench "BENCH_sched.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.sched/1");
          ("quick", J.Bool !quick);
          ("rows", J.List (List.rev !rows));
        ])
@@ -227,8 +320,34 @@ let micro () =
     [
       Test.make ~name:"iset.union"
         (Staged.stage (fun () -> Fsam_dsa.Iset.union iset_a iset_b));
+      Test.make ~name:"iset.union_fresh"
+        (* defeat the memo: one operand rebuilt per run *)
+        (Staged.stage (fun () ->
+             Fsam_dsa.Iset.union iset_a
+               (Fsam_dsa.Iset.add (Random.int 100000) iset_b)));
       Test.make ~name:"iset.inter"
         (Staged.stage (fun () -> Fsam_dsa.Iset.inter iset_a iset_b));
+      Test.make ~name:"heap.push_pop"
+        (* the priority-worklist kernel: 256 pushes + drain *)
+        (Staged.stage
+           (let h = Fsam_dsa.Heap.create ~capacity:256 () in
+            fun () ->
+              for i = 0 to 255 do
+                Fsam_dsa.Heap.push h ~prio:((i * 7919) mod 256) i
+              done;
+              while not (Fsam_dsa.Heap.is_empty h) do
+                ignore (Fsam_dsa.Heap.pop_item h)
+              done));
+      Test.make ~name:"sparse.solve_fifo"
+        (Staged.stage (fun () ->
+             D.run
+               ~config:{ D.default_config with scheduler = Fsam_core.Sparse.Fifo }
+               small_prog));
+      Test.make ~name:"sparse.solve_priority"
+        (Staged.stage (fun () ->
+             D.run
+               ~config:{ D.default_config with scheduler = Fsam_core.Sparse.Priority }
+               small_prog));
       Test.make ~name:"andersen.solve"
         (Staged.stage (fun () -> Fsam_andersen.Solver.run small_prog));
       Test.make ~name:"threads.build"
@@ -276,6 +395,9 @@ let () =
     | "--quick" :: rest ->
       quick := true;
       parse rest
+    | "--only" :: v :: rest ->
+      only := Some (String.split_on_char ',' v);
+      parse rest
     | x :: rest -> x :: parse rest
   in
   let cmds = match parse (List.tl args) with [] -> [ "all" ] | l -> l in
@@ -285,13 +407,16 @@ let () =
       | "table1" -> table1 ()
       | "table2" -> table2 ()
       | "figure12" -> figure12 ()
+      | "sched" -> sched ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
         table2 ();
         figure12 ();
+        sched ();
         micro ()
       | other ->
-        Printf.eprintf "unknown command %S (table1|table2|figure12|micro|all)\n" other;
+        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|micro|all)\n"
+          other;
         exit 1)
     cmds

@@ -24,6 +24,11 @@ let config_of_string = function
   | "no-lock" -> Ok D.no_lock
   | s -> Error (Printf.sprintf "unknown configuration %S" s)
 
+let scheduler_of_string = function
+  | "priority" -> Ok Fsam_core.Sparse.Priority
+  | "fifo" -> Ok Fsam_core.Sparse.Fifo
+  | s -> Error (Printf.sprintf "unknown scheduler %S (priority, fifo)" s)
+
 (* -- arguments ------------------------------------------------------------- *)
 
 let source_arg =
@@ -74,7 +79,7 @@ let trace_arg =
            ~doc:"Write the span tree in Chrome trace_event format \
                  (chrome://tracing, Perfetto).")
 
-let analyze source config_name engine dump_pts json trace =
+let analyze source config_name scheduler_name engine dump_pts json trace =
   with_program
     (fun prog ->
       match engine with
@@ -113,7 +118,12 @@ let analyze source config_name engine dump_pts json trace =
               ~cpu_seconds:m.Fsam_core.Measure.cpu_seconds
               ~live_mb:m.Fsam_core.Measure.live_mb ())
       | "fsam" -> (
-        match config_of_string config_name with
+        match
+          Result.bind (config_of_string config_name) (fun config ->
+              Result.map
+                (fun scheduler -> { config with D.scheduler })
+                (scheduler_of_string scheduler_name))
+        with
         | Error e ->
           Printf.eprintf "error: %s\n" e;
           exit 1
@@ -147,12 +157,20 @@ let analyze_cmd =
     Arg.(value & opt string "fsam" & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Analysis engine: fsam, nonsparse or andersen.")
   in
+  let scheduler =
+    Arg.(value & opt string "priority" & info [ "scheduler" ] ~docv:"SCHED"
+           ~doc:"Sparse-solver worklist scheduler (fsam engine only): priority \
+                 (SVFG-condensation topological order) or fifo (legacy queue). \
+                 Both reach the same fixpoint.")
+  in
   let dump =
     Arg.(value & flag & info [ "dump-pts" ] ~doc:"Print non-empty points-to sets.")
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
-    Term.(const analyze $ source_arg $ config_arg $ engine $ dump $ json_arg $ trace_arg)
+    Term.(
+      const analyze $ source_arg $ config_arg $ scheduler $ engine $ dump $ json_arg
+      $ trace_arg)
 
 (* -- races ------------------------------------------------------------------- *)
 

@@ -256,6 +256,7 @@ let total_pts_size t =
   !total
 
 let run prog =
+  let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
   let nvars = Prog.n_vars prog in
   let size = nvars + Prog.n_objs prog + 64 in
   let ret_tbl = Array.make (Prog.n_funcs prog) [] in
@@ -340,6 +341,9 @@ let run prog =
   Obs.Metrics.(add (counter "andersen.copy_edges") t.copy_edges);
   Obs.Metrics.(add (counter "andersen.collapses") t.collapses);
   Obs.Metrics.(set_max (gauge "andersen.worklist_peak") t.queue_peak);
+  let memo_hits1, memo_misses1 = Iset.union_memo_stats () in
+  Obs.Metrics.(add (counter "iset.union_memo_hits") (memo_hits1 - memo_hits0));
+  Obs.Metrics.(add (counter "iset.union_memo_misses") (memo_misses1 - memo_misses0));
   Obs.Metrics.(set (gauge "andersen.pts_entries") (total_pts_size t));
   Obs.Metrics.(set (gauge "andersen.objects") (Prog.n_objs prog));
   t

@@ -9,10 +9,16 @@ type config = {
   svfg : Svfg.config;
   max_ctx_depth : int;
   nonsparse_budget : float;
+  scheduler : Sparse.scheduler;
 }
 
 let default_config =
-  { svfg = Svfg.default_config; max_ctx_depth = 24; nonsparse_budget = 7200. }
+  {
+    svfg = Svfg.default_config;
+    max_ctx_depth = 24;
+    nonsparse_budget = 7200.;
+    scheduler = Sparse.Priority;
+  }
 
 let no_interleaving =
   { default_config with svfg = { Svfg.default_config with use_interleaving = false } }
@@ -85,7 +91,7 @@ let run ?(config = default_config) prog =
               Obs.Span.with_ ~name:"singletons.compute" (fun () ->
                   Singletons.compute prog ast tm icfg)
             in
-            Sparse.solve prog ast svfg ~singleton)
+            Sparse.solve ~scheduler:config.scheduler prog ast svfg ~singleton)
       in
       {
         prog;

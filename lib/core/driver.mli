@@ -8,6 +8,10 @@ type config = {
   svfg : Fsam_memssa.Svfg.config;
   max_ctx_depth : int;
   nonsparse_budget : float;  (** seconds before NonSparse reports OOT *)
+  scheduler : Sparse.scheduler;
+      (** solve-loop iteration order; [Priority] (the default) schedules by
+          SVFG-condensation rank, [Fifo] is the legacy queue — both reach
+          the identical fixpoint *)
 }
 
 val default_config : config

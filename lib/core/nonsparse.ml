@@ -42,17 +42,23 @@ let solve ?(budget_seconds = 7200.) prog ast icfg pcg ~singleton =
   let queued = Bitvec.create ~capacity:n () in
   let push g = if Bitvec.set_if_unset queued g then Queue.add g queue in
   let var_users = Array.make (Prog.n_vars prog) [] in
+  (* occurrences of one variable in one statement land consecutively, so a
+     head check dedupes repeated uses (store p p, phi with repeated sources)
+     at index time *)
+  let add_user v gid =
+    match var_users.(v) with
+    | g :: _ when g = gid -> ()
+    | l -> var_users.(v) <- gid :: l
+  in
   Prog.iter_funcs prog (fun f ->
       Func.iter_stmts f (fun i s ->
           let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
-          List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
+          List.iter (fun v -> add_user v gid) (Stmt.uses s);
           match s with
           | Stmt.Call { ret = Some _; _ } ->
             List.iter
               (fun callee ->
-                List.iter
-                  (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
-                  (A.ret_vars ast callee))
+                List.iter (fun rv -> add_user rv gid) (A.ret_vars ast callee))
               (A.callees ast ~fid:f.Func.fid ~idx:i)
           | _ -> ()));
   let add_var v set =
@@ -153,8 +159,8 @@ let solve ?(budget_seconds = 7200.) prog ast icfg pcg ~singleton =
        | Stmt.Store { dst; src } ->
          let targets = t.ptv.(dst) in
          let strong =
-           match Iset.elements targets with
-           | [ o' ] -> if singleton o' && not (racy gid o') then Some o' else None
+           match Iset.as_singleton targets with
+           | Some o' when singleton o' && not (racy gid o') -> Some o'
            | _ -> None
          in
          Iset.iter

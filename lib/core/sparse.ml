@@ -4,11 +4,14 @@ module A = Fsam_andersen.Solver
 module Svfg = Fsam_memssa.Svfg
 module Obs = Fsam_obs
 
+type scheduler = Fifo | Priority
+
 type t = {
   prog : Prog.t;
   svfg : Svfg.t;
   ptv : Iset.t array;
   pto : (int * int, Iset.t) Hashtbl.t; (* (svfg node, obj) -> contents *)
+  obj_any : (int, Iset.t) Hashtbl.t; (* obj -> union of contents over all nodes *)
   mutable iterations : int;
   mutable strong_updates : int; (* store-processing events that killed *)
   mutable weak_updates : int;
@@ -23,8 +26,13 @@ let pt_at_store t gid o =
   | Some n -> pto_get t n o
   | None -> Iset.empty
 
+(* Served from the accumulator maintained by [add_obj]: facts only grow, so
+   the running union equals the fold over the whole [pto] table that the
+   soundness harnesses would otherwise pay per query. *)
 let pt_obj_anywhere t o =
-  Hashtbl.fold (fun (_, o') s acc -> if o' = o then Iset.union acc s else acc) t.pto Iset.empty
+  Option.value ~default:Iset.empty (Hashtbl.find_opt t.obj_any o)
+
+let iter_pto t f = Hashtbl.iter (fun (node, o) s -> f ~node ~obj:o s) t.pto
 
 let n_iterations t = t.iterations
 let n_strong_updates t = t.strong_updates
@@ -34,14 +42,16 @@ let pts_entries t =
   Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.ptv
   + Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) t.pto 0
 
-let solve prog ast svfg ~singleton =
+let solve ?(scheduler = Priority) prog ast svfg ~singleton =
   let n_stmts = Prog.n_stmts prog in
+  let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
   let t =
     {
       prog;
       svfg;
       ptv = Array.make (Prog.n_vars prog) Iset.empty;
       pto = Hashtbl.create 4096;
+      obj_any = Hashtbl.create 256;
       iterations = 0;
       strong_updates = 0;
       weak_updates = 0;
@@ -52,33 +62,126 @@ let solve prog ast svfg ~singleton =
     match Svfg.node svfg n with Svfg.Stmt_node g -> g | _ -> n_stmts + n
   in
   let n_units = n_stmts + Svfg.n_nodes svfg in
-  let queue = Queue.create () in
-  let queued = Bitvec.create ~capacity:n_units () in
-  let peak = ref 0 in
-  let push u =
-    if Bitvec.set_if_unset queued u then begin
-      Queue.add u queue;
-      let depth = Queue.length queue in
-      if depth > !peak then peak := depth
-    end
-  in
   (* var -> statements to reprocess when its points-to set grows *)
   let var_users = Array.make (Prog.n_vars prog) [] in
+  (* A statement using a variable twice (store p p, phi with repeated
+     sources, a call passing one pointer to two parameters) must still be
+     reprocessed once per growth: occurrences land consecutively, so a
+     head check dedupes them at index time. *)
+  let add_user v gid =
+    match var_users.(v) with
+    | g :: _ when g = gid -> ()
+    | l -> var_users.(v) <- gid :: l
+  in
+  (* rank.(u): topological rank of u's SCC in the unit dependency graph —
+     the priority of the worklist. Computed below at index time (Priority
+     scheduler only; Fifo keeps the legacy queue and skips the
+     condensation). *)
+  let rank = Array.make (max 1 n_units) 0 in
   Obs.Span.with_ ~name:"sparse.index" (fun () ->
       Prog.iter_funcs prog (fun f ->
           Func.iter_stmts f (fun i s ->
               let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
-              List.iter (fun v -> var_users.(v) <- gid :: var_users.(v)) (Stmt.uses s);
+              List.iter (fun v -> add_user v gid) (Stmt.uses s);
               (* a call's result depends on the callees' returned variables *)
               match s with
               | Stmt.Call { ret = Some _; _ } ->
                 List.iter
                   (fun callee ->
-                    List.iter
-                      (fun rv -> var_users.(rv) <- gid :: var_users.(rv))
-                      (A.ret_vars ast callee))
+                    List.iter (fun rv -> add_user rv gid) (A.ret_vars ast callee))
                   (A.callees ast ~fid:f.Func.fid ~idx:i)
-              | _ -> ())));
+              | _ -> ()));
+      if scheduler = Priority then begin
+        (* the dependency graph: an edge u -> w whenever processing u can
+           enqueue w, i.e. u defines a top-level var w uses (including the
+           param/return bindings performed at call and fork sites) or a
+           points-to fact generated at u flows to w along an SVFG edge *)
+        let dep = Fsam_graph.Digraph.create ~size_hint:n_units () in
+        if n_units > 0 then Fsam_graph.Digraph.ensure_node dep (n_units - 1);
+        let var_defs = Array.make (Prog.n_vars prog) [] in
+        let add_def v gid =
+          match var_defs.(v) with
+          | g :: _ when g = gid -> ()
+          | l -> var_defs.(v) <- gid :: l
+        in
+        Prog.iter_funcs prog (fun f ->
+            Func.iter_stmts f (fun i s ->
+                let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
+                (match Stmt.def s with Some v -> add_def v gid | None -> ());
+                (* calls and forks bind actuals to the callees' formals, so
+                   the callsite acts as a def of those variables too *)
+                match s with
+                | Stmt.Call { args; _ } | Stmt.Fork { args; _ } ->
+                  List.iter
+                    (fun callee ->
+                      let fn = Prog.func prog callee in
+                      let rec bind args params =
+                        match (args, params) with
+                        | _ :: args, p :: params ->
+                          add_def p gid;
+                          bind args params
+                        | _ -> ()
+                      in
+                      bind args fn.Func.params)
+                    (A.callees ast ~fid:f.Func.fid ~idx:i)
+                | _ -> ()));
+        Array.iteri
+          (fun v defs ->
+            match var_users.(v) with
+            | [] -> ()
+            | users ->
+              List.iter
+                (fun d -> List.iter (fun u -> Fsam_graph.Digraph.add_edge dep d u) users)
+                defs)
+          var_defs;
+        Svfg.iter_nodes svfg (fun n _ ->
+            let src = unit_of_node n in
+            List.iter
+              (fun (_, dst) -> Fsam_graph.Digraph.add_edge dep src (unit_of_node dst))
+              (Svfg.o_succs svfg n));
+        (* condensation: priorities are topological ranks of the SCCs, so
+           each unit is scheduled after its inter-SCC predecessors stabilise
+           and intra-SCC cycles drain to fixpoint before the next rank
+           starts *)
+        let scc = Fsam_graph.Scc.compute dep in
+        for u = 0 to n_units - 1 do
+          (* component ids are in reverse topological order *)
+          rank.(u) <- scc.Fsam_graph.Scc.n_comps - 1 - scc.Fsam_graph.Scc.comp_of.(u)
+        done;
+        Obs.Metrics.(set (gauge "sparse.scc_count") scc.Fsam_graph.Scc.n_comps);
+        let scc_histo = Obs.Metrics.histogram "sparse.scc_size" in
+        Array.iter
+          (fun members ->
+            match members with
+            | [] -> ()
+            | l -> Obs.Metrics.observe scc_histo (List.length l))
+          scc.Fsam_graph.Scc.comps
+      end);
+  let queue = Queue.create () in
+  let heap = Heap.create ~capacity:(max 16 n_units) () in
+  let queued = Bitvec.create ~capacity:n_units () in
+  let peak = ref 0 in
+  let depth () =
+    match scheduler with Fifo -> Queue.length queue | Priority -> Heap.length heap
+  in
+  (* Heap key: SCC rank in the high bits, a global push sequence number in
+     the low bits. Ranks order work between SCCs (a unit runs only once its
+     inter-SCC predecessors' components stabilised); the sequence number
+     breaks ties FIFO, so inside a cyclic SCC members drain round-robin —
+     batching increments per sweep — instead of the min-rank member being
+     eagerly re-processed on every tiny delta arriving from a back edge. *)
+  let seq = ref 0 in
+  let push u =
+    if Bitvec.set_if_unset queued u then begin
+      (match scheduler with
+      | Fifo -> Queue.add u queue
+      | Priority ->
+        Heap.push heap ~prio:((rank.(u) lsl 40) lor !seq) u;
+        incr seq);
+      let d = depth () in
+      if d > !peak then peak := d
+    end
+  in
   let add_var v set =
     let u = Iset.union t.ptv.(v) set in
     if not (u == t.ptv.(v)) then begin
@@ -91,6 +194,8 @@ let solve prog ast svfg ~singleton =
     let u = Iset.union cur set in
     if not (u == cur) then begin
       Hashtbl.replace t.pto (node, o) u;
+      let any = Option.value ~default:Iset.empty (Hashtbl.find_opt t.obj_any o) in
+      Hashtbl.replace t.obj_any o (Iset.union any u);
       List.iter
         (fun (o', dst) -> if o' = o then push (unit_of_node dst))
         (Svfg.o_succs svfg node)
@@ -142,21 +247,22 @@ let solve prog ast svfg ~singleton =
       | Some node ->
         let targets = t.ptv.(dst) in
         Iset.iter (fun o -> add_obj node o t.ptv.(src)) targets;
-        (* kill(s, p) of Figure 10. One deviation: the paper kills everything
-           when pt(p) = ∅ (a C null store is undefined behaviour); our IR
-           defines a null store as a no-op, so incoming values pass
-           through — anything else would be unsound against the
+        (* kill(s, p) of Figure 10, decided once per store processing: the
+           verdict depends only on pt(p) and the store's racy objects, not
+           on the incoming def edge. One deviation: the paper kills
+           everything when pt(p) = ∅ (a C null store is undefined
+           behaviour); our IR defines a null store as a no-op, so incoming
+           values pass through — anything else would be unsound against the
            interpreter's semantics. *)
-        let killed o =
-          match Iset.elements targets with
-          | [] -> false
-          | [ o' ] ->
-            o = o' && singleton o' && not (Iset.mem o' (Svfg.racy_objs svfg gid))
-          | _ -> false
+        let killed =
+          match Iset.as_singleton targets with
+          | Some o' when singleton o' && not (Iset.mem o' (Svfg.racy_objs svfg gid)) ->
+            o'
+          | _ -> -1
         in
         List.iter
           (fun (o, d) ->
-            if killed o then t.strong_updates <- t.strong_updates + 1
+            if o = killed then t.strong_updates <- t.strong_updates + 1
             else begin
               t.weak_updates <- t.weak_updates + 1;
               add_obj node o (pto_get t d o)
@@ -184,21 +290,41 @@ let solve prog ast svfg ~singleton =
     List.iter (fun (o', d) -> if o' = o then add_obj n o (pto_get t d o)) (Svfg.o_preds svfg n)
   in
   (* worklist drain, including the strong/weak update loop inside stores *)
+  let seen = Bitvec.create ~capacity:n_units () in
+  let reprocessed = ref 0 in
+  let step u =
+    Bitvec.clear queued u;
+    t.iterations <- t.iterations + 1;
+    if not (Bitvec.set_if_unset seen u) then incr reprocessed;
+    if u < n_stmts then process u else process_node (u - n_stmts)
+  in
   Obs.Span.with_ ~name:"sparse.drain" (fun () ->
       for g = 0 to n_stmts - 1 do
         push g
       done;
-      while not (Queue.is_empty queue) do
-        let u = Queue.pop queue in
-        Bitvec.clear queued u;
-        t.iterations <- t.iterations + 1;
-        if u < n_stmts then process u else process_node (u - n_stmts)
-      done);
+      match scheduler with
+      | Fifo ->
+        while not (Queue.is_empty queue) do
+          step (Queue.pop queue)
+        done
+      | Priority ->
+        let continue = ref true in
+        while !continue do
+          match Heap.pop_item heap with
+          | Some u -> step u
+          | None -> continue := false
+        done);
   Obs.Metrics.(add (counter "sparse.propagations") t.iterations);
+  Obs.Metrics.(add (counter "sparse.reprocessed") !reprocessed);
   Obs.Metrics.(add (counter "sparse.strong_updates") t.strong_updates);
   Obs.Metrics.(add (counter "sparse.weak_updates") t.weak_updates);
   Obs.Metrics.(set_max (gauge "sparse.worklist_peak") !peak);
   Obs.Metrics.(set (gauge "sparse.pts_entries") (pts_entries t));
+  let memo_hits1, memo_misses1 = Iset.union_memo_stats () in
+  Obs.Metrics.(add (counter "iset.union_memo_hits") (memo_hits1 - memo_hits0));
+  Obs.Metrics.(add (counter "iset.union_memo_misses") (memo_misses1 - memo_misses0));
+  Obs.Metrics.(set (gauge "iset.live_nodes") (Iset.live_nodes ()));
+  Obs.Metrics.(set_max (gauge "heap.top_words") (Gc.quick_stat ()).Gc.top_heap_words);
   (* points-to set size distribution over all non-empty locations *)
   let histo = Obs.Metrics.histogram "sparse.pts_set_size" in
   Array.iter

@@ -13,12 +13,23 @@ open Fsam_ir
 
 type t
 
+type scheduler =
+  | Fifo  (** plain FIFO queue — the original Figure 10 drain order *)
+  | Priority
+      (** binary heap keyed on the topological rank of each work unit's SCC
+          in the SVFG condensation: a unit runs after its inter-SCC
+          predecessors stabilise, and intra-SCC cycles drain to fixpoint
+          before the next rank starts. Reaches the identical (unique)
+          fixpoint with fewer propagations. *)
+
 val solve :
+  ?scheduler:scheduler ->
   Prog.t ->
   Fsam_andersen.Solver.t ->
   Fsam_memssa.Svfg.t ->
   singleton:(int -> bool) ->
   t
+(** [scheduler] defaults to [Priority]. *)
 
 val pt_top : t -> Stmt.var -> Fsam_dsa.Iset.t
 (** Points-to set of a top-level variable (at/after its unique def). *)
@@ -29,7 +40,16 @@ val pt_at_store : t -> int -> int -> Fsam_dsa.Iset.t
 
 val pt_obj_anywhere : t -> int -> Fsam_dsa.Iset.t
 (** Union of [o]'s contents over all defining nodes — a flow-insensitive
-    projection used by clients and sanity checks. *)
+    projection used by clients and sanity checks. O(1): served from an
+    accumulator maintained during the solve, not a fold over the table. *)
+
+val pto_get : t -> int -> int -> Fsam_dsa.Iset.t
+(** [pto_get t node o] — contents of [o] at the SVFG node [node] (empty when
+    no fact is recorded). *)
+
+val iter_pto : t -> (node:int -> obj:int -> Fsam_dsa.Iset.t -> unit) -> unit
+(** Iterate every [(svfg node, obj) -> contents] fact — lets tests and
+    benchmarks check two solver runs for byte-identical results. *)
 
 val n_iterations : t -> int
 

@@ -1,0 +1,76 @@
+(* Array-based binary min-heap over (priority, item) int pairs — the
+   priority worklist of the sparse solver. Priorities are topological ranks
+   of the SVFG condensation, so ties are common and no stability guarantee
+   is made. *)
+
+type t = {
+  mutable prio : int array;
+  mutable item : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  { prio = Array.make capacity 0; item = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0
+
+let grow t =
+  let cap = 2 * Array.length t.prio in
+  let gp = Array.make cap 0 and gi = Array.make cap 0 in
+  Array.blit t.prio 0 gp 0 t.size;
+  Array.blit t.item 0 gi 0 t.size;
+  t.prio <- gp;
+  t.item <- gi
+
+let push t ~prio item =
+  if t.size = Array.length t.prio then grow t;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.prio.(parent) > prio then begin
+      t.prio.(!i) <- t.prio.(parent);
+      t.item.(!i) <- t.item.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.prio.(!i) <- prio;
+  t.item.(!i) <- item
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let min_prio = t.prio.(0) and min_item = t.item.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let prio = t.prio.(t.size) and item = t.item.(t.size) in
+      (* sift down from the root *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= t.size then continue := false
+        else begin
+          let c = if l + 1 < t.size && t.prio.(l + 1) < t.prio.(l) then l + 1 else l in
+          if t.prio.(c) < prio then begin
+            t.prio.(!i) <- t.prio.(c);
+            t.item.(!i) <- t.item.(c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      t.prio.(!i) <- prio;
+      t.item.(!i) <- item
+    end;
+    Some (min_prio, min_item)
+  end
+
+let pop_item t = match pop t with Some (_, item) -> Some item | None -> None

@@ -1,0 +1,21 @@
+(** Binary min-heap over [(priority, item)] integer pairs.
+
+    The sparse solver's priority worklist: items are work-unit ids, the
+    priority is the unit's topological rank in the SVFG condensation, so
+    [pop] always yields a unit all of whose (inter-SCC) predecessors have
+    stabilised. Duplicate insertions are the caller's concern (the solvers
+    pair the heap with a membership bit vector). Not stable under ties. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+
+val push : t -> prio:int -> int -> unit
+
+val pop : t -> (int * int) option
+(** Minimum-priority entry as [(prio, item)], [None] when empty. *)
+
+val pop_item : t -> int option

@@ -1,7 +1,19 @@
-(* Big-endian Patricia trees after Okasaki & Gill, "Fast Mergeable Integer
-   Maps" (ML Workshop 1998), specialised to sets of non-negative ints. *)
+(* Hash-consed big-endian Patricia trees after Okasaki & Gill, "Fast
+   Mergeable Integer Maps" (ML Workshop 1998), specialised to sets of
+   non-negative ints.
 
-type t =
+   Every node is registered in a weak hash-cons table, so structurally equal
+   sets are physically equal: [equal] is pointer comparison, [hash] and
+   [compare] read the node's unique tag, and a bounded direct-mapped memo
+   table turns repeated [union]s of the same operands — the dominant
+   operation of every propagation-style solver in this repository — into
+   cache hits. The table is weak, so nodes unreachable from live sets are
+   reclaimed by the GC; the memo table is the only structure pinning a
+   bounded number of them. *)
+
+type t = { tag : int; node : node }
+
+and node =
   | Empty
   | Leaf of int
   | Branch of int * int * t * t
@@ -9,9 +21,46 @@ type t =
          branching bit is 0, [right] those whose bit is 1. The prefix is the
          common high-order part of every key in the subtree. *)
 
-let empty = Empty
-let is_empty = function Empty -> true | _ -> false
-let singleton k = Leaf k
+(* Hash-consing ----------------------------------------------------------- *)
+
+module Node_hash = struct
+  type nonrec t = t
+
+  (* Children are already hash-consed, so one level of pointer comparison
+     decides structural equality of the whole subtree. *)
+  let equal a b =
+    match (a.node, b.node) with
+    | Empty, Empty -> true
+    | Leaf i, Leaf j -> i = j
+    | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+      p = q && m = n && l0 == l1 && r0 == r1
+    | _ -> false
+
+  let hash a =
+    match a.node with
+    | Empty -> 17
+    | Leaf i -> (i * 0x9e3779b1) land max_int
+    | Branch (p, m, l, r) ->
+      (p + (m * 31) + (l.tag * 0x9e3779b1) + (r.tag * 0x85ebca6b)) land max_int
+end
+
+module W = Weak.Make (Node_hash)
+
+let table = W.create 8192
+let next_tag = ref 0
+
+let hashcons node =
+  let tentative = { tag = !next_tag; node } in
+  let r = W.merge table tentative in
+  if r == tentative then incr next_tag;
+  r
+
+let empty = hashcons Empty
+let is_empty t = t == empty
+let leaf k = hashcons (Leaf k)
+let singleton k = leaf k
+let mk_branch p m l r = hashcons (Branch (p, m, l, r))
+let live_nodes () = W.count table
 
 (* Bit fiddling ----------------------------------------------------------- *)
 
@@ -35,12 +84,13 @@ let branching_bit p0 p1 =
 
 let join p0 t0 p1 t1 =
   let m = branching_bit p0 p1 in
-  if zero_bit p0 m then Branch (mask p0 m, m, t0, t1)
-  else Branch (mask p0 m, m, t1, t0)
+  if zero_bit p0 m then mk_branch (mask p0 m) m t0 t1
+  else mk_branch (mask p0 m) m t1 t0
 
 (* Queries ---------------------------------------------------------------- *)
 
-let rec mem k = function
+let rec mem k t =
+  match t.node with
   | Empty -> false
   | Leaf j -> k = j
   | Branch (p, m, l, r) ->
@@ -49,26 +99,26 @@ let rec mem k = function
     else mem k r
 
 let rec add k t =
-  match t with
-  | Empty -> Leaf k
-  | Leaf j -> if j = k then t else join k (Leaf k) j t
+  match t.node with
+  | Empty -> leaf k
+  | Leaf j -> if j = k then t else join k (leaf k) j t
   | Branch (p, m, l, r) ->
     if match_prefix k p m then
       if zero_bit k m then
         let l' = add k l in
-        if l' == l then t else Branch (p, m, l', r)
+        if l' == l then t else mk_branch p m l' r
       else
         let r' = add k r in
-        if r' == r then t else Branch (p, m, l, r')
-    else join k (Leaf k) p t
+        if r' == r then t else mk_branch p m l r'
+    else join k (leaf k) p t
 
 let branch p m l r =
-  match (l, r) with Empty, _ -> r | _, Empty -> l | _ -> Branch (p, m, l, r)
+  if is_empty l then r else if is_empty r then l else mk_branch p m l r
 
 let rec remove k t =
-  match t with
-  | Empty -> Empty
-  | Leaf j -> if k = j then Empty else t
+  match t.node with
+  | Empty -> empty
+  | Leaf j -> if k = j then empty else t
   | Branch (p, m, l, r) ->
     if not (match_prefix k p m) then t
     else if zero_bit k m then
@@ -78,66 +128,110 @@ let rec remove k t =
       let r' = remove k r in
       if r' == r then t else branch p m l r'
 
-(* Merging. [union a b] preserves physical identity of [a] when b ⊆ a. ----- *)
+(* Merging. Hash-consing makes the physical-identity contract exact:
+   [union a b == a] iff [b ⊆ a]. ------------------------------------------ *)
+
+(* Bounded direct-mapped memo for Branch×Branch unions. Empty never reaches
+   the memo (fast-pathed below), so it doubles as the vacant sentinel. *)
+let memo_bits = 16
+let memo_size = 1 lsl memo_bits
+let memo_a = Array.make memo_size empty
+let memo_b = Array.make memo_size empty
+let memo_r = Array.make memo_size empty
+let memo_hits = ref 0
+let memo_misses = ref 0
+let union_memo_stats () = (!memo_hits, !memo_misses)
+
+let memo_slot a b =
+  ((a.tag * 0x9e3779b1) lxor (b.tag * 0x85ebca6b)) land (memo_size - 1)
 
 let rec union s t =
-  match (s, t) with
-  | Empty, _ -> t
-  | _, Empty -> s
-  | Leaf k, _ -> (match t with Leaf j when j = k -> s | _ -> add k t)
-  | _, Leaf k -> add k s
+  if s == t then s
+  else
+    match (s.node, t.node) with
+    | Empty, _ -> t
+    | _, Empty -> s
+    | Leaf k, _ -> add k t
+    | _, Leaf k -> add k s
+    | Branch _, Branch _ ->
+      (* normalise operand order: the result is the same set either way, and
+         hash-consing makes it the same pointer, so one slot serves both *)
+      let a, b = if s.tag <= t.tag then (s, t) else (t, s) in
+      let i = memo_slot a b in
+      if memo_a.(i) == a && memo_b.(i) == b then begin
+        incr memo_hits;
+        memo_r.(i)
+      end
+      else begin
+        incr memo_misses;
+        let r = union_branches a b in
+        memo_a.(i) <- a;
+        memo_b.(i) <- b;
+        memo_r.(i) <- r;
+        r
+      end
+
+and union_branches s t =
+  match (s.node, t.node) with
   | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
     if m = n && p = q then
       let l = union l0 l1 and r = union r0 r1 in
       if l == l0 && r == r0 then s
       else if l == l1 && r == r1 then t
-      else Branch (p, m, l, r)
+      else mk_branch p m l r
     else if m > n && match_prefix q p m then
       if zero_bit q m then
         let l = union l0 t in
-        if l == l0 then s else Branch (p, m, l, r0)
+        if l == l0 then s else mk_branch p m l r0
       else
         let r = union r0 t in
-        if r == r0 then s else Branch (p, m, l0, r)
+        if r == r0 then s else mk_branch p m l0 r
     else if m < n && match_prefix p q n then
       if zero_bit p n then
         let l = union s l1 in
-        if l == l1 then t else Branch (q, n, l, r1)
+        if l == l1 then t else mk_branch q n l r1
       else
         let r = union s r1 in
-        if r == r1 then t else Branch (q, n, l1, r)
+        if r == r1 then t else mk_branch q n l1 r
     else join p s q t
+  | _ -> assert false
 
 let rec inter s t =
-  match (s, t) with
-  | Empty, _ | _, Empty -> Empty
-  | Leaf k, _ -> if mem k t then s else Empty
-  | _, Leaf k -> if mem k s then t else Empty
-  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
-    if m = n && p = q then branch p m (inter l0 l1) (inter r0 r1)
-    else if m > n && match_prefix q p m then
-      inter (if zero_bit q m then l0 else r0) t
-    else if m < n && match_prefix p q n then
-      inter s (if zero_bit p n then l1 else r1)
-    else Empty
+  if s == t then s
+  else
+    match (s.node, t.node) with
+    | Empty, _ | _, Empty -> empty
+    | Leaf k, _ -> if mem k t then s else empty
+    | _, Leaf k -> if mem k s then t else empty
+    | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+      if m = n && p = q then branch p m (inter l0 l1) (inter r0 r1)
+      else if m > n && match_prefix q p m then
+        inter (if zero_bit q m then l0 else r0) t
+      else if m < n && match_prefix p q n then
+        inter s (if zero_bit p n then l1 else r1)
+      else empty
 
 let rec diff s t =
-  match (s, t) with
-  | Empty, _ -> Empty
-  | _, Empty -> s
-  | Leaf k, _ -> if mem k t then Empty else s
-  | _, Leaf k -> remove k s
-  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
-    if m = n && p = q then branch p m (diff l0 l1) (diff r0 r1)
-    else if m > n && match_prefix q p m then
-      if zero_bit q m then branch p m (diff l0 t) r0
-      else branch p m l0 (diff r0 t)
-    else if m < n && match_prefix p q n then
-      diff s (if zero_bit p n then l1 else r1)
-    else s
+  if s == t then empty
+  else
+    match (s.node, t.node) with
+    | Empty, _ -> empty
+    | _, Empty -> s
+    | Leaf k, _ -> if mem k t then empty else s
+    | _, Leaf k -> remove k s
+    | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
+      if m = n && p = q then branch p m (diff l0 l1) (diff r0 r1)
+      else if m > n && match_prefix q p m then
+        if zero_bit q m then branch p m (diff l0 t) r0
+        else branch p m l0 (diff r0 t)
+      else if m < n && match_prefix p q n then
+        diff s (if zero_bit p n then l1 else r1)
+      else s
 
 let rec subset s t =
-  match (s, t) with
+  s == t
+  ||
+  match (s.node, t.node) with
   | Empty, _ -> true
   | _, Empty -> false
   | Leaf k, _ -> mem k t
@@ -148,18 +242,12 @@ let rec subset s t =
       subset s (if zero_bit p n then l1 else r1)
     else false
 
-let rec equal s t =
-  s == t
-  ||
-  match (s, t) with
-  | Empty, Empty -> true
-  | Leaf a, Leaf b -> a = b
-  | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
-    p = q && m = n && equal l0 l1 && equal r0 r1
-  | _ -> false
+(* Physical equality is complete: the hash-cons table guarantees any two
+   live structurally-equal sets are the same node. *)
+let equal s t = s == t
 
 let rec disjoint s t =
-  match (s, t) with
+  match (s.node, t.node) with
   | Empty, _ | _, Empty -> true
   | Leaf k, _ -> not (mem k t)
   | _, Leaf k -> not (mem k s)
@@ -171,12 +259,14 @@ let rec disjoint s t =
       disjoint s (if zero_bit p n then l1 else r1)
     else true
 
-let rec cardinal = function
+let rec cardinal t =
+  match t.node with
   | Empty -> 0
   | Leaf _ -> 1
   | Branch (_, _, l, r) -> cardinal l + cardinal r
 
-let rec iter f = function
+let rec iter f t =
+  match t.node with
   | Empty -> ()
   | Leaf k -> f k
   | Branch (_, _, l, r) ->
@@ -184,25 +274,27 @@ let rec iter f = function
     iter f r
 
 let rec fold f t acc =
-  match t with
+  match t.node with
   | Empty -> acc
   | Leaf k -> f k acc
   | Branch (_, _, l, r) -> fold f r (fold f l acc)
 
-let rec exists p = function
+let rec exists p t =
+  match t.node with
   | Empty -> false
   | Leaf k -> p k
   | Branch (_, _, l, r) -> exists p l || exists p r
 
-let rec for_all p = function
+let rec for_all p t =
+  match t.node with
   | Empty -> true
   | Leaf k -> p k
   | Branch (_, _, l, r) -> for_all p l && for_all p r
 
 let rec filter p t =
-  match t with
-  | Empty -> Empty
-  | Leaf k -> if p k then t else Empty
+  match t.node with
+  | Empty -> empty
+  | Leaf k -> if p k then t else empty
   | Branch (pr, m, l, r) ->
     let l' = filter p l and r' = filter p r in
     if l' == l && r' == r then t else branch pr m l' r'
@@ -212,18 +304,19 @@ let rec filter p t =
 let elements t = List.rev (fold (fun k acc -> k :: acc) t [])
 let of_list l = List.fold_left (fun s k -> add k s) empty l
 
-let rec choose = function
+let rec choose t =
+  match t.node with
   | Empty -> None
   | Leaf k -> Some k
   | Branch (_, _, l, _) -> choose l
 
 let min_elt = choose
+let as_singleton t = match t.node with Leaf k -> Some k | _ -> None
 
-let compare s t =
-  (* total order consistent with [equal]; not the subset order *)
-  Stdlib.compare (elements s) (elements t)
-
-let hash t = Hashtbl.hash (elements t)
+(* Tags are unique per live node, so tag order is a total order consistent
+   with [equal] (not the subset order, and not stable across processes). *)
+let compare s t = Stdlib.compare s.tag t.tag
+let hash t = (t.tag * 0x9e3779b1) land max_int
 
 let pp ppf t =
   Format.fprintf ppf "{@[%a@]}"

@@ -124,6 +124,40 @@ let prop_compare_total_order =
       Iset.compare sa sb = 0 = Iset.equal sa sb
       && Iset.compare sa sb = -Iset.compare sb sa)
 
+(* Hash-consing: structurally equal sets are one physical node, however they
+   were built, so equal is pointer comparison and hash/compare are O(1). *)
+
+let prop_hashcons_construction_order =
+  QCheck.Test.make ~name:"hash-consing: of_list order-independent (==)" gen_list
+    (fun l ->
+      let a = Iset.of_list l and b = Iset.of_list (List.rev l) in
+      a == b && List.fold_left (fun s x -> Iset.add x s) Iset.empty l == a)
+
+let prop_hashcons_union_physical =
+  QCheck.Test.make ~name:"hash-consing: equal unions are physically equal"
+    (QCheck.pair gen_list gen_list) (fun (la, lb) ->
+      let a = Iset.of_list la and b = Iset.of_list lb in
+      Iset.union a b == Iset.union b a
+      && Iset.union a b == Iset.of_list (la @ lb)
+      && Iset.equal (Iset.union a b) (Iset.union b a))
+
+let prop_hashcons_hash_stable =
+  (* equal sets agree on hash and compare; distinct sets may collide on hash
+     but never compare to 0 *)
+  QCheck.Test.make ~name:"hash-consing: hash/compare consistent with equal"
+    (QCheck.pair gen_list gen_list) (fun (la, lb) ->
+      let a = Iset.of_list la and b = Iset.of_list lb in
+      if Iset.equal a b then Iset.hash a = Iset.hash b && Iset.compare a b = 0
+      else Iset.compare a b <> 0)
+
+let prop_as_singleton =
+  QCheck.Test.make ~name:"as_singleton agrees with model" gen_list (fun l ->
+      let s = Iset.of_list l in
+      match (Iset.as_singleton s, sorted_dedup l) with
+      | Some x, [ y ] -> x = y
+      | None, ([] | _ :: _ :: _) -> true
+      | _ -> false)
+
 let prop_cardinal =
   QCheck.Test.make ~name:"cardinal = model length" gen_list (fun l ->
       Iset.cardinal (Iset.of_list l) = List.length (sorted_dedup l))
@@ -153,6 +187,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_diff;
     QCheck_alcotest.to_alcotest prop_subset;
     QCheck_alcotest.to_alcotest prop_union_idempotent_physical;
+    QCheck_alcotest.to_alcotest prop_hashcons_construction_order;
+    QCheck_alcotest.to_alcotest prop_hashcons_union_physical;
+    QCheck_alcotest.to_alcotest prop_hashcons_hash_stable;
+    QCheck_alcotest.to_alcotest prop_as_singleton;
     QCheck_alcotest.to_alcotest prop_remove;
     QCheck_alcotest.to_alcotest prop_disjoint;
   ]

@@ -163,6 +163,36 @@ let test_minic_end_to_end_sound () =
       prog
   done
 
+let test_scheduler_determinism () =
+  (* FIFO and priority scheduling reach the identical fixpoint: same ptv for
+     every variable, same pto at every (svfg node, obj). The fixpoint of the
+     monotone system is unique, so any discrepancy is a scheduling bug. *)
+  for seed = 0 to n_programs - 1 do
+    let prog = W.generate ~seed ~size:26 () in
+    let df = run_fsam ~config:{ D.default_config with scheduler = Fsam_core.Sparse.Fifo } prog in
+    let dp =
+      run_fsam ~config:{ D.default_config with scheduler = Fsam_core.Sparse.Priority } prog
+    in
+    for v = 0 to Prog.n_vars prog - 1 do
+      let a = Fsam_core.Sparse.pt_top df.D.sparse v in
+      let b = Fsam_core.Sparse.pt_top dp.D.sparse v in
+      if not (Iset.equal a b) then
+        Alcotest.failf "seed %d: schedulers disagree on pt(%s): fifo %s vs priority %s" seed
+          (Prog.var_name prog v)
+          (Format.asprintf "%a" Iset.pp a)
+          (Format.asprintf "%a" Iset.pp b)
+    done;
+    let check_pto ~dir x y =
+      Fsam_core.Sparse.iter_pto x (fun ~node ~obj s ->
+          let s' = Fsam_core.Sparse.pto_get y node obj in
+          if not (Iset.equal s s') then
+            Alcotest.failf "seed %d: schedulers disagree on pto(node %d, obj %s) (%s)" seed
+              node (Prog.obj_name prog obj) dir)
+    in
+    check_pto ~dir:"fifo vs priority" df.D.sparse dp.D.sparse;
+    check_pto ~dir:"priority vs fifo" dp.D.sparse df.D.sparse
+  done
+
 let test_interp_runs () =
   (* smoke: the interpreter makes progress and terminates *)
   let prog = W.generate ~seed:7 ~size:30 () in
@@ -176,6 +206,8 @@ let suite =
     Alcotest.test_case "andersen sound vs interpreter" `Slow test_andersen_sound;
     Alcotest.test_case "nonsparse sound vs interpreter" `Slow test_nonsparse_sound;
     Alcotest.test_case "fsam refines andersen" `Slow test_fsam_refines_andersen;
+    Alcotest.test_case "fifo/priority schedulers reach identical fixpoint" `Slow
+      test_scheduler_determinism;
     Alcotest.test_case "sequential parity sparse=nonsparse" `Slow
       test_sequential_parity_with_nonsparse;
     Alcotest.test_case "ablations are supersets" `Slow test_ablations_are_supersets;
