@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table2            # Table 2: FSAM vs NonSparse
      dune exec bench/main.exe -- figure12          # Figure 12: phase ablations
      dune exec bench/main.exe -- sched             # FIFO vs priority worklist
+     dune exec bench/main.exe -- par               # serial vs multi-domain clients
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- table2 --budget 60 --quick
      dune exec bench/main.exe -- table2 --only word_count,kmeans
@@ -300,6 +301,108 @@ let sched () =
        ])
 
 (* ------------------------------------------------------------------------- *)
+(* Domain-parallel clients — serial vs N-domain post-solve detection.         *)
+(* ------------------------------------------------------------------------- *)
+
+(* The post-solve clients are embarrassingly parallel over their outer index
+   range (Fsam_par chunked fan-out); this records serial-vs-N-domain wall
+   times per client per workload, checks the reports are identical for every
+   jobs value, and persists BENCH_par.json. Speedups only materialise on
+   multi-core hosts — [cores] is recorded so single-core CI numbers aren't
+   mistaken for regressions. *)
+let par () =
+  let jobs_list = [ 1; 2; 4 ] in
+  let cores = Fsam_par.available_jobs () in
+  Printf.printf
+    "Domain-parallel clients: wall-clock per jobs value (host has %d core(s)).\n\
+     Reports must be identical for every jobs value.\n"
+    cores;
+  Printf.printf "%-14s %-10s | %10s %10s %10s | %8s %9s %6s\n" "Program" "client"
+    "j=1 (s)" "j=2 (s)" "j=4 (s)" "speedup4" "identical" "imb%";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let rows = ref [] in
+  List.iter
+    (fun (s : W.spec) ->
+      let prog = s.build (scale_of s) in
+      let d = D.run prog in
+      let client name detect render =
+        let timed jobs =
+          let t0 = Unix.gettimeofday () in
+          let r = detect ~jobs d in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let results = List.map (fun j -> (j, timed j)) jobs_list in
+        let (_, (base, t1)), rest =
+          match results with x :: tl -> (x, tl) | [] -> assert false
+        in
+        let identical =
+          List.for_all (fun (_, (r, _)) -> r = base && render r = render base) rest
+        in
+        if not identical then begin
+          Printf.eprintf "error: %s %s reports differ across --jobs\n" s.name name;
+          exit 1
+        end;
+        let time_of j = snd (List.assoc j results) in
+        let t4 = time_of 4 in
+        let imb =
+          Option.value ~default:0
+            (Fsam_obs.Metrics.find_gauge (Printf.sprintf "par.%s.imbalance_pct" name))
+        in
+        Printf.printf "%-14s %-10s | %10.3f %10.3f %10.3f | %7.2fx %9s %5d%%\n" s.name
+          name t1 (time_of 2) t4
+          (t1 /. max 1e-9 t4)
+          "yes" imb;
+        flush stdout;
+        ( name,
+          J.Obj
+            ([
+               ("n_findings", J.Int (List.length base));
+               ("identical", J.Bool identical);
+               ("imbalance_pct", J.Int imb);
+               ("speedup_j4", J.Float (t1 /. max 1e-9 t4));
+             ]
+            @ List.map
+                (fun (j, (_, t)) -> (Printf.sprintf "j%d_wall_s" j, J.Float t))
+                results) )
+      in
+      (* explicit lets: list elements evaluate right-to-left in OCaml, and
+         [client] prints its row as a side effect *)
+      let races_cell =
+        client "races"
+          (fun ~jobs d -> Fsam_core.Races.detect ~jobs d)
+          (fun rs ->
+            String.concat "\n"
+              (List.map (Format.asprintf "%a" (Fsam_core.Races.pp_race d)) rs))
+      in
+      let leaks_cell =
+        client "leaks"
+          (fun ~jobs d -> Fsam_core.Leaks.detect ~jobs d)
+          (fun fs ->
+            String.concat "\n"
+              (List.map (Format.asprintf "%a" (Fsam_core.Leaks.pp_finding d)) fs))
+      in
+      let deadlocks_cell =
+        client "deadlocks"
+          (fun ~jobs d -> Fsam_core.Deadlocks.detect ~jobs d)
+          (fun ds ->
+            String.concat "\n"
+              (List.map (Format.asprintf "%a" (Fsam_core.Deadlocks.pp_deadlock d)) ds))
+      in
+      let cells = [ races_cell; leaks_cell; deadlocks_cell ] in
+      rows := J.Obj [ ("program", J.String s.name); ("clients", J.Obj cells) ] :: !rows)
+    (workloads ());
+  Printf.printf "%s\n\n" (String.make 92 '-');
+  write_bench "BENCH_par.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.par/1");
+         ("quick", J.Bool !quick);
+         ("cores", J.Int cores);
+         ("jobs", J.List (List.map (fun j -> J.Int j) jobs_list));
+         ("rows", J.List (List.rev !rows));
+       ])
+
+(* ------------------------------------------------------------------------- *)
 (* Micro-benchmarks (bechamel): core kernels.                                 *)
 (* ------------------------------------------------------------------------- *)
 
@@ -408,15 +511,17 @@ let () =
       | "table2" -> table2 ()
       | "figure12" -> figure12 ()
       | "sched" -> sched ()
+      | "par" -> par ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
         table2 ();
         figure12 ();
         sched ();
+        par ();
         micro ()
       | other ->
-        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|micro|all)\n"
+        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|par|micro|all)\n"
           other;
         exit 1)
     cmds

@@ -43,6 +43,15 @@ let config_arg =
   let doc = "Analysis configuration: full, no-interleaving, no-value-flow, no-lock." in
   Arg.(value & opt string "full" & info [ "config" ] ~docv:"CONFIG" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains for the parallelisable passes (MHP sibling seeding and \
+     the post-solve clients). 1 (the default) is the exact serial path; 0 \
+     means the runtime's recommended domain count. Reports are identical for \
+     every value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let with_program f source =
   match load_program source with
   | prog -> f prog
@@ -79,7 +88,8 @@ let trace_arg =
            ~doc:"Write the span tree in Chrome trace_event format \
                  (chrome://tracing, Perfetto).")
 
-let analyze source config_name scheduler_name engine dump_pts json trace =
+let analyze source config_name scheduler_name engine dump_pts json trace jobs
+    nonsparse_budget =
   with_program
     (fun prog ->
       match engine with
@@ -103,7 +113,12 @@ let analyze source config_name scheduler_name engine dump_pts json trace =
                    (List.map (Prog.obj_name prog) (Fsam_dsa.Iset.elements pts)))
           done
       | "nonsparse" ->
-        let m = Fsam_core.Measure.run (fun () -> D.run_nonsparse prog) in
+        let config =
+          match nonsparse_budget with
+          | Some b -> { D.default_config with nonsparse_budget = b }
+          | None -> D.default_config
+        in
+        let m = Fsam_core.Measure.run (fun () -> D.run_nonsparse ~config prog) in
         (match fst m.Fsam_core.Measure.value with
         | Fsam_core.Nonsparse.Done ns ->
           Format.printf "%a@." Fsam_core.Nonsparse.pp_stats ns;
@@ -111,7 +126,14 @@ let analyze source config_name scheduler_name engine dump_pts json trace =
             m.Fsam_core.Measure.wall_seconds m.Fsam_core.Measure.cpu_seconds
             m.Fsam_core.Measure.live_mb
         | Fsam_core.Nonsparse.Timeout budget ->
-          Format.printf "nonsparse: OOT (budget %.0fs exceeded)@." budget);
+          Format.printf "nonsparse: OOT (budget %.0fs exceeded)@." budget;
+          Printf.eprintf
+            "nonsparse: analysis ran OUT OF TIME after %.0f s of CPU time and \
+             produced no points-to results.\n\
+             Raise the limit with --nonsparse-budget SECONDS, shrink the \
+             program, or use --engine fsam (the sparse analysis, usually \
+             orders of magnitude faster).\n"
+            budget);
         export ~json ~trace (fun () ->
             T.analysis_json ~program:source ~engine:"nonsparse" ~config:config_name
               ~wall_seconds:m.Fsam_core.Measure.wall_seconds
@@ -128,6 +150,14 @@ let analyze source config_name scheduler_name engine dump_pts json trace =
           Printf.eprintf "error: %s\n" e;
           exit 1
         | Ok config ->
+          let config =
+            {
+              config with
+              D.jobs;
+              nonsparse_budget =
+                Option.value ~default:config.D.nonsparse_budget nonsparse_budget;
+            }
+          in
           let m = Fsam_core.Measure.run (fun () -> D.run ~config prog) in
           let d = m.Fsam_core.Measure.value in
           Format.printf "%a@." D.pp_summary d;
@@ -166,19 +196,25 @@ let analyze_cmd =
   let dump =
     Arg.(value & flag & info [ "dump-pts" ] ~doc:"Print non-empty points-to sets.")
   in
+  let nonsparse_budget =
+    Arg.(value & opt (some float) None
+         & info [ "nonsparse-budget" ] ~docv:"SECONDS"
+             ~doc:"CPU-time budget for the nonsparse engine before it reports \
+                   OOT (default 7200).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
     Term.(
       const analyze $ source_arg $ config_arg $ scheduler $ engine $ dump $ json_arg
-      $ trace_arg)
+      $ trace_arg $ jobs_arg $ nonsparse_budget)
 
 (* -- races ------------------------------------------------------------------- *)
 
-let races source json trace =
+let races source json trace jobs =
   with_program
     (fun prog ->
-      let d = D.run prog in
-      let rs = Fsam_core.Races.detect d in
+      let d = D.run ~config:{ D.default_config with jobs } prog in
+      let rs = Fsam_core.Races.detect ~jobs d in
       if rs = [] then Format.printf "no data races found@."
       else begin
         Format.printf "%d potential data race(s):@." (List.length rs);
@@ -190,15 +226,15 @@ let races source json trace =
 let races_cmd =
   Cmd.v
     (Cmd.info "races" ~doc:"Detect data races using FSAM's points-to results")
-    Term.(const races $ source_arg $ json_arg $ trace_arg)
+    Term.(const races $ source_arg $ json_arg $ trace_arg $ jobs_arg)
 
 (* -- deadlocks ---------------------------------------------------------------- *)
 
-let deadlocks source =
+let deadlocks source jobs =
   with_program
     (fun prog ->
-      let d = D.run prog in
-      let dls = Fsam_core.Deadlocks.detect d in
+      let d = D.run ~config:{ D.default_config with jobs } prog in
+      let dls = Fsam_core.Deadlocks.detect ~jobs d in
       if dls = [] then Format.printf "no lock-order cycles found@."
       else begin
         Format.printf "%d potential deadlock(s):@." (List.length dls);
@@ -211,15 +247,15 @@ let deadlocks source =
 let deadlocks_cmd =
   Cmd.v
     (Cmd.info "deadlocks" ~doc:"Detect lock-order-cycle deadlocks")
-    Term.(const deadlocks $ source_arg)
+    Term.(const deadlocks $ source_arg $ jobs_arg)
 
 (* -- leaks --------------------------------------------------------------------- *)
 
-let leaks source =
+let leaks source jobs =
   with_program
     (fun prog ->
-      let d = D.run prog in
-      let fs = Fsam_core.Leaks.detect d in
+      let d = D.run ~config:{ D.default_config with jobs } prog in
+      let fs = Fsam_core.Leaks.detect ~jobs d in
       if fs = [] then Format.printf "no memory-leak findings@."
       else
         List.iter (fun f -> Format.printf "%a@." (Fsam_core.Leaks.pp_finding d) f) fs)
@@ -228,7 +264,7 @@ let leaks source =
 let leaks_cmd =
   Cmd.v
     (Cmd.info "leaks" ~doc:"Detect never-freed allocations and double frees")
-    Term.(const leaks $ source_arg)
+    Term.(const leaks $ source_arg $ jobs_arg)
 
 (* -- instrument ---------------------------------------------------------------- *)
 

@@ -23,29 +23,32 @@ let lock_order_edges d =
   done;
   !edges
 
-let detect d =
-  let edges = lock_order_edges d in
+let detect ?(jobs = 1) d =
+  let edges = Array.of_list (lock_order_edges d) in
   let mhp = d.Driver.mhp in
   let tm = d.Driver.tm in
-  let found = ref [] in
-  List.iter
-    (fun (a, b, i) ->
-      List.iter
-        (fun (a', b', j) ->
-          if a' = b && b' = a && a < a' && Mta.Mhp.mhp_inst mhp i j then begin
-            let dl =
-              {
-                lock_a = a;
-                lock_b = b;
-                site_ab = (Mta.Threads.inst tm i).Mta.Threads.i_gid;
-                site_ba = (Mta.Threads.inst tm j).Mta.Threads.i_gid;
-              }
-            in
-            if not (List.mem dl !found) then found := dl :: !found
-          end)
-        edges)
-    edges;
-  List.sort compare !found
+  let chunks =
+    Fsam_par.run_chunks ~label:"deadlocks" ~jobs ~n:(Array.length edges)
+      (fun ~lo ~hi ->
+        let acc = ref [] in
+        for x = lo to hi - 1 do
+          let a, b, i = edges.(x) in
+          Array.iter
+            (fun (a', b', j) ->
+              if a' = b && b' = a && a < a' && Mta.Mhp.mhp_inst mhp i j then
+                acc :=
+                  {
+                    lock_a = a;
+                    lock_b = b;
+                    site_ab = (Mta.Threads.inst tm i).Mta.Threads.i_gid;
+                    site_ba = (Mta.Threads.inst tm j).Mta.Threads.i_gid;
+                  }
+                  :: !acc)
+            edges
+        done;
+        !acc)
+  in
+  List.sort_uniq compare (List.concat chunks)
 
 let pp_deadlock d ppf dl =
   let prog = d.Driver.prog in

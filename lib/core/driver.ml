@@ -10,6 +10,7 @@ type config = {
   max_ctx_depth : int;
   nonsparse_budget : float;
   scheduler : Sparse.scheduler;
+  jobs : int;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     max_ctx_depth = 24;
     nonsparse_budget = 7200.;
     scheduler = Sparse.Priority;
+    jobs = 1;
   }
 
 let no_interleaving =
@@ -76,7 +78,10 @@ let run ?(config = default_config) prog =
             in
             (icfg, tm))
       in
-      let mhp, sp_mhp = Obs.Span.with_timed ~name:"phase.mhp" (fun () -> Mta.Mhp.compute tm) in
+      let mhp, sp_mhp =
+        Obs.Span.with_timed ~name:"phase.mhp" (fun () ->
+            Mta.Mhp.compute ~jobs:config.jobs tm)
+      in
       let locks, sp_lock =
         Obs.Span.with_timed ~name:"phase.locks" (fun () -> Mta.Locks.compute prog ast tm)
       in
@@ -139,6 +144,12 @@ let run_nonsparse ?(config = default_config) prog =
         in
         (* the OOT budget stays CPU-time based, like Nonsparse.solve itself *)
         let remaining = config.nonsparse_budget -. (Sys.time () -. t0) in
+        if remaining <= 0. then
+          (* don't silently hand the solver a token 0.1 s budget *)
+          Format.eprintf
+            "warning: nonsparse pre-phases alone consumed the %.0f s budget; the \
+             solver will time out immediately — raise --nonsparse-budget@."
+            config.nonsparse_budget;
         Obs.Span.with_ ~name:"nonsparse.solve" (fun () ->
             Nonsparse.solve ~budget_seconds:(max 0.1 remaining) prog ast icfg pcg ~singleton))
   in

@@ -12,6 +12,12 @@ type config = {
       (** solve-loop iteration order; [Priority] (the default) schedules by
           SVFG-condensation rank, [Fifo] is the legacy queue — both reach
           the identical fixpoint *)
+  jobs : int;
+      (** domain count for the parallelisable passes (MHP sibling seeding
+          here; the CLI also hands it to the post-solve clients). [1] (the
+          default) is the exact serial path; [0] means
+          [Fsam_par.available_jobs ()]. Results are identical for every
+          value. *)
 }
 
 val default_config : config

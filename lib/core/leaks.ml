@@ -1,5 +1,6 @@
 open Fsam_dsa
 open Fsam_ir
+module Mta = Fsam_mta
 
 type finding = Never_freed of int | Double_free of int * int * int
 
@@ -8,7 +9,18 @@ let is_free_call prog = function
     (Prog.func prog fid).Func.fname = "free"
   | _ -> false
 
-let detect d =
+(* A single free site can fire more than once when it sits in a CFG cycle of
+   its own function, or when the thread executing it is multi-forked
+   (Definition 1): a [free] in the body of a loop-forked thread runs once
+   per runtime thread instance even though no intra-procedural cycle
+   contains it. *)
+let repeats d g =
+  Mta.Icfg.in_cfg_cycle d.Driver.icfg g
+  || List.exists
+       (fun iid -> Mta.Threads.is_multi d.Driver.tm (Mta.Threads.inst d.Driver.tm iid).Mta.Threads.i_thread)
+       (Mta.Threads.insts_of_gid d.Driver.tm g)
+
+let detect ?(jobs = 1) d =
   let prog = d.Driver.prog in
   (* free sites and the heap objects they may release *)
   let free_sites = ref [] in
@@ -23,9 +35,8 @@ let detect d =
           in
           free_sites := (gid, heap_targets) :: !free_sites
         | _ -> ());
-  let freed =
-    List.fold_left (fun acc (_, s) -> Iset.union acc s) Iset.empty !free_sites
-  in
+  let sites = Array.of_list (List.rev !free_sites) in
+  let freed = Array.fold_left (fun acc (_, s) -> Iset.union acc s) Iset.empty sites in
   let findings = ref [] in
   (* never freed: heap objects that appear in some pointer's points-to set
      (i.e. were actually allocated on a reachable path per the analysis) *)
@@ -39,25 +50,21 @@ let detect d =
     (fun o -> if not (Iset.mem o freed) then findings := Never_freed o :: !findings)
     !live_heap;
   (* double free: two distinct free sites may release the same object, or a
-     single site sits in a loop *)
-  let rec pairs = function
-    | [] -> ()
-    | (g1, s1) :: rest ->
-      List.iter
-        (fun (g2, s2) ->
-          Iset.iter
-            (fun o -> if Iset.mem o s2 then findings := Double_free (o, g1, g2) :: !findings)
-            s1)
-        rest;
-      pairs rest
+     single site that can execute repeatedly *)
+  let chunks =
+    Fsam_par.run_chunks ~label:"leaks" ~jobs ~n:(Array.length sites) (fun ~lo ~hi ->
+        let acc = ref [] in
+        for i = lo to hi - 1 do
+          let g1, s1 = sites.(i) in
+          for j = i + 1 to Array.length sites - 1 do
+            let g2, s2 = sites.(j) in
+            Iset.iter (fun o -> if Iset.mem o s2 then acc := Double_free (o, g1, g2) :: !acc) s1
+          done;
+          if repeats d g1 then Iset.iter (fun o -> acc := Double_free (o, g1, g1) :: !acc) s1
+        done;
+        !acc)
   in
-  pairs !free_sites;
-  List.iter
-    (fun (g, s) ->
-      if Fsam_mta.Icfg.in_cfg_cycle d.Driver.icfg g then
-        Iset.iter (fun o -> findings := Double_free (o, g, g) :: !findings) s)
-    !free_sites;
-  List.sort_uniq compare !findings
+  List.sort_uniq compare (!findings @ List.concat chunks)
 
 let pp_finding d ppf = function
   | Never_freed o ->

@@ -1,6 +1,7 @@
 open Fsam_dsa
 open Fsam_ir
 module Mta = Fsam_mta
+module Obs = Fsam_obs
 
 type race = { store_gid : int; access_gid : int; obj : int; both_writes : bool }
 
@@ -12,14 +13,24 @@ let accesses d gid =
   | Stmt.Load { src; _ } -> Some (false, Sparse.pt_top d.Driver.sparse src)
   | _ -> None
 
-let protected d o gid gid' =
-  (* every MHP instance pair is covered by spans of a common lock *)
-  ignore o;
+(* Whether every MHP instance pair of the two statements is covered by spans
+   of a common lock. Depends only on the statement pair, not on which common
+   object is being raced on — so callers query it once per pair, not once
+   per object. *)
+let protected d gid gid' =
   let pairs = Mta.Mhp.mhp_pairs_inst d.Driver.mhp gid gid' in
   pairs <> []
   && List.for_all (fun (i, j) -> Mta.Locks.common_lock d.Driver.locks i j <> []) pairs
 
-let detect d =
+(* Per-chunk accumulator: the races found plus the tallies that become
+   metrics after the fan-out joins (chunk functions must not touch the
+   process-global metrics registry). [lock_queries_saved] counts the
+   [protected] invocations the per-pair hoisting avoids versus the old
+   per-object formulation: |common| - 1 for every MHP pair with a non-empty
+   common object set. *)
+type acc = { mutable races : race list; mutable lock_queries : int; mutable saved : int }
+
+let detect ?(jobs = 1) d =
   let prog = d.Driver.prog in
   let stores = ref [] and loads = ref [] in
   Prog.iter_stmts prog (fun gid _ s ->
@@ -27,25 +38,39 @@ let detect d =
       | Stmt.Store _ -> stores := gid :: !stores
       | Stmt.Load _ -> loads := gid :: !loads
       | _ -> ());
-  let races = ref [] in
-  let consider s a =
+  let stores = Array.of_list (List.rev !stores) in
+  let loads = List.rev !loads in
+  let consider acc s a =
     match (accesses d s, accesses d a) with
     | Some (true, os), Some (w', os') ->
       let common = Iset.inter os os' in
-      if (not (Iset.is_empty common)) && Mta.Mhp.mhp_stmt d.Driver.mhp s a then
-        Iset.iter
-          (fun o ->
-            if not (protected d o s a) then
-              races := { store_gid = s; access_gid = a; obj = o; both_writes = w' } :: !races)
-          common
+      if (not (Iset.is_empty common)) && Mta.Mhp.mhp_stmt d.Driver.mhp s a then begin
+        acc.lock_queries <- acc.lock_queries + 1;
+        acc.saved <- acc.saved + Iset.cardinal common - 1;
+        if not (protected d s a) then
+          Iset.iter
+            (fun o ->
+              acc.races <-
+                { store_gid = s; access_gid = a; obj = o; both_writes = w' } :: acc.races)
+            common
+      end
     | _ -> ()
   in
-  List.iter
-    (fun s ->
-      List.iter (fun a -> consider s a) !loads;
-      List.iter (fun a -> if s <= a then consider s a) !stores)
-    !stores;
-  List.sort_uniq compare !races
+  let chunks =
+    Fsam_par.run_chunks ~label:"races" ~jobs ~n:(Array.length stores) (fun ~lo ~hi ->
+        let acc = { races = []; lock_queries = 0; saved = 0 } in
+        for i = lo to hi - 1 do
+          let s = stores.(i) in
+          List.iter (fun a -> consider acc s a) loads;
+          Array.iter (fun a -> if s <= a then consider acc s a) stores
+        done;
+        acc)
+  in
+  let lockq = List.fold_left (fun n a -> n + a.lock_queries) 0 chunks in
+  let saved = List.fold_left (fun n a -> n + a.saved) 0 chunks in
+  Obs.Metrics.(add (counter "races.lock_queries") lockq);
+  Obs.Metrics.(add (counter "races.lock_queries_saved") saved);
+  List.sort_uniq compare (List.concat_map (fun a -> a.races) chunks)
 
 let pp_race d ppf r =
   let prog = d.Driver.prog in

@@ -12,7 +12,14 @@ type race = {
   both_writes : bool;
 }
 
-val detect : Driver.t -> race list
-(** Deduplicated ([store_gid <= access_gid] for write-write pairs), sorted. *)
+val detect : ?jobs:int -> Driver.t -> race list
+(** Deduplicated ([store_gid <= access_gid] for write-write pairs), sorted.
+
+    [jobs] (default 1) fans the quadratic store×access pass out over that
+    many domains via {!Fsam_par.run_chunks}; the report is identical for
+    every [jobs] value. Records [races.lock_queries] (lock-coverage queries
+    actually made, one per unprotected-candidate pair) and
+    [races.lock_queries_saved] (queries avoided by hoisting the
+    object-independent lock check out of the per-object loop). *)
 
 val pp_race : Driver.t -> Format.formatter -> race -> unit

@@ -8,8 +8,19 @@
    table turns repeated [union]s of the same operands — the dominant
    operation of every propagation-style solver in this repository — into
    cache hits. The table is weak, so nodes unreachable from live sets are
-   reclaimed by the GC; the memo table is the only structure pinning a
-   bounded number of them. *)
+   reclaimed by the GC; the memo tables are the only structures pinning a
+   bounded number of them.
+
+   Domain safety (see DESIGN.md §"Domain-safety of the hash-cons table"):
+   the post-solve clients fan out over OCaml 5 domains, and every Patricia
+   operation may intern fresh nodes, so the intern table is sharded into
+   [n_stripes] independent weak sets, each behind its own mutex — node
+   creation takes exactly one uncontended lock on the serial path, and
+   concurrent creations only contend when they hash to the same stripe.
+   Tags come from one [Atomic] counter (allocated eagerly, so duplicates
+   burn a tag — uniqueness, not density, is the contract). The union memo
+   is per-domain via [Domain.DLS]: no locking on the solver's hottest
+   path, at the cost of cold memos in freshly spawned worker domains. *)
 
 type t = { tag : int; node : node }
 
@@ -46,21 +57,42 @@ end
 
 module W = Weak.Make (Node_hash)
 
-let table = W.create 8192
-let next_tag = ref 0
+(* Striped intern table: stripe = hash of the (tag-free) node shape, so the
+   same shape always lands in the same stripe regardless of which domain
+   interns it first — the mutex then guarantees a single canonical node. *)
+let n_stripes = 64 (* power of two *)
+let stripes = Array.init n_stripes (fun _ -> W.create 512)
+let stripe_locks = Array.init n_stripes (fun _ -> Mutex.create ())
+let next_tag = Atomic.make 0
 
 let hashcons node =
-  let tentative = { tag = !next_tag; node } in
-  let r = W.merge table tentative in
-  if r == tentative then incr next_tag;
-  r
+  let tentative = { tag = Atomic.fetch_and_add next_tag 1; node } in
+  let i = Node_hash.hash tentative land (n_stripes - 1) in
+  let m = stripe_locks.(i) in
+  Mutex.lock m;
+  match W.merge stripes.(i) tentative with
+  | r ->
+    Mutex.unlock m;
+    r
+  | exception e ->
+    Mutex.unlock m;
+    raise e
 
 let empty = hashcons Empty
 let is_empty t = t == empty
 let leaf k = hashcons (Leaf k)
 let singleton k = leaf k
 let mk_branch p m l r = hashcons (Branch (p, m, l, r))
-let live_nodes () = W.count table
+
+let live_nodes () =
+  let n = ref 0 in
+  Array.iteri
+    (fun i t ->
+      Mutex.lock stripe_locks.(i);
+      n := !n + W.count t;
+      Mutex.unlock stripe_locks.(i))
+    stripes;
+  !n
 
 (* Bit fiddling ----------------------------------------------------------- *)
 
@@ -132,20 +164,70 @@ let rec remove k t =
    [union a b == a] iff [b ⊆ a]. ------------------------------------------ *)
 
 (* Bounded direct-mapped memo for Branch×Branch unions. Empty never reaches
-   the memo (fast-pathed below), so it doubles as the vacant sentinel. *)
+   the memo (fast-pathed below), so it doubles as the vacant sentinel.
+
+   One memo per domain ([Domain.DLS]): the arrays are mutated with no
+   synchronisation whatsoever, which is only sound because no other domain
+   can see them. Hit/miss counters live in the memo record; a weak registry
+   keeps the stats of live memos readable from the main domain, and a
+   finaliser folds a dying domain's counts into the [retired_*] atomics so
+   [union_memo_stats] stays cumulative after worker domains are joined and
+   collected (their memo arrays — and the nodes they pin — are then freed
+   with the domain's local state). *)
 let memo_bits = 16
 let memo_size = 1 lsl memo_bits
-let memo_a = Array.make memo_size empty
-let memo_b = Array.make memo_size empty
-let memo_r = Array.make memo_size empty
-let memo_hits = ref 0
-let memo_misses = ref 0
-let union_memo_stats () = (!memo_hits, !memo_misses)
+
+type memo = {
+  ma : t array;
+  mb : t array;
+  mr : t array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let retired_hits = Atomic.make 0
+let retired_misses = Atomic.make 0
+let memo_registry : memo Weak.t list ref = ref []
+let memo_registry_lock = Mutex.create ()
+
+let memo_key =
+  Domain.DLS.new_key (fun () ->
+      let m =
+        {
+          ma = Array.make memo_size empty;
+          mb = Array.make memo_size empty;
+          mr = Array.make memo_size empty;
+          hits = 0;
+          misses = 0;
+        }
+      in
+      Gc.finalise
+        (fun m ->
+          Atomic.fetch_and_add retired_hits m.hits |> ignore;
+          Atomic.fetch_and_add retired_misses m.misses |> ignore)
+        m;
+      let w = Weak.create 1 in
+      Weak.set w 0 (Some m);
+      Mutex.lock memo_registry_lock;
+      memo_registry := w :: List.filter (fun w -> Weak.check w 0) !memo_registry;
+      Mutex.unlock memo_registry_lock;
+      m)
+
+let union_memo_stats () =
+  Mutex.lock memo_registry_lock;
+  let live = List.filter_map (fun w -> Weak.get w 0) !memo_registry in
+  Mutex.unlock memo_registry_lock;
+  List.fold_left
+    (fun (h, m) memo -> (h + memo.hits, m + memo.misses))
+    (Atomic.get retired_hits, Atomic.get retired_misses)
+    live
 
 let memo_slot a b =
   ((a.tag * 0x9e3779b1) lxor (b.tag * 0x85ebca6b)) land (memo_size - 1)
 
-let rec union s t =
+(* The memo is fetched once per top-level [union] and threaded through the
+   recursion: [Domain.DLS.get] off the hot inner loop. *)
+let rec union_m memo s t =
   if s == t then s
   else
     match (s.node, t.node) with
@@ -158,43 +240,53 @@ let rec union s t =
          hash-consing makes it the same pointer, so one slot serves both *)
       let a, b = if s.tag <= t.tag then (s, t) else (t, s) in
       let i = memo_slot a b in
-      if memo_a.(i) == a && memo_b.(i) == b then begin
-        incr memo_hits;
-        memo_r.(i)
+      if memo.ma.(i) == a && memo.mb.(i) == b then begin
+        memo.hits <- memo.hits + 1;
+        memo.mr.(i)
       end
       else begin
-        incr memo_misses;
-        let r = union_branches a b in
-        memo_a.(i) <- a;
-        memo_b.(i) <- b;
-        memo_r.(i) <- r;
+        memo.misses <- memo.misses + 1;
+        let r = union_branches memo a b in
+        memo.ma.(i) <- a;
+        memo.mb.(i) <- b;
+        memo.mr.(i) <- r;
         r
       end
 
-and union_branches s t =
+and union_branches memo s t =
   match (s.node, t.node) with
   | Branch (p, m, l0, r0), Branch (q, n, l1, r1) ->
     if m = n && p = q then
-      let l = union l0 l1 and r = union r0 r1 in
+      let l = union_m memo l0 l1 and r = union_m memo r0 r1 in
       if l == l0 && r == r0 then s
       else if l == l1 && r == r1 then t
       else mk_branch p m l r
     else if m > n && match_prefix q p m then
       if zero_bit q m then
-        let l = union l0 t in
+        let l = union_m memo l0 t in
         if l == l0 then s else mk_branch p m l r0
       else
-        let r = union r0 t in
+        let r = union_m memo r0 t in
         if r == r0 then s else mk_branch p m l0 r
     else if m < n && match_prefix p q n then
       if zero_bit p n then
-        let l = union s l1 in
+        let l = union_m memo s l1 in
         if l == l1 then t else mk_branch q n l r1
       else
-        let r = union s r1 in
+        let r = union_m memo s r1 in
         if r == r1 then t else mk_branch q n l1 r
     else join p s q t
   | _ -> assert false
+
+let union s t =
+  if s == t then s
+  else
+    match (s.node, t.node) with
+    | Empty, _ -> t
+    | _, Empty -> s
+    | Leaf k, _ -> add k t
+    | _, Leaf k -> add k s
+    | Branch _, Branch _ -> union_m (Domain.DLS.get memo_key) s t
 
 let rec inter s t =
   if s == t then s

@@ -13,7 +13,14 @@
     repeated [union]s of the same operands — the dominant operation of the
     propagation solvers — are served from a bounded memo table.
 
-    All operations are purely functional. Keys must be [>= 0]. *)
+    All operations are purely functional. Keys must be [>= 0].
+
+    {b Domain safety}: every operation may be called concurrently from any
+    number of OCaml 5 domains. The intern table is sharded behind striped
+    mutexes (one uncontended lock per node creation on the serial path),
+    tags come from an atomic counter, and the union memo is per-domain via
+    [Domain.DLS] — so [equal]-is-[==] and the [union a b == a] fixpoint
+    test hold across domains. See DESIGN.md for the tradeoff discussion. *)
 
 type t
 
@@ -64,8 +71,9 @@ val hash : t -> int
 (** O(1), from the hash-cons tag. *)
 
 val union_memo_stats : unit -> int * int
-(** Cumulative [(hits, misses)] of the union memo table since process
-    start; solvers report deltas as metrics. *)
+(** Cumulative [(hits, misses)] of the per-domain union memo tables since
+    process start (live domains plus retired ones); solvers report deltas
+    as metrics. *)
 
 val live_nodes : unit -> int
 (** Number of nodes currently live in the hash-cons table. *)

@@ -13,7 +13,7 @@ let n_iterations t = t.iterations
 
 let total_fact_size t = Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.facts
 
-let compute tm =
+let compute ?(jobs = 1) tm =
   let n = Threads.n_insts tm in
   let facts = Array.make n Iset.empty in
   let t = { tm; facts; iterations = 0 } in
@@ -43,19 +43,34 @@ let compute tm =
         if not (Iset.is_empty anc) then
           List.iter (fun e -> add e anc) (Threads.entry_insts tm tid)
       done;
-      (* [I-SIBLING] *)
-      for a = 0 to nt - 1 do
-        for b = a + 1 to nt - 1 do
-          if
-            Threads.siblings tm a b
-            && (not (Threads.happens_before tm a b))
-            && not (Threads.happens_before tm b a)
-          then begin
-            List.iter (fun e -> add e (Iset.singleton b)) (Threads.entry_insts tm a);
-            List.iter (fun e -> add e (Iset.singleton a)) (Threads.entry_insts tm b)
-          end
-        done
-      done;
+      (* [I-SIBLING]: the sibling / happens-before queries are read-only and
+         quadratic in thread count, so they fan out over domains; the ordered
+         merge then seeds [facts] serially in exactly the order the serial
+         double loop would, keeping the fixpoint's work order — and so the
+         iteration metrics — identical for every [jobs] value. *)
+      if Fsam_par.resolve_jobs jobs > 1 then
+        (* [happens_before] forces the lazy instance graph; force it here,
+           before domains could race on the thunk *)
+        ignore (Threads.inst_graph tm);
+      let sibling_pairs =
+        Fsam_par.run_chunks ~label:"mhp.siblings" ~jobs ~n:nt (fun ~lo ~hi ->
+            let acc = ref [] in
+            for a = hi - 1 downto lo do
+              for b = nt - 1 downto a + 1 do
+                if
+                  Threads.siblings tm a b
+                  && (not (Threads.happens_before tm a b))
+                  && not (Threads.happens_before tm b a)
+                then acc := (a, b) :: !acc
+              done
+            done;
+            !acc)
+      in
+      List.iter
+        (fun (a, b) ->
+          List.iter (fun e -> add e (Iset.singleton b)) (Threads.entry_insts tm a);
+          List.iter (fun e -> add e (Iset.singleton a)) (Threads.entry_insts tm b))
+        (List.concat sibling_pairs);
       (* [I-DESCENDANT] first conclusion is seeded flow-sensitively below: a
          fork's out-fact includes the spawned descendant closure even when the
          in-fact is empty, so prime every fork instance. *)

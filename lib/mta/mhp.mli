@@ -18,7 +18,11 @@
 
 type t
 
-val compute : Threads.t -> t
+val compute : ?jobs:int -> Threads.t -> t
+(** [jobs] (default 1) fans the quadratic [I-SIBLING] seeding queries out
+    over that many domains; the seeding order — and hence the fixpoint's
+    facts and iteration count — is identical for every [jobs] value. *)
+
 val interference : t -> int -> Fsam_dsa.Iset.t
 (** [I(t,c,s)] for an instance id. *)
 

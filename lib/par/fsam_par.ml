@@ -1,0 +1,59 @@
+module Obs = Fsam_obs
+
+let available_jobs () = Domain.recommended_domain_count ()
+let resolve_jobs j = if j <= 0 then available_jobs () else j
+
+(* Chunk [i] of [k] over [0, n): boundaries depend only on (n, k), so the
+   decomposition — and with it the ordered merge — is deterministic. *)
+let chunk_bounds ~n ~k i = (i * n / k, (i + 1) * n / k)
+
+let record_metrics ~label ~jobs ~k ~wall_us times_us =
+  let g name = Obs.Metrics.gauge (Printf.sprintf "par.%s.%s" label name) in
+  Obs.Metrics.set (g "jobs") jobs;
+  Obs.Metrics.set (g "chunks") k;
+  Obs.Metrics.set (g "wall_us") wall_us;
+  match times_us with
+  | [] -> ()
+  | t0 :: rest ->
+    let mx = List.fold_left max t0 rest and mn = List.fold_left min t0 rest in
+    Obs.Metrics.set (g "max_chunk_us") mx;
+    Obs.Metrics.set (g "min_chunk_us") mn;
+    Obs.Metrics.set (g "imbalance_pct") (if mx <= 0 then 0 else 100 * (mx - mn) / mx);
+    List.iteri
+      (fun i t -> Obs.Metrics.set (g (Printf.sprintf "domain%d.wall_us" i)) t)
+      times_us
+
+let run_chunks ?(label = "par") ~jobs ~n f =
+  let jobs = if jobs <= 0 then available_jobs () else jobs in
+  let k = max 1 (min jobs n) in
+  let t_start = Unix.gettimeofday () in
+  let timed lo hi () =
+    let t0 = Unix.gettimeofday () in
+    let r = f ~lo ~hi in
+    (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+  in
+  let results =
+    if k = 1 then [ timed 0 n () ]
+    else begin
+      (* spawn chunks 1..k-1, keep chunk 0 for the calling domain: the
+         caller does its share of the work instead of blocking in join *)
+      let workers =
+        List.init (k - 1) (fun i ->
+            let lo, hi = chunk_bounds ~n ~k (i + 1) in
+            Domain.spawn (timed lo hi))
+      in
+      let r0 =
+        let lo, hi = chunk_bounds ~n ~k 0 in
+        match timed lo hi () with
+        | r -> r
+        | exception e ->
+          (* never leak un-joined domains; the chunk-0 failure wins *)
+          List.iter (fun d -> try ignore (Domain.join d) with _ -> ()) workers;
+          raise e
+      in
+      r0 :: List.map Domain.join workers
+    end
+  in
+  let wall_us = int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6) in
+  record_metrics ~label ~jobs ~k ~wall_us (List.map snd results);
+  List.map fst results

@@ -1,0 +1,38 @@
+(** Deterministic domain-pool fan-out for the post-solve client analyses.
+
+    The clients (race, leak and deadlock detection, MHP sibling seeding) are
+    read-only over solver results and quadratic in some index range, so they
+    parallelise by splitting the range into contiguous chunks, evaluating
+    each chunk in its own OCaml 5 domain, and merging the per-chunk
+    accumulators {e in chunk order}. Chunk boundaries are a pure function of
+    [(n, jobs)], and the ordered merge makes the concatenated result
+    byte-identical to the serial left-to-right traversal — callers that sort
+    or fold the merged list therefore produce identical reports for every
+    [jobs] value.
+
+    Contract for the chunk function: it must not touch the process-global
+    observability state ({!Fsam_obs.Span}, {!Fsam_obs.Metrics} — neither is
+    domain-safe) and must only read shared analysis results. All
+    [Fsam_dsa.Iset] operations are fine: the intern table is domain-safe. *)
+
+val available_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs j] is [available_jobs ()] when [j <= 0], else [j]. *)
+
+val run_chunks : ?label:string -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [run_chunks ~jobs ~n f] splits the index range [\[0, n)] into
+    [k = min jobs n] contiguous chunks whose sizes differ by at most one,
+    evaluates [f ~lo ~hi] on each ([lo] inclusive, [hi] exclusive), and
+    returns the results in chunk order. With [jobs <= 1] (or [n <= 1]) this
+    is exactly [\[f ~lo:0 ~hi:n\]] evaluated in the calling domain — the
+    serial path, no domain is spawned. Otherwise chunk 0 runs in the calling
+    domain while chunks 1..k-1 run in freshly spawned domains.
+
+    After the join, per-domain wall times and the chunk imbalance are
+    recorded in {!Fsam_obs.Metrics} (from the calling domain only):
+    [par.<label>.jobs], [par.<label>.chunks], [par.<label>.wall_us],
+    [par.<label>.max_chunk_us], [par.<label>.min_chunk_us] and
+    [par.<label>.imbalance_pct] ([100 * (max - min) / max], 0 when the
+    region is trivially small). [label] defaults to ["par"]. *)

@@ -24,4 +24,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("simplify", Test_simplify.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

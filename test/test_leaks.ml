@@ -82,6 +82,53 @@ let test_free_in_loop () =
   Alcotest.(check bool) "looped free reported as double free" true
     (List.exists double_free (L.detect d))
 
+let test_free_in_multi_forked_thread () =
+  (* the free site is NOT in any CFG cycle of its own function — it runs
+     once per worker — but the worker thread is multi-forked, so the same
+     heap object may be released once per runtime thread instance *)
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int *shared;
+      void worker(int *unused) {
+        free(shared);
+      }
+      int main() {
+        pthread_t t;
+        shared = malloc();
+        while (nondet()) {
+          fork(&t, worker, null);
+        }
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check bool) "free in loop-forked thread body is a double free" true
+    (List.exists double_free (L.detect d))
+
+let test_free_in_single_forked_thread_clean () =
+  (* same shape without the fork loop: a single worker instance frees once —
+     the multi-fork rule must not fire *)
+  let d =
+    run
+      {|
+      void free(int *p) { }
+      int *shared;
+      void worker(int *unused) {
+        free(shared);
+      }
+      int main() {
+        pthread_t t;
+        shared = malloc();
+        fork(&t, worker, null);
+        return 0;
+      }
+      |}
+  in
+  Alcotest.(check int) "single forked free is clean" 0
+    (List.length (List.filter double_free (L.detect d)))
+
 let test_clean_program () =
   let d =
     run
@@ -103,5 +150,8 @@ let suite =
     Alcotest.test_case "freed through alias" `Quick test_freed_through_alias;
     Alcotest.test_case "double free" `Quick test_double_free;
     Alcotest.test_case "free in loop" `Quick test_free_in_loop;
+    Alcotest.test_case "free in multi-forked thread" `Quick test_free_in_multi_forked_thread;
+    Alcotest.test_case "free in single-forked thread clean" `Quick
+      test_free_in_single_forked_thread_clean;
     Alcotest.test_case "clean program" `Quick test_clean_program;
   ]

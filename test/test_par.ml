@@ -1,0 +1,225 @@
+(* Domain-parallel layer tests:
+
+   - Fsam_par.run_chunks: exact range decomposition, ordered merge, serial
+     fallback;
+   - Iset domain-safety: concurrent union/inter/add from 4 domains preserve
+     the hash-consing invariants (structurally equal sets are physically
+     equal across domains, [hash]/[compare] consistent with [equal]);
+   - client determinism: Races/Leaks/Deadlocks reports and the MHP facts
+     are identical for jobs ∈ {1, 2, 4} on random MiniC programs and on
+     random IR programs. *)
+
+module D = Fsam_core.Driver
+module Iset = Fsam_dsa.Iset
+
+(* -- Fsam_par ------------------------------------------------------------- *)
+
+let test_run_chunks_decomposition () =
+  List.iter
+    (fun (n, jobs) ->
+      let chunks = Fsam_par.run_chunks ~jobs ~n (fun ~lo ~hi -> (lo, hi)) in
+      (* contiguous cover of [0, n) in order, sizes differing by <= 1 *)
+      let expected_k = max 1 (min jobs n) in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d jobs=%d: chunk count" n jobs)
+        expected_k (List.length chunks);
+      let last =
+        List.fold_left
+          (fun prev (lo, hi) ->
+            Alcotest.(check int) "contiguous" prev lo;
+            Alcotest.(check bool) "non-negative size" true (hi >= lo);
+            hi)
+          0 chunks
+      in
+      Alcotest.(check int) "covers n" n last;
+      let sizes = List.map (fun (lo, hi) -> hi - lo) chunks in
+      let mx = List.fold_left max 0 sizes and mn = List.fold_left min n sizes in
+      if n >= expected_k then
+        Alcotest.(check bool) "balanced" true (mx - mn <= 1))
+    [ (0, 1); (0, 4); (1, 4); (10, 3); (10, 1); (3, 8); (1000, 4); (7, 7) ]
+
+let test_run_chunks_ordered_merge () =
+  (* concatenating per-chunk accumulators in chunk order must equal the
+     serial left-to-right traversal, for any jobs value *)
+  let n = 237 in
+  let serial = List.init n (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      let merged =
+        List.concat
+          (Fsam_par.run_chunks ~jobs ~n (fun ~lo ~hi ->
+               List.init (hi - lo) (fun k ->
+                   let i = lo + k in
+                   i * i)))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d merge" jobs)
+        serial merged)
+    [ 1; 2; 3; 4; 8 ]
+
+let test_run_chunks_serial_path () =
+  (* jobs=1 must run in the calling domain (no spawn): observable via a
+     mutable cell that a spawned domain could not safely share *)
+  let self = Domain.self () in
+  let ran_in = ref None in
+  ignore (Fsam_par.run_chunks ~jobs:1 ~n:5 (fun ~lo:_ ~hi:_ -> ran_in := Some (Domain.self ())));
+  Alcotest.(check bool) "jobs=1 stays on the calling domain" true (!ran_in = Some self)
+
+(* -- Iset domain safety --------------------------------------------------- *)
+
+(* Each domain performs the same deterministic mix of constructions and
+   merges; hash-consing must canonicalise across domains, so the i-th result
+   of every domain is one physically equal node. *)
+let test_iset_concurrent_hashcons () =
+  let base = Iset.of_list (List.init 400 (fun i -> i * 3)) in
+  let other = Iset.of_list (List.init 400 (fun i -> (i * 5) + 1)) in
+  let work () =
+    List.init 250 (fun k ->
+        let a = Iset.add (k * 7) base in
+        let b = Iset.inter other (Iset.add ((k * 2) + 1) a) in
+        Iset.union (Iset.union a b) (Iset.of_list [ k; k + 1; k * 11 ]))
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn work) in
+  let per_domain = List.map Domain.join domains in
+  let reference = work () in
+  List.iteri
+    (fun d results ->
+      List.iteri
+        (fun i r ->
+          let expected = List.nth reference i in
+          if not (r == expected) then
+            Alcotest.failf "domain %d result %d not physically canonical" d i;
+          Alcotest.(check int) "hash agrees" (Iset.hash expected) (Iset.hash r);
+          Alcotest.(check int) "compare agrees" 0 (Iset.compare expected r);
+          Alcotest.(check bool) "equal agrees" true (Iset.equal expected r))
+        results)
+    per_domain;
+  (* the canonical nodes also carry correct contents *)
+  let r0 = List.nth reference 0 in
+  Alcotest.(check bool) "mem holds" true (Iset.mem 0 r0 && Iset.mem 11 (List.nth reference 1))
+
+let test_iset_concurrent_fixpoint_contract () =
+  (* [union a b == a] iff b ⊆ a must hold for unions computed on other
+     domains: the solver's fixpoint test depends on it *)
+  let a = Iset.of_list (List.init 300 (fun i -> i * 2)) in
+  let b = Iset.of_list (List.init 100 (fun i -> i * 4)) in
+  let checks () = List.init 50 (fun k -> Iset.union a (Iset.add (k * 4) b) == a) in
+  let domains = List.init 4 (fun _ -> Domain.spawn checks) in
+  List.iter
+    (fun d ->
+      List.iter (fun ok -> Alcotest.(check bool) "subset union is identity" true ok) (Domain.join d))
+    domains
+
+(* -- client determinism across jobs --------------------------------------- *)
+
+let jobs_values = [ 1; 2; 4 ]
+
+let check_clients_deterministic ~name prog =
+  let d = D.run prog in
+  let races = Fsam_core.Races.detect ~jobs:1 d in
+  let leaks = Fsam_core.Leaks.detect ~jobs:1 d in
+  let dls = Fsam_core.Deadlocks.detect ~jobs:1 d in
+  List.iter
+    (fun jobs ->
+      if Fsam_core.Races.detect ~jobs d <> races then
+        Alcotest.failf "%s: races differ at jobs=%d" name jobs;
+      if Fsam_core.Leaks.detect ~jobs d <> leaks then
+        Alcotest.failf "%s: leaks differ at jobs=%d" name jobs;
+      if Fsam_core.Deadlocks.detect ~jobs d <> dls then
+        Alcotest.failf "%s: deadlocks differ at jobs=%d" name jobs)
+    jobs_values;
+  (* MHP: per-instance interference facts and the fixpoint work count are
+     jobs-invariant (the sibling fan-out preserves the seeding order) *)
+  let m1 = Fsam_mta.Mhp.compute ~jobs:1 d.D.tm in
+  List.iter
+    (fun jobs ->
+      let mj = Fsam_mta.Mhp.compute ~jobs d.D.tm in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: mhp iterations jobs=%d" name jobs)
+        (Fsam_mta.Mhp.n_iterations m1) (Fsam_mta.Mhp.n_iterations mj);
+      for i = 0 to Fsam_mta.Threads.n_insts d.D.tm - 1 do
+        if not (Iset.equal (Fsam_mta.Mhp.interference m1 i) (Fsam_mta.Mhp.interference mj i))
+        then Alcotest.failf "%s: mhp fact differs at inst %d, jobs=%d" name i jobs
+      done)
+    jobs_values
+
+let test_clients_deterministic_rand_ir () =
+  for seed = 0 to 11 do
+    let prog = Fsam_workloads.Rand_prog.generate ~seed ~size:26 () in
+    check_clients_deterministic ~name:(Printf.sprintf "rand_ir/seed%d" seed) prog
+  done
+
+let test_clients_deterministic_rand_minic () =
+  for seed = 0 to 11 do
+    let src = Fsam_workloads.Rand_minic.generate ~seed ~size:18 in
+    let prog = Fsam_frontend.Lower.compile_string src in
+    check_clients_deterministic ~name:(Printf.sprintf "rand_minic/seed%d" seed) prog
+  done
+
+(* qcheck properties: jobs-invariance on random MiniC programs drawn by
+   generator seed, and concurrent hash-consing on random element lists *)
+let prop_clients_jobs_invariant =
+  QCheck.Test.make ~count:12 ~name:"races/leaks/deadlocks jobs-invariant (random MiniC)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src = Fsam_workloads.Rand_minic.generate ~seed ~size:14 in
+      let prog = Fsam_frontend.Lower.compile_string src in
+      let d = D.run prog in
+      let races = Fsam_core.Races.detect ~jobs:1 d in
+      let leaks = Fsam_core.Leaks.detect ~jobs:1 d in
+      let dls = Fsam_core.Deadlocks.detect ~jobs:1 d in
+      List.for_all
+        (fun jobs ->
+          Fsam_core.Races.detect ~jobs d = races
+          && Fsam_core.Leaks.detect ~jobs d = leaks
+          && Fsam_core.Deadlocks.detect ~jobs d = dls)
+        [ 2; 4 ])
+
+let prop_iset_concurrent_canonical =
+  QCheck.Test.make ~count:20 ~name:"concurrent union/inter canonical across domains"
+    QCheck.(pair (list_of_size Gen.(1 -- 60) (int_bound 500))
+              (list_of_size Gen.(1 -- 60) (int_bound 500)))
+    (fun (la, lb) ->
+      let work () =
+        let a = Iset.of_list la and b = Iset.of_list lb in
+        (Iset.union a b, Iset.inter a b, Iset.diff a b)
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn work) in
+      let results = List.map Domain.join domains in
+      let u0, i0, d0 = work () in
+      List.for_all (fun (u, i, d) -> u == u0 && i == i0 && d == d0) results)
+
+let test_clients_deterministic_workload () =
+  (* one real benchmark end-to-end, including the rendered report *)
+  let spec = Option.get (Fsam_workloads.Suite.find "word_count") in
+  let prog = spec.Fsam_workloads.Suite.build 40 in
+  let d = D.run prog in
+  let render rs =
+    String.concat "\n" (List.map (Format.asprintf "%a" (Fsam_core.Races.pp_race d)) rs)
+  in
+  let r1 = render (Fsam_core.Races.detect ~jobs:1 d) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "word_count report jobs=%d" jobs)
+        r1
+        (render (Fsam_core.Races.detect ~jobs d)))
+    jobs_values
+
+let suite =
+  [
+    Alcotest.test_case "run_chunks decomposition" `Quick test_run_chunks_decomposition;
+    Alcotest.test_case "run_chunks ordered merge" `Quick test_run_chunks_ordered_merge;
+    Alcotest.test_case "run_chunks serial path" `Quick test_run_chunks_serial_path;
+    Alcotest.test_case "iset concurrent hash-consing" `Quick test_iset_concurrent_hashcons;
+    Alcotest.test_case "iset concurrent fixpoint contract" `Quick
+      test_iset_concurrent_fixpoint_contract;
+    Alcotest.test_case "clients deterministic (random IR)" `Slow
+      test_clients_deterministic_rand_ir;
+    Alcotest.test_case "clients deterministic (random MiniC)" `Slow
+      test_clients_deterministic_rand_minic;
+    Alcotest.test_case "clients deterministic (word_count report)" `Quick
+      test_clients_deterministic_workload;
+    QCheck_alcotest.to_alcotest prop_clients_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_iset_concurrent_canonical;
+  ]
