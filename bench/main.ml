@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- figure12          # Figure 12: phase ablations
      dune exec bench/main.exe -- sched             # FIFO vs priority worklist
      dune exec bench/main.exe -- par               # serial vs multi-domain clients
+     dune exec bench/main.exe -- vf                # indexed MHP/lock query layer
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- table2 --budget 60 --quick
      dune exec bench/main.exe -- table2 --only word_count,kmeans
@@ -403,6 +404,222 @@ let par () =
        ])
 
 (* ------------------------------------------------------------------------- *)
+(* vf — indexed MHP/lock query layer on thread-scaled workloads.              *)
+(* ------------------------------------------------------------------------- *)
+
+module Vf = Fsam_workloads.Vf_scale
+module Mta = Fsam_mta
+module A = Fsam_andersen.Solver
+
+(* Replay the [THREAD-VF] query stream — every (object, store, access) pair
+   with a common points-to target, statement-level MHP memoised on the
+   canonical key exactly as the builder memoises it — against the indexed
+   and the naive query layers, counting the primitive probes each performs.
+   The replay covers the full pair space (no escape filter), so it is a
+   superset of what the filtered build issues; both sides see the identical
+   stream. *)
+let query_replay (d : D.t) =
+  let prog = d.D.prog and ast = d.D.ast in
+  let mhp = d.D.mhp and lk = d.D.locks in
+  let stores_of = Hashtbl.create 64 and accesses_of = Hashtbl.create 64 in
+  let tbl_add tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  Prog.iter_stmts prog (fun gid _ s ->
+      match s with
+      | Fsam_ir.Stmt.Load { src; _ } ->
+        Fsam_dsa.Iset.iter (fun o -> tbl_add accesses_of o gid) (A.pt_var ast src)
+      | Fsam_ir.Stmt.Store { dst; _ } ->
+        Fsam_dsa.Iset.iter
+          (fun o ->
+            tbl_add accesses_of o gid;
+            tbl_add stores_of o gid)
+          (A.pt_var ast dst)
+      | _ -> ());
+  let objs = List.sort compare (Hashtbl.fold (fun o _ acc -> o :: acc) stores_of []) in
+  let run_side indexed =
+    let stats = Mta.Mhp.fresh_stats () in
+    let cache = Mta.Locks.make_cache () in
+    let memo = Hashtbl.create 1024 in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun o ->
+        List.iter
+          (fun s ->
+            List.iter
+              (fun s' ->
+                let key = if s <= s' then (s, s') else (s', s) in
+                let hit =
+                  match Hashtbl.find_opt memo key with
+                  | Some b -> b
+                  | None ->
+                    let b =
+                      if indexed then Mta.Mhp.mhp_stmt ~stats mhp s s'
+                      else Mta.Mhp.mhp_stmt_naive ~stats mhp s s'
+                    in
+                    Hashtbl.replace memo key b;
+                    b
+                in
+                if hit then
+                  let pairs =
+                    if indexed then Mta.Mhp.mhp_pairs_inst ~stats mhp s s'
+                    else Mta.Mhp.mhp_pairs_inst_naive ~stats mhp s s'
+                  in
+                  List.iter
+                    (fun (i, j) ->
+                      ignore
+                        (if indexed then Mta.Locks.common_lock ~cache lk i j
+                         else Mta.Locks.common_lock_naive ~stats:cache lk i j))
+                    pairs)
+              (Option.value ~default:[] (Hashtbl.find_opt accesses_of o)))
+          (Option.value ~default:[] (Hashtbl.find_opt stores_of o)))
+      objs;
+    let wall = Unix.gettimeofday () -. t0 in
+    let checks =
+      if indexed then
+        stats.Mta.Mhp.thread_checks + stats.Mta.Mhp.inst_checks
+        + Mta.Locks.cache_span_checks cache + Mta.Locks.cache_queries cache
+      else stats.Mta.Mhp.inst_checks + Mta.Locks.cache_naive_checks cache
+    in
+    (checks, wall)
+  in
+  (* naive first so the indexed side cannot benefit from warmed caches *)
+  let naive = run_side false in
+  let indexed = run_side true in
+  (indexed, naive)
+
+let vf () =
+  let jobs_list = [ 1; 2; 4 ] in
+  let scale = if !quick then 20 else 60 in
+  let specs =
+    match !only with
+    | None -> Vf.specs
+    | Some names -> List.filter (fun (name, _) -> List.mem name names) Vf.specs
+  in
+  Printf.printf
+    "Thread-scaled [THREAD-VF] workloads: indexed vs naive MHP/lock query work.\n\
+     Reports and points-to results must be identical for every jobs value.\n";
+  Printf.printf "%-8s %7s %7s | %9s %9s %7s | %10s %10s | %8s\n" "Program" "threads"
+    "insts" "idx work" "nv work" "ratio" "svfg j1(s)" "svfg j4(s)" "identical";
+  Printf.printf "%s\n" (String.make 100 '-');
+  let rows = ref [] in
+  (* the acceptance bar is the largest thread-scaled workload: small ones
+     have too few cross-round products for the index to amortise *)
+  let last_ratio = ref infinity in
+  List.iter
+    (fun (name, threads) ->
+      let prog = Vf.build ~threads scale in
+      let counter_names =
+        [
+          "svfg.thread_pairs_considered";
+          "svfg.pairs_skipped_stmt";
+          "svfg.lock_filtered_edges";
+          "mhp.summary_stmt_queries";
+          "mhp.summary_pair_queries";
+          "mhp.summary_thread_checks";
+          "mhp.summary_inst_checks";
+          "mhp.summary_naive_checks";
+          "locks.queries";
+          "locks.bitset_hits";
+          "locks.pair_memo_hits";
+          "locks.span_pair_checks";
+          "locks.naive_span_checks";
+        ]
+      in
+      let run jobs =
+        let d = D.run ~config:{ D.default_config with D.jobs } prog in
+        let counters =
+          List.map
+            (fun n -> (n, Option.value ~default:0 (Fsam_obs.Metrics.find_counter n)))
+            counter_names
+        in
+        let render_races =
+          String.concat "\n"
+            (List.map
+               (Format.asprintf "%a" (Fsam_core.Races.pp_race d))
+               (Fsam_core.Races.detect ~jobs d))
+        in
+        (d, counters, render_races)
+      in
+      let runs = List.map (fun j -> (j, run j)) jobs_list in
+      let _, (d1, counters1, races1) = List.hd runs in
+      let identical =
+        List.for_all
+          (fun (_, (dj, countersj, racesj)) ->
+            results_identical d1 dj
+            && Fsam_memssa.Svfg.n_edges d1.D.svfg = Fsam_memssa.Svfg.n_edges dj.D.svfg
+            && Fsam_memssa.Svfg.n_thread_aware_edges d1.D.svfg
+               = Fsam_memssa.Svfg.n_thread_aware_edges dj.D.svfg
+            && countersj = counters1 && racesj = races1)
+          (List.tl runs)
+      in
+      if not identical then begin
+        Printf.eprintf "error: %s results differ across --jobs\n" name;
+        exit 1
+      end;
+      let (idx_checks, idx_wall), (nv_checks, nv_wall) = query_replay d1 in
+      let ratio = float_of_int nv_checks /. float_of_int (max 1 idx_checks) in
+      last_ratio := ratio;
+      let svfg_wall j =
+        let d, _, _ = List.assoc j runs in
+        d.D.times.D.t_svfg
+      in
+      Printf.printf "%-8s %7d %7d | %9d %9d | %5.1fx | %10.3f %10.3f | %8s\n" name threads
+        (Mta.Threads.n_insts d1.D.tm) idx_checks nv_checks ratio (svfg_wall 1) (svfg_wall 4)
+        "yes";
+      flush stdout;
+      let t = d1.D.times in
+      rows :=
+        J.Obj
+          [
+            ("program", J.String name);
+            ("threads", J.Int threads);
+            ("insts", J.Int (Mta.Threads.n_insts d1.D.tm));
+            ( "phases_s",
+              J.Obj
+                [
+                  ("pre", J.Float t.D.t_pre);
+                  ("thread_model", J.Float t.D.t_thread_model);
+                  ("interleaving", J.Float t.D.t_interleaving);
+                  ("lock", J.Float t.D.t_lock);
+                  ("svfg", J.Float t.D.t_svfg);
+                  ("solve", J.Float t.D.t_solve);
+                ] );
+            ( "svfg_wall_s",
+              J.Obj
+                (List.map (fun j -> (Printf.sprintf "j%d" j, J.Float (svfg_wall j))) jobs_list)
+            );
+            ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) counters1));
+            ( "query_replay",
+              J.Obj
+                [
+                  ("indexed_checks", J.Int idx_checks);
+                  ("naive_checks", J.Int nv_checks);
+                  ("work_ratio", J.Float ratio);
+                  ("indexed_wall_s", J.Float idx_wall);
+                  ("naive_wall_s", J.Float nv_wall);
+                ] );
+            ("identical", J.Bool identical);
+          ]
+        :: !rows)
+    specs;
+  Printf.printf "%s\n" (String.make 100 '-');
+  if specs <> [] && !last_ratio < 2.0 then
+    Printf.printf
+      "WARNING: work reduction on the largest workload is %.2fx, below the 2x target\n"
+      !last_ratio;
+  Printf.printf "\n";
+  write_bench "BENCH_vf.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.vf/1");
+         ("quick", J.Bool !quick);
+         ("scale", J.Int scale);
+         ("jobs", J.List (List.map (fun j -> J.Int j) jobs_list));
+         ("rows", J.List (List.rev !rows));
+       ])
+
+(* ------------------------------------------------------------------------- *)
 (* Micro-benchmarks (bechamel): core kernels.                                 *)
 (* ------------------------------------------------------------------------- *)
 
@@ -512,6 +729,7 @@ let () =
       | "figure12" -> figure12 ()
       | "sched" -> sched ()
       | "par" -> par ()
+      | "vf" -> vf ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
@@ -519,9 +737,10 @@ let () =
         figure12 ();
         sched ();
         par ();
+        vf ();
         micro ()
       | other ->
-        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|par|micro|all)\n"
+        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|par|vf|micro|all)\n"
           other;
         exit 1)
     cmds

@@ -45,10 +45,10 @@ let config_arg =
 
 let jobs_arg =
   let doc =
-    "Number of domains for the parallelisable passes (MHP sibling seeding and \
-     the post-solve clients). 1 (the default) is the exact serial path; 0 \
-     means the runtime's recommended domain count. Reports are identical for \
-     every value."
+    "Number of domains for the parallelisable passes (MHP sibling seeding, \
+     the SVFG's [THREAD-VF] pair discovery and the post-solve clients). 1 \
+     (the default) is the exact serial path; 0 means the runtime's \
+     recommended domain count. Reports are identical for every value."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

@@ -88,7 +88,7 @@ let run ?(config = default_config) prog =
       let pcg = Obs.Span.with_ ~name:"pcg.compute" (fun () -> Mta.Pcg.compute tm icfg) in
       let svfg, sp_svfg =
         Obs.Span.with_timed ~name:"phase.svfg" (fun () ->
-            Svfg.build ~config:config.svfg prog ast modref icfg tm mhp locks pcg)
+            Svfg.build ~config:config.svfg ~jobs:config.jobs prog ast modref icfg tm mhp locks pcg)
       in
       let sparse, sp_solve =
         Obs.Span.with_timed ~name:"phase.solve" (fun () ->

@@ -14,10 +14,10 @@ type config = {
           the identical fixpoint *)
   jobs : int;
       (** domain count for the parallelisable passes (MHP sibling seeding
-          here; the CLI also hands it to the post-solve clients). [1] (the
-          default) is the exact serial path; [0] means
-          [Fsam_par.available_jobs ()]. Results are identical for every
-          value. *)
+          and the SVFG's [THREAD-VF] pair discovery here; the CLI also
+          hands it to the post-solve clients). [1] (the default) is the
+          exact serial path; [0] means [Fsam_par.available_jobs ()].
+          Results are identical for every value. *)
 }
 
 val default_config : config

@@ -20,7 +20,7 @@ let accesses d gid =
 let protected d gid gid' =
   let pairs = Mta.Mhp.mhp_pairs_inst d.Driver.mhp gid gid' in
   pairs <> []
-  && List.for_all (fun (i, j) -> Mta.Locks.common_lock d.Driver.locks i j <> []) pairs
+  && List.for_all (fun (i, j) -> Mta.Locks.commonly_protected d.Driver.locks i j) pairs
 
 (* Per-chunk accumulator: the races found plus the tallies that become
    metrics after the fan-out joins (chunk functions must not touch the

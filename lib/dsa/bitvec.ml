@@ -59,6 +59,15 @@ let union_into ~dst ~src =
   done;
   !changed
 
+let intersects a b =
+  let n = min (Bytes.length a.words) (Bytes.length b.words) in
+  let rec go i =
+    i < n
+    && (Char.code (Bytes.unsafe_get a.words i) land Char.code (Bytes.unsafe_get b.words i) <> 0
+       || go (i + 1))
+  in
+  go 0
+
 let popcount_byte =
   let tbl = Array.init 256 (fun i ->
       let rec go i acc = if i = 0 then acc else go (i lsr 1) (acc + (i land 1)) in

@@ -14,6 +14,10 @@ val set_if_unset : t -> int -> bool
 (** [set_if_unset t i] sets bit [i]; returns [true] iff it was previously
     unset (i.e. this call changed the vector). *)
 
+val intersects : t -> t -> bool
+(** [intersects a b] — do the two vectors share a set bit? Neither argument
+    is mutated; differing capacities are fine (missing bits read as 0). *)
+
 val union_into : dst:t -> src:t -> bool
 (** [union_into ~dst ~src] ors [src] into [dst]; returns [true] iff [dst]
     changed. *)

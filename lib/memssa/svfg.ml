@@ -247,177 +247,242 @@ let build_oblivious t ast mr icfg join_info =
         objs)
 
 (* ------------------------------------------------------------------------ *)
-(* Thread-aware edges: [THREAD-VF] with the lock filter.                     *)
+(* Thread-aware edges: [THREAD-VF] with the lock filter.
+
+   Pair discovery is a pure function of the thread-oblivious snapshot and
+   the mta indexes, so it fans out per object over [Fsam_par.run_chunks]:
+   each chunk owns a contiguous slice of the sorted object list, memoises
+   queries in chunk-local tables, and returns its edge / racy-mark events
+   in discovery order plus its work tallies. Events are applied serially in
+   chunk order and the tallies flushed to the metrics registry afterwards —
+   the edge set, racy sets and counters are identical for every [jobs]
+   value.                                                                    *)
 (* ------------------------------------------------------------------------ *)
 
 (* Span heads and tails (Definitions 4 and 5), per (span, object), against
    the thread-oblivious def-use edges built above. *)
 type span_info = { hd : (int, unit) Hashtbl.t; tl : (int, unit) Hashtbl.t }
 
-let span_hd_tl t ~oblivious ast tm lk cache sid o =
-  match Hashtbl.find_opt cache (sid, o) with
-  | Some si -> si
-  | None ->
-    let prog = t.prog in
-    let members = Mta.Locks.span_members lk sid in
-    let accesses, stores =
-      List.fold_left
-        (fun (acc, sts) iid ->
-          let gid = (Mta.Threads.inst tm iid).Mta.Threads.i_gid in
-          match Prog.stmt_at prog gid with
-          | Stmt.Load { src; _ } when Iset.mem o (A.pt_var ast src) -> ((iid, gid) :: acc, sts)
-          | Stmt.Store { dst; _ } when Iset.mem o (A.pt_var ast dst) ->
-            ((iid, gid) :: acc, (iid, gid) :: sts)
-          | _ -> (acc, sts))
-        ([], []) members
-    in
-    let node_of gid = node_id t (Stmt_node gid) in
-    (* Definitions 4/5 refer to the def-use chains available when the lock
-       analysis runs — the thread-oblivious ones; edges added by
-       [THREAD-VF] itself must not influence the heads/tails, so the test
-       runs against a snapshot taken before the thread-aware phase. *)
-    let du g1 g2 =
-      match (node_of g1, node_of g2) with
-      | Some a, Some b -> Hashtbl.mem oblivious (a, o, b)
-      | _ -> false
-    in
-    let hd = Hashtbl.create 8 and tl = Hashtbl.create 8 in
-    List.iter
-      (fun (iid, gid) ->
-        if not (List.exists (fun (iid', g') -> iid' <> iid && du g' gid) accesses) then
-          Hashtbl.replace hd iid ())
-      accesses;
-    List.iter
-      (fun (iid, gid) ->
-        if not (List.exists (fun (iid', g') -> iid' <> iid && du gid g') stores) then
-          Hashtbl.replace tl iid ())
-      stores;
-    let si = { hd; tl } in
-    Hashtbl.replace cache (sid, o) si;
-    si
+(* Chunk-local discovery state. Chunks must not touch [Obs.Metrics] (not
+   domain-safe), so the work tallies ride back with the chunk result. *)
+type chunk_res = {
+  mhp_stats : Mta.Mhp.stats;
+  lk_cache : Mta.Locks.cache;
+  mutable considered : int;
+  mutable skipped_stmt : int;
+  mutable lock_filtered : int;
+  (* (obj, store gid, access gid, unprotected) in discovery order *)
+  mutable events : (int * int * int * bool) list;
+}
 
-let build_thread_aware t config ast tm mhp lk pcg =
+let build_thread_aware t config ~jobs ast tm mhp lk pcg =
   let prog = t.prog in
-  let c_lock_filtered = Obs.Metrics.counter "svfg.lock_filtered_edges" in
-  let c_considered = Obs.Metrics.counter "svfg.thread_pairs_considered" in
-  (* index stores and accesses per object *)
-  let stores_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  let accesses_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
   let tbl_add tbl k v =
     Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
   in
+  (* Index stores and accesses per object, recording each access's points-to
+     set once — the only [A.pt_var] calls of the phase. (Union-find lookups
+     path-compress, so they must not run inside the parallel chunks; the
+     table also hoists the repeated per-member lookups out of the span
+     head/tail computation.) *)
+  let stores_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let accesses_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let pts_of_gid : (int, Iset.t) Hashtbl.t = Hashtbl.create 256 in
   Prog.iter_stmts prog (fun gid _ s ->
       match s with
-      | Stmt.Load { src; _ } -> Iset.iter (fun o -> tbl_add accesses_of o gid) (A.pt_var ast src)
+      | Stmt.Load { src; _ } ->
+        let pts = A.pt_var ast src in
+        Hashtbl.replace pts_of_gid gid pts;
+        Iset.iter (fun o -> tbl_add accesses_of o gid) pts
       | Stmt.Store { dst; _ } ->
+        let pts = A.pt_var ast dst in
+        Hashtbl.replace pts_of_gid gid pts;
         Iset.iter
           (fun o ->
             tbl_add accesses_of o gid;
             tbl_add stores_of o gid)
-          (A.pt_var ast dst)
+          pts
       | _ -> ());
-  let span_cache = Hashtbl.create 64 in
-  let oblivious = Hashtbl.copy t.edge_set in
-  (* statement-level MHP per configuration, memoised: the same (s, s') pair
-     recurs once per commonly-pointed object *)
-  let mhp_cache = Hashtbl.create 1024 in
-  let stmt_mhp s s' =
-    match Hashtbl.find_opt mhp_cache (s, s') with
-    | Some b -> b
-    | None ->
-      let b =
-        if config.use_interleaving then Mta.Mhp.mhp_stmt mhp s s'
-        else Mta.Pcg.mec_stmt pcg s s'
-      in
-      Hashtbl.replace mhp_cache (s, s') b;
-      b
+  let pts_at gid = Option.value ~default:Iset.empty (Hashtbl.find_opt pts_of_gid gid) in
+  (* Gid-level per-object index of the thread-oblivious def-use snapshot.
+     Definitions 4/5 refer to the def-use chains available when the lock
+     analysis runs — edges added by [THREAD-VF] itself must not influence
+     the heads/tails — so the index is taken before any thread-aware edge
+     lands; the head/tail tests then walk short adjacency lists instead of
+     probing the whole edge set per candidate. *)
+  let stmt_gid = Array.make (n_nodes t) (-1) in
+  Vec.iteri (fun i n -> match n with Stmt_node g -> stmt_gid.(i) <- g | _ -> ()) t.nodes;
+  let obl_pred : (int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let obl_succ : (int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (src, o, dst) () ->
+      let gs = stmt_gid.(src) and gd = stmt_gid.(dst) in
+      if gs >= 0 && gd >= 0 then begin
+        tbl_add obl_succ (o, gs) gd;
+        tbl_add obl_pred (o, gd) gs
+      end)
+    t.edge_set;
+  let objs =
+    Array.of_list (List.sort compare (Hashtbl.fold (fun o _ acc -> o :: acc) stores_of []))
   in
-  let inst_pairs s s' =
-    if config.use_interleaving then Mta.Mhp.mhp_pairs_inst mhp s s'
-    else
-      (* PCG gives no instance-level facts: all instance combinations *)
-      List.concat_map
-        (fun i -> List.map (fun j -> (i, j)) (Mta.Threads.insts_of_gid tm s'))
-        (Mta.Threads.insts_of_gid tm s)
-  in
-  (* Definition 6: the instance pair cannot pass a value for o *)
-  let non_interfering o (i, j) =
-    List.exists
-      (fun (sp, sp') ->
-        let si = span_hd_tl t ~oblivious ast tm lk span_cache sp o in
-        let sj = span_hd_tl t ~oblivious ast tm lk span_cache sp' o in
-        (not (Hashtbl.mem si.tl i)) || not (Hashtbl.mem sj.hd j))
-      (Mta.Locks.common_lock lk i j)
-  in
-  let consider_edge o s s' =
-    Obs.Metrics.incr c_considered;
-    if stmt_mhp s s' then begin
-      let pairs = inst_pairs s s' in
-      let blocked =
-        config.use_lock && pairs <> [] && List.for_all (non_interfering o) pairs
-      in
-      if blocked then Obs.Metrics.incr c_lock_filtered;
-      if not blocked then begin
-        let a = intern t (Stmt_node s) and b = intern t (Stmt_node s') in
-        if not (has_edge t a o b) then begin
-          add_edge t a o b;
-          t.thread_edges <- t.thread_edges + 1
-        end;
-        (* Strong updates: an interfering pair forbids them on o — the
-           interleaving may order the accesses either way — unless every
-           instance pair is protected by a common lock, in which case mutual
-           exclusion guarantees the partner only observes section-exit state
-           (the Figure 1(e) situation: the strong update at the section's
-           tail store is what keeps the earlier section store out of
-           pt(c)). *)
-        let unprotected =
-          (not config.use_lock)
-          || pairs = []
-          || List.exists (fun (i, j) -> Mta.Locks.common_lock lk i j = []) pairs
+  (* Pure per-object discovery: runs in a chunk, touches only read-only
+     shared state plus its own [res] and memo tables. *)
+  let discover ~lo ~hi =
+    let res =
+      {
+        mhp_stats = Mta.Mhp.fresh_stats ();
+        lk_cache = Mta.Locks.make_cache ();
+        considered = 0;
+        skipped_stmt = 0;
+        lock_filtered = 0;
+        events = [];
+      }
+    in
+    let span_accs = Hashtbl.create 64 in
+    let span_cache = Hashtbl.create 64 in
+    let mhp_cache = Hashtbl.create 1024 in
+    let threads_of_gid = Hashtbl.create 256 in
+    (* a span's load/store members with their gids and points-to sets, once
+       per span visited by this chunk *)
+    let span_accesses sid =
+      match Hashtbl.find_opt span_accs sid with
+      | Some l -> l
+      | None ->
+        let l =
+          List.filter_map
+            (fun iid ->
+              let gid = (Mta.Threads.inst tm iid).Mta.Threads.i_gid in
+              match Prog.stmt_at prog gid with
+              | Stmt.Load _ -> Some (iid, gid, false, pts_at gid)
+              | Stmt.Store _ -> Some (iid, gid, true, pts_at gid)
+              | _ -> None)
+            (Mta.Locks.span_members lk sid)
         in
-        if unprotected then begin
-          let mark g =
-            Hashtbl.replace t.racy g
-              (Iset.add o (Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy g)))
+        Hashtbl.replace span_accs sid l;
+        l
+    in
+    let span_hd_tl sid o =
+      match Hashtbl.find_opt span_cache (sid, o) with
+      | Some si -> si
+      | None ->
+        let accs = List.filter (fun (_, _, _, pts) -> Iset.mem o pts) (span_accesses sid) in
+        (* per-gid occurrence counts; instance ids are unique within the
+           span, and a gid determines its instance's gid, so "another
+           instance (iid', g') with an edge to/from g" reduces to: some
+           def-use neighbour g' of g is accessed here — by any instance if
+           g' ≠ g, by at least two if g' = g *)
+        let acc_cnt = Hashtbl.create 8 and st_cnt = Hashtbl.create 8 in
+        let bump tbl g =
+          Hashtbl.replace tbl g (1 + Option.value ~default:0 (Hashtbl.find_opt tbl g))
+        in
+        List.iter
+          (fun (_, g, is_store, _) ->
+            bump acc_cnt g;
+            if is_store then bump st_cnt g)
+          accs;
+        let blocked idx cnt g =
+          List.exists
+            (fun g' ->
+              match Hashtbl.find_opt cnt g' with
+              | None -> false
+              | Some c -> g' <> g || c >= 2)
+            (Option.value ~default:[] (Hashtbl.find_opt idx (o, g)))
+        in
+        let hd = Hashtbl.create 8 and tl = Hashtbl.create 8 in
+        List.iter
+          (fun (iid, g, is_store, _) ->
+            if not (blocked obl_pred acc_cnt g) then Hashtbl.replace hd iid ();
+            if is_store && not (blocked obl_succ st_cnt g) then Hashtbl.replace tl iid ())
+          accs;
+        let si = { hd; tl } in
+        Hashtbl.replace span_cache (sid, o) si;
+        si
+    in
+    (* statement-level MHP per configuration, memoised: the same (s, s')
+       pair recurs once per commonly-pointed object; both backends are
+       symmetric, so the key is canonicalised *)
+    let stmt_mhp s s' =
+      let key = if s <= s' then (s, s') else (s', s) in
+      match Hashtbl.find_opt mhp_cache key with
+      | Some b -> b
+      | None ->
+        let b =
+          if config.use_interleaving then Mta.Mhp.mhp_stmt ~stats:res.mhp_stats mhp s s'
+          else Mta.Pcg.mec_stmt pcg s s'
+        in
+        Hashtbl.replace mhp_cache key b;
+        b
+    in
+    let inst_pairs s s' =
+      if config.use_interleaving then Mta.Mhp.mhp_pairs_inst ~stats:res.mhp_stats mhp s s'
+      else
+        (* PCG gives no instance-level facts: all instance combinations *)
+        List.concat_map
+          (fun i -> List.map (fun j -> (i, j)) (Mta.Threads.insts_of_gid tm s'))
+          (Mta.Threads.insts_of_gid tm s)
+    in
+    (* Definition 6: the instance pair cannot pass a value for o *)
+    let non_interfering o (i, j) =
+      List.exists
+        (fun (sp, sp') ->
+          let si = span_hd_tl sp o and sj = span_hd_tl sp' o in
+          (not (Hashtbl.mem si.tl i)) || not (Hashtbl.mem sj.hd j))
+        (Mta.Locks.common_lock ~cache:res.lk_cache lk i j)
+    in
+    let consider_edge o s s' =
+      res.considered <- res.considered + 1;
+      if not (stmt_mhp s s') then res.skipped_stmt <- res.skipped_stmt + 1
+      else begin
+        let pairs = inst_pairs s s' in
+        let blocked = config.use_lock && pairs <> [] && List.for_all (non_interfering o) pairs in
+        if blocked then res.lock_filtered <- res.lock_filtered + 1
+        else begin
+          (* Strong updates: an interfering pair forbids them on o — the
+             interleaving may order the accesses either way — unless every
+             instance pair is protected by a common lock, in which case
+             mutual exclusion guarantees the partner only observes
+             section-exit state (the Figure 1(e) situation: the strong
+             update at the section's tail store is what keeps the earlier
+             section store out of pt(c)). *)
+          let unprotected =
+            (not config.use_lock)
+            || pairs = []
+            || List.exists (fun (i, j) -> not (Mta.Locks.commonly_protected lk i j)) pairs
           in
-          mark s;
-          match Prog.stmt_at prog s' with Stmt.Store _ -> mark s' | _ -> ()
+          res.events <- (o, s, s', unprotected) :: res.events
         end
       end
-    end
-  in
-  (* Escape filter: an object whose accesses all come from one non-multi-
-     forked thread cannot be in any MHP aliased pair — skip its whole pair
-     space. (Only valid under [THREAD-VF]'s common-object requirement; the
-     No-Value-Flow ablation pairs stores with every access regardless.) *)
-  let threads_of_gid = Hashtbl.create 256 in
-  let gid_threads g =
-    match Hashtbl.find_opt threads_of_gid g with
-    | Some s -> s
-    | None ->
-      let s =
-        List.fold_left
-          (fun acc iid -> Iset.add (Mta.Threads.inst tm iid).Mta.Threads.i_thread acc)
-          Iset.empty (Mta.Threads.insts_of_gid tm g)
-      in
-      Hashtbl.replace threads_of_gid g s;
-      s
-  in
-  let may_escape o =
-    let ts =
-      List.fold_left
-        (fun acc g -> Iset.union acc (gid_threads g))
-        Iset.empty
-        (Option.value ~default:[] (Hashtbl.find_opt accesses_of o))
     in
-    match Iset.elements ts with
-    | [] -> false
-    | [ t' ] -> Mta.Threads.is_multi tm t'
-    | _ -> true
-  in
-  let all_objs = Hashtbl.fold (fun o _ acc -> o :: acc) stores_of [] in
-  List.iter
-    (fun o ->
+    (* Escape filter: an object whose accesses all come from one non-multi-
+       forked thread cannot be in any MHP aliased pair — skip its whole pair
+       space. (Only valid under [THREAD-VF]'s common-object requirement; the
+       No-Value-Flow ablation pairs stores with every access regardless.) *)
+    let gid_threads g =
+      match Hashtbl.find_opt threads_of_gid g with
+      | Some s -> s
+      | None ->
+        let s =
+          List.fold_left
+            (fun acc iid -> Iset.add (Mta.Threads.inst tm iid).Mta.Threads.i_thread acc)
+            Iset.empty (Mta.Threads.insts_of_gid tm g)
+        in
+        Hashtbl.replace threads_of_gid g s;
+        s
+    in
+    let may_escape o =
+      let ts =
+        List.fold_left
+          (fun acc g -> Iset.union acc (gid_threads g))
+          Iset.empty
+          (Option.value ~default:[] (Hashtbl.find_opt accesses_of o))
+      in
+      match Iset.elements ts with
+      | [] -> false
+      | [ t' ] -> Mta.Threads.is_multi tm t'
+      | _ -> true
+    in
+    for x = lo to hi - 1 do
+      let o = objs.(x) in
       let stores = Option.value ~default:[] (Hashtbl.find_opt stores_of o) in
       let escapes = lazy (may_escape o) in
       List.iter
@@ -430,17 +495,71 @@ let build_thread_aware t config ast tm mhp lk pcg =
                 (fun s' -> consider_edge o s s')
                 (Option.value ~default:[] (Hashtbl.find_opt accesses_of o))
           end
-          else begin
+          else
             (* No-Value-Flow: pair with every load/store in the program *)
             Prog.iter_stmts prog (fun s' _ st ->
                 match st with
                 | Stmt.Load _ | Stmt.Store _ -> consider_edge o s s'
-                | _ -> ())
-          end)
-        stores)
-    all_objs
+                | _ -> ()))
+        stores
+    done;
+    res.events <- List.rev res.events;
+    res
+  in
+  let chunks =
+    Obs.Span.with_ ~name:"svfg.pair_discovery" (fun () ->
+        Fsam_par.run_chunks ~label:"svfg.pairs" ~jobs ~n:(Array.length objs) discover)
+  in
+  (* serial in-order application of the discovered events *)
+  Obs.Span.with_ ~name:"svfg.pair_apply" (fun () ->
+      List.iter
+        (fun res ->
+          List.iter
+            (fun (o, s, s', unprotected) ->
+              let a = intern t (Stmt_node s) and b = intern t (Stmt_node s') in
+              if not (has_edge t a o b) then begin
+                add_edge t a o b;
+                t.thread_edges <- t.thread_edges + 1
+              end;
+              if unprotected then begin
+                let mark g =
+                  Hashtbl.replace t.racy g
+                    (Iset.add o (Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy g)))
+                in
+                mark s;
+                match Prog.stmt_at prog s' with Stmt.Store _ -> mark s' | _ -> ()
+              end)
+            res.events)
+        chunks);
+  (* flush the chunk-local work tallies *)
+  let sum f = List.fold_left (fun n res -> n + f res) 0 chunks in
+  Obs.Metrics.(add (counter "svfg.thread_pairs_considered") (sum (fun r -> r.considered)));
+  Obs.Metrics.(add (counter "svfg.pairs_skipped_stmt") (sum (fun r -> r.skipped_stmt)));
+  Obs.Metrics.(add (counter "svfg.lock_filtered_edges") (sum (fun r -> r.lock_filtered)));
+  Obs.Metrics.(
+    add (counter "mhp.summary_stmt_queries") (sum (fun r -> r.mhp_stats.Mta.Mhp.stmt_queries)));
+  Obs.Metrics.(
+    add (counter "mhp.summary_pair_queries") (sum (fun r -> r.mhp_stats.Mta.Mhp.pair_queries)));
+  Obs.Metrics.(
+    add (counter "mhp.summary_thread_checks") (sum (fun r -> r.mhp_stats.Mta.Mhp.thread_checks)));
+  Obs.Metrics.(
+    add (counter "mhp.summary_inst_checks") (sum (fun r -> r.mhp_stats.Mta.Mhp.inst_checks)));
+  Obs.Metrics.(
+    add (counter "mhp.summary_naive_checks") (sum (fun r -> r.mhp_stats.Mta.Mhp.naive_checks)));
+  Obs.Metrics.(
+    add (counter "locks.queries") (sum (fun r -> Mta.Locks.cache_queries r.lk_cache)));
+  Obs.Metrics.(
+    add (counter "locks.bitset_hits") (sum (fun r -> Mta.Locks.cache_bitset_hits r.lk_cache)));
+  Obs.Metrics.(
+    add (counter "locks.pair_memo_hits") (sum (fun r -> Mta.Locks.cache_memo_hits r.lk_cache)));
+  Obs.Metrics.(
+    add (counter "locks.span_pair_checks") (sum (fun r -> Mta.Locks.cache_span_checks r.lk_cache)));
+  Obs.Metrics.(
+    add
+      (counter "locks.naive_span_checks")
+      (sum (fun r -> Mta.Locks.cache_naive_checks r.lk_cache)))
 
-let build ?(config = default_config) prog ast mr icfg tm mhp lk pcg =
+let build ?(config = default_config) ?(jobs = 1) prog ast mr icfg tm mhp lk pcg =
   let t =
     {
       prog;
@@ -460,7 +579,7 @@ let build ?(config = default_config) prog ast mr icfg tm mhp lk pcg =
   (* [THREAD-VF] edges, filtered by the lock analysis *)
   if config.thread_aware then
     Obs.Span.with_ ~name:"svfg.thread_aware" (fun () ->
-        build_thread_aware t config ast tm mhp lk pcg);
+        build_thread_aware t config ~jobs ast tm mhp lk pcg);
   Obs.Metrics.(set (gauge "svfg.nodes") (n_nodes t));
   Obs.Metrics.(set (gauge "svfg.edges") (n_edges t));
   Obs.Metrics.(set (gauge "svfg.thread_aware_edges") t.thread_edges);

@@ -19,7 +19,13 @@ open Fsam_ir
     (Definitions 4–6). The [config] selects the paper's ablations:
     No-Interleaving (PCG instead of the interleaving analysis),
     No-Value-Flow (common-target requirement dropped), No-Lock (filter
-    disabled). *)
+    disabled).
+
+    [THREAD-VF] pair discovery is pure over the thread-oblivious snapshot
+    and fans out per object across domains when [build ~jobs] exceeds 1;
+    the per-chunk results are applied serially in chunk order, so the edge
+    set, the racy-store sets and every counter are identical for all [jobs]
+    values. *)
 
 type node =
   | Stmt_node of int  (** statement gid: loads, stores, fork-handle chis *)
@@ -40,6 +46,7 @@ type t
 
 val build :
   ?config:config ->
+  ?jobs:int ->
   Prog.t ->
   Fsam_andersen.Solver.t ->
   Fsam_andersen.Modref.t ->

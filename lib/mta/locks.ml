@@ -1,10 +1,41 @@
 open Fsam_dsa
 open Fsam_ir
 module A = Fsam_andersen.Solver
+module Obs = Fsam_obs
 
 type span = { sp_lock : int; sp_members : int list; sp_set : Bitvec.t }
 
-type t = { spans : span array; of_inst : int list array }
+type t = {
+  spans : span array;
+  of_inst : int list array;
+  locksets : Bitvec.t array; (* per instance: compact lock-object ids held *)
+  n_lock_objs : int;
+}
+
+type cache = {
+  c_pairs : (int * int, (int * int) list) Hashtbl.t;
+  mutable c_queries : int;
+  mutable c_bitset_hits : int; (* answered [] by the bitset test alone *)
+  mutable c_memo_hits : int;
+  mutable c_span_checks : int; (* span-pair comparisons on memo misses *)
+  mutable c_naive_checks : int; (* span-pair comparisons a naive scan performs *)
+}
+
+let make_cache () =
+  {
+    c_pairs = Hashtbl.create 256;
+    c_queries = 0;
+    c_bitset_hits = 0;
+    c_memo_hits = 0;
+    c_span_checks = 0;
+    c_naive_checks = 0;
+  }
+
+let cache_queries c = c.c_queries
+let cache_bitset_hits c = c.c_bitset_hits
+let cache_memo_hits c = c.c_memo_hits
+let cache_span_checks c = c.c_span_checks
+let cache_naive_checks c = c.c_naive_checks
 
 (* A lock pointer must-aliases a unique runtime lock when its points-to set
    is a singleton whose object represents one location: not a heap object,
@@ -67,17 +98,75 @@ let compute prog ast tm =
   Array.iteri
     (fun sid sp -> List.iter (fun i -> of_inst.(i) <- sid :: of_inst.(i)) sp.sp_members)
     spans;
-  { spans; of_inst }
+  (* Compact the runtime lock objects into dense bit positions and give each
+     instance the bitset of locks it holds; [common_lock]'s frequent "no
+     common lock" answer then falls out of one bitwise-AND scan. Instances
+     inside no span share one empty vector. *)
+  let lock_id = Hashtbl.create 8 in
+  Array.iter
+    (fun sp ->
+      if not (Hashtbl.mem lock_id sp.sp_lock) then
+        Hashtbl.replace lock_id sp.sp_lock (Hashtbl.length lock_id))
+    spans;
+  let n_lock_objs = Hashtbl.length lock_id in
+  let empty_lockset = Bitvec.create ~capacity:(max 1 n_lock_objs) () in
+  let locksets =
+    Array.map
+      (function
+        | [] -> empty_lockset
+        | sids ->
+          let bv = Bitvec.create ~capacity:(max 1 n_lock_objs) () in
+          List.iter (fun sid -> Bitvec.set bv (Hashtbl.find lock_id spans.(sid).sp_lock)) sids;
+          bv)
+      of_inst
+  in
+  Obs.Metrics.(set (gauge "locks.spans") (Array.length spans));
+  Obs.Metrics.(set (gauge "locks.lock_objs") n_lock_objs);
+  { spans; of_inst; locksets; n_lock_objs }
 
 let n_spans t = Array.length t.spans
+let n_lock_objs t = t.n_lock_objs
 let span_lock t sid = t.spans.(sid).sp_lock
 let span_members t sid = t.spans.(sid).sp_members
 let spans_of_inst t i = t.of_inst.(i)
 
-let common_lock t i j =
+let commonly_protected t i j = Bitvec.intersects t.locksets.(i) t.locksets.(j)
+
+let common_lock_pairs t i j =
   List.concat_map
     (fun si ->
       List.filter_map
         (fun sj -> if span_lock t si = span_lock t sj then Some (si, sj) else None)
         (spans_of_inst t j))
     (spans_of_inst t i)
+
+let common_lock_naive ?stats t i j =
+  (match stats with
+  | Some c ->
+    c.c_naive_checks <-
+      c.c_naive_checks + (List.length t.of_inst.(i) * List.length t.of_inst.(j))
+  | None -> ());
+  common_lock_pairs t i j
+
+let common_lock ?cache t i j =
+  match cache with
+  | None -> if commonly_protected t i j then common_lock_pairs t i j else []
+  | Some c -> (
+    c.c_queries <- c.c_queries + 1;
+    c.c_naive_checks <-
+      c.c_naive_checks + (List.length t.of_inst.(i) * List.length t.of_inst.(j));
+    if not (commonly_protected t i j) then begin
+      c.c_bitset_hits <- c.c_bitset_hits + 1;
+      []
+    end
+    else
+      match Hashtbl.find_opt c.c_pairs (i, j) with
+      | Some pairs ->
+        c.c_memo_hits <- c.c_memo_hits + 1;
+        pairs
+      | None ->
+        c.c_span_checks <-
+          c.c_span_checks + (List.length t.of_inst.(i) * List.length t.of_inst.(j));
+        let pairs = common_lock_pairs t i j in
+        Hashtbl.replace c.c_pairs (i, j) pairs;
+        pairs)

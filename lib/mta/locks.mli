@@ -13,9 +13,27 @@
 
 type t
 
+type cache
+(** Per-caller query memo and work tallies: a [(i, j)] → common-lock-pairs
+    memo plus counters ([c_queries]/[c_bitset_hits]/...). Not shared across
+    domains — parallel callers each make their own and merge the counters
+    after the join. *)
+
+val make_cache : unit -> cache
+
+val cache_queries : cache -> int
+val cache_bitset_hits : cache -> int
+val cache_memo_hits : cache -> int
+val cache_span_checks : cache -> int
+val cache_naive_checks : cache -> int
+
 val compute : Fsam_ir.Prog.t -> Fsam_andersen.Solver.t -> Threads.t -> t
+(** Besides the spans, [compute] compacts the runtime lock objects into
+    dense ids and precomputes one lock-set {!Fsam_dsa.Bitvec.t} per
+    instance, so {!commonly_protected} is a single bitwise-AND scan. *)
 
 val n_spans : t -> int
+val n_lock_objs : t -> int
 val span_lock : t -> int -> int
 (** Runtime lock object protecting the span. *)
 
@@ -25,7 +43,18 @@ val span_members : t -> int -> int list
 val spans_of_inst : t -> int -> int list
 (** Span ids containing the given instance. *)
 
-val common_lock : t -> int -> int -> (int * int) list
+val commonly_protected : t -> int -> int -> bool
+(** Do the two instances hold a common runtime lock ([common_lock] would be
+    non-empty)? One bitwise-AND over the precomputed per-instance lock
+    sets — no span enumeration. *)
+
+val common_lock : ?cache:cache -> t -> int -> int -> (int * int) list
 (** For two instances, the pairs of spans [(sp, sp')] with [sp ∋ i],
     [sp' ∋ j] protected by the same runtime lock ([l ≡ l'] of
-    Definition 6). Empty when the two are not commonly protected. *)
+    Definition 6). Empty when the two are not commonly protected. The
+    bitset test short-circuits the empty answer; with [cache], non-empty
+    answers are memoised per instance pair and work is tallied. *)
+
+val common_lock_naive : ?stats:cache -> t -> int -> int -> (int * int) list
+(** Reference implementation scanning all span pairs of the two instances;
+    [stats] tallies the comparisons. For differential tests and baselines. *)

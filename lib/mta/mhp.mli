@@ -14,9 +14,34 @@
       were already matched when the instance graph was built).
 
     Two instances may happen in parallel when each thread appears in the
-    other's fact (or both belong to one multi-forked thread). *)
+    other's fact (or both belong to one multi-forked thread).
+
+    The statement-level queries run on a {e summary index} built once after
+    the fixpoint: per gid, the interned set of owning threads (and its
+    multi-forked subset) plus the instances grouped by thread with their
+    facts unioned. Because the two membership conditions of [mhp_inst]
+    constrain the two instances independently, the per-thread facts-unions
+    decide statement-level MHP exactly — [mhp_stmt] is a set
+    intersection/membership test and [mhp_pairs_inst] scans only the
+    instances of thread pairs that already passed it. *)
 
 type t
+
+type stats = {
+  mutable stmt_queries : int;
+  mutable pair_queries : int;
+  mutable thread_checks : int;
+      (** per-group/per-thread probes performed by the indexed layer *)
+  mutable inst_checks : int;  (** per-instance fact probes actually performed *)
+  mutable naive_checks : int;
+      (** instance-pair probes a full naive scan of the same queries would
+          perform ([|insts g1| × |insts g2|] per query) *)
+}
+(** Work tallies for the query layer. Plain mutable records so parallel
+    callers can count into a chunk-local instance and merge after the join
+    (the process-global metrics registry is not domain-safe). *)
+
+val fresh_stats : unit -> stats
 
 val compute : ?jobs:int -> Threads.t -> t
 (** [jobs] (default 1) fans the quadratic [I-SIBLING] seeding queries out
@@ -27,13 +52,24 @@ val interference : t -> int -> Fsam_dsa.Iset.t
 (** [I(t,c,s)] for an instance id. *)
 
 val mhp_inst : t -> int -> int -> bool
-(** May the two statement instances happen in parallel? *)
+(** May the two statement instances happen in parallel? Symmetric. *)
 
-val mhp_stmt : t -> int -> int -> bool
-(** Statement-level projection: some instance pair of the two gids is MHP. *)
+val mhp_stmt : ?stats:stats -> t -> int -> int -> bool
+(** Statement-level projection: some instance pair of the two gids is MHP.
+    Symmetric; answered from the summary index without touching instances. *)
 
-val mhp_pairs_inst : t -> int -> int -> (int * int) list
-(** All MHP instance pairs [(iid1, iid2)] of two statement gids. *)
+val mhp_pairs_inst : ?stats:stats -> t -> int -> int -> (int * int) list
+(** All MHP instance pairs [(iid1, iid2)] of two statement gids, restricted
+    to the thread pairs that pass the summary test. The pair {e set} equals
+    the naive reference's; the order is unspecified but deterministic. *)
+
+val mhp_stmt_naive : ?stats:stats -> t -> int -> int -> bool
+(** Reference implementation scanning all instance pairs (short-circuiting);
+    [stats] counts its [inst_checks]. For differential tests and baselines. *)
+
+val mhp_pairs_inst_naive : ?stats:stats -> t -> int -> int -> (int * int) list
+(** Reference pair enumeration over the full instance product, in
+    [insts_of_gid] nesting order. *)
 
 val threads : t -> Threads.t
 val n_iterations : t -> int

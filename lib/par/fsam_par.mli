@@ -1,8 +1,9 @@
 (** Deterministic domain-pool fan-out for the post-solve client analyses.
 
-    The clients (race, leak and deadlock detection, MHP sibling seeding) are
-    read-only over solver results and quadratic in some index range, so they
-    parallelise by splitting the range into contiguous chunks, evaluating
+    The clients (race, leak and deadlock detection, MHP sibling seeding,
+    the SVFG's [THREAD-VF] pair discovery) are read-only over prior
+    analysis results and quadratic in some index range, so they parallelise
+    by splitting the range into contiguous chunks, evaluating
     each chunk in its own OCaml 5 domain, and merging the per-chunk
     accumulators {e in chunk order}. Chunk boundaries are a pure function of
     [(n, jobs)], and the ordered merge makes the concatenated result

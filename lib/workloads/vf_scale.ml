@@ -1,0 +1,114 @@
+open Fsam_ir
+module B = Builder
+
+(* Thread-scaled stress programs for the [THREAD-VF] construction: the
+   workers run in fork/join {e rounds} of four (a BSP/wave pattern — think
+   kmeans' iterative re-fork, but with straight-line rounds so every round
+   is a distinct thread set). Each round has its own kernel function that
+   every round worker reaches through two call chains, and all rounds sweep
+   the {e same} shared objects.
+
+   That shape is exactly where the query layer's cost concentrates: kernel
+   statements of different rounds access common objects, so the value-flow
+   phase queries their full instance products — and the answer is "never
+   parallel" (each round is joined before the next forks), which a naive
+   scan only learns after checking all [(2×4)²] instance pairs while the
+   summary index refutes it with a handful of per-thread set probes.
+   Within-round pairs stay MHP, and the kernels mix lock-protected and bare
+   accesses across two locks, so the lock filter, racy marking and span
+   head/tail machinery are exercised too. *)
+
+let workers_per_round = 4
+
+let build ~threads scale =
+  let rounds = max 1 (threads / workers_per_round) in
+  let b = B.create () in
+  let main = B.declare b "main" ~params:[] in
+  let nshared = max 2 (scale / 10) in
+  let shared = List.init nshared (fun k -> B.global_obj b (Printf.sprintf "shared%d" k)) in
+  let values = List.init nshared (fun k -> B.global_obj b (Printf.sprintf "value%d" k)) in
+  let lock_a = B.global_obj b "lock_a" in
+  let lock_b = B.global_obj b "lock_b" in
+  let define_round r =
+    let kernel = B.declare b (Printf.sprintf "vf_kernel%d" r) ~params:[] in
+    let stage_a = B.declare b (Printf.sprintf "vf_stage%d_a" r) ~params:[] in
+    let stage_b = B.declare b (Printf.sprintf "vf_stage%d_b" r) ~params:[] in
+    let lock = if r mod 2 = 0 then lock_a else lock_b in
+    (* the round kernel: a lock-protected sweep over the shared objects,
+       then an unlocked tail store (an interfering pair on shared0) *)
+    B.define b kernel (fun fb ->
+        let l = B.fresh_var b "kl" in
+        B.addr_of fb l lock;
+        B.lock fb l;
+        List.iteri
+          (fun k o ->
+            let p = B.fresh_var b (Printf.sprintf "kp%d" k) in
+            B.addr_of fb p o;
+            let v = B.fresh_var b (Printf.sprintf "kv%d" k) in
+            B.addr_of fb v (List.nth values k);
+            B.store fb p v;
+            let u = B.fresh_var b (Printf.sprintf "ku%d" k) in
+            B.load fb u p)
+          shared;
+        B.unlock fb l;
+        let p = B.fresh_var b "tail_p" in
+        B.addr_of fb p (List.hd shared);
+        let v = B.fresh_var b "tail_v" in
+        B.addr_of fb v (List.hd values);
+        B.store fb p v);
+    (* two call chains into the kernel: twice the contexts per worker *)
+    B.define b stage_a (fun fb -> B.call fb (Stmt.Direct kernel) []);
+    B.define b stage_b (fun fb -> B.call fb (Stmt.Direct kernel) []);
+    List.init workers_per_round (fun i ->
+        let wfn = B.declare b (Printf.sprintf "vf_worker%d_%d" r i) ~params:[] in
+        B.define b wfn (fun fb ->
+            let p = B.fresh_var b "sp" in
+            B.addr_of fb p (List.nth shared (i mod nshared));
+            let v = B.fresh_var b "sv" in
+            B.addr_of fb v (List.nth values (i mod nshared));
+            B.store fb p v;
+            (* thread-local ballast so the sparse solve has per-thread work *)
+            let locals = max 2 (scale / max 1 threads) in
+            for k = 0 to locals - 1 do
+              let o = B.stack_obj b ~owner:wfn (Printf.sprintf "loc%d_%d_%d" r i k) in
+              let lp = B.fresh_var b "lp" in
+              B.addr_of fb lp o;
+              B.store fb lp v;
+              let lv = B.fresh_var b "lv" in
+              B.load fb lv lp
+            done;
+            B.call fb (Stmt.Direct stage_a) [];
+            B.call fb (Stmt.Direct stage_b) []);
+        wfn)
+  in
+  let round_workers = List.init rounds define_round in
+  B.define b main (fun fb ->
+      List.iteri
+        (fun r workers ->
+          (* fork the round, then join it before the next round forks: the
+             rounds are totally ordered, only intra-round pairs are MHP.
+             One handle cell per worker so each join resolves its unique
+             spawnee. *)
+          let handles =
+            List.mapi
+              (fun i wfn ->
+                let hobj = B.stack_obj b ~owner:main (Printf.sprintf "h%d_%d" r i) in
+                let h = B.fresh_var b "h" in
+                B.addr_of fb h hobj;
+                B.fork fb ~handle:h (Stmt.Direct wfn) [];
+                h)
+              workers
+          in
+          List.iter (fun h -> B.join fb h) handles)
+        round_workers;
+      (* main touches shared0 too, after every round is done *)
+      let p = B.fresh_var b "mp" in
+      B.addr_of fb p (List.hd shared);
+      let v = B.fresh_var b "mv" in
+      B.addr_of fb v (List.hd values);
+      B.store fb p v);
+  B.finish b
+
+(* (name, threads) pairs for the bench harness, smallest first; the scale
+   knob is passed separately so --quick stays meaningful *)
+let specs = [ ("vf_t4", 4); ("vf_t8", 8); ("vf_t16", 16); ("vf_t32", 32) ]

@@ -1,0 +1,14 @@
+(** Thread-scaled [THREAD-VF] stress programs for [bench vf]: [threads]
+    workers run in fork/join rounds of four, each round reaching its own
+    shared-sweeping kernel through two call chains. Kernel statements of
+    different rounds access common objects but are never parallel (the
+    rounds are totally ordered by joins), so the value-flow phase issues
+    many full instance-product queries whose answer is "no" — the worst
+    case for the naive scans and the best case for the summary index. *)
+
+val build : threads:int -> int -> Fsam_ir.Prog.t
+(** [build ~threads scale] — [scale] sizes the shared-object sweep and the
+    per-worker thread-local ballast. Deterministic. *)
+
+val specs : (string * int) list
+(** [(name, threads)] pairs, smallest first ([vf_t4] … [vf_t32]). *)

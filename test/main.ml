@@ -25,4 +25,5 @@ let () =
       ("simplify", Test_simplify.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("query-index", Test_query_index.suite);
     ]
