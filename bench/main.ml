@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- sched             # FIFO vs priority worklist
      dune exec bench/main.exe -- par               # serial vs multi-domain clients
      dune exec bench/main.exe -- vf                # indexed MHP/lock query layer
+     dune exec bench/main.exe -- prov              # provenance off/on guard
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- table2 --budget 60 --quick
      dune exec bench/main.exe -- table2 --only word_count,kmeans
@@ -33,9 +34,32 @@ let workloads () =
   | Some names ->
     List.filter (fun (s : W.spec) -> List.mem s.name names) W.all
 
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if line = "" then "unknown" else line
+     with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
 (* Persist a table as JSON next to the scrollback output so the perf
-   trajectory across PRs stays diffable (BENCH_table2.json etc.). *)
+   trajectory across PRs stays diffable (BENCH_table2.json etc.). Every
+   document carries the commit it was measured at and a snapshot of the
+   metrics registry left by the last pipeline run, so a table row can be
+   traced back to the exact internal counters behind it. *)
 let write_bench path doc =
+  let doc =
+    match doc with
+    | J.Obj fields ->
+      J.Obj
+        (fields
+        @ [
+            ("git_commit", J.String (Lazy.force git_commit));
+            ("metrics", Fsam_obs.Metrics.to_json ());
+          ])
+    | d -> d
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -620,6 +644,91 @@ let vf () =
        ])
 
 (* ------------------------------------------------------------------------- *)
+(* prov — provenance recording guard: off/on identity + overhead.             *)
+(* ------------------------------------------------------------------------- *)
+
+(* CI guard for the derivation recorder. Hard (deterministic, exit 1):
+   provenance on must leave every points-to result byte-identical and must
+   not change the solver's propagation count — recording may observe the
+   fixpoint computation, never steer it. Wall-clock overhead of recording is
+   reported (and persisted) but not gated: it is machine-dependent, and the
+   off path's own cost against the pre-recorder baseline is tracked in
+   EXPERIMENTS.md. *)
+let prov_bench () =
+  (* default: the smallest sched workload; --only can select any suite
+     workload or a thread-scaled vf_N workload *)
+  let name, build, scale =
+    match !only with
+    | Some [ n ] when List.mem_assoc n Vf.specs ->
+      let threads = List.assoc n Vf.specs in
+      (n, (fun scale -> Vf.build ~threads scale), if !quick then 20 else 60)
+    | Some [ n ] when W.find n <> None ->
+      let spec = Option.get (W.find n) in
+      (n, spec.W.build, scale_of spec)
+    | _ ->
+      let spec = Option.get (W.find "word_count") in
+      (spec.W.name, spec.W.build, scale_of spec)
+  in
+  let run provenance =
+    let prog = build scale in
+    let m =
+      Measure'.run (fun () -> D.run ~config:{ D.default_config with provenance } prog)
+    in
+    let props =
+      Option.value ~default:0 (Fsam_obs.Metrics.find_counter "sparse.propagations")
+    in
+    let records = Option.value ~default:0 (Fsam_obs.Metrics.find_gauge "prov.records") in
+    (m.Measure'.value, m.Measure'.wall_seconds, props, records)
+  in
+  let d_off, _, p_off, _ = run false in
+  let d_on, _, p_on, records = run true in
+  let best provenance =
+    List.fold_left
+      (fun acc () ->
+        let _, w, _, _ = run provenance in
+        Float.min acc w)
+      infinity [ (); (); () ]
+  in
+  let w_off = best false in
+  let w_on = best true in
+  let identical = results_identical d_off d_on in
+  let overhead_pct = 100. *. ((w_on -. w_off) /. Float.max 1e-9 w_off) in
+  Printf.printf
+    "Provenance guard (%s, scale %d):\n\
+    \  results identical off/on: %s\n\
+    \  propagations off/on:      %d / %d (%s)\n\
+    \  recorded derivations:     %d\n\
+    \  wall off/on:              %.3fs / %.3fs (recording overhead %+.1f%%)\n"
+    name scale
+    (if identical then "yes" else "NO")
+    p_off p_on
+    (if p_off = p_on then "equal" else "DIFFER")
+    records w_off w_on overhead_pct;
+  write_bench "BENCH_prov.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.prov/1");
+         ("quick", J.Bool !quick);
+         ("program", J.String name);
+         ("scale", J.Int scale);
+         ("identical_results", J.Bool identical);
+         ("propagations_off", J.Int p_off);
+         ("propagations_on", J.Int p_on);
+         ("prov_records", J.Int records);
+         ("wall_off_s", J.Float w_off);
+         ("wall_on_s", J.Float w_on);
+         ("recording_overhead_pct", J.Float overhead_pct);
+       ]);
+  if not identical then begin
+    Printf.eprintf "error: provenance recording changed the analysis results\n";
+    exit 1
+  end;
+  if p_off <> p_on then begin
+    Printf.eprintf "error: provenance recording changed the propagation count\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------------- *)
 (* Micro-benchmarks (bechamel): core kernels.                                 *)
 (* ------------------------------------------------------------------------- *)
 
@@ -730,6 +839,7 @@ let () =
       | "sched" -> sched ()
       | "par" -> par ()
       | "vf" -> vf ()
+      | "prov" -> prov_bench ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
@@ -738,9 +848,11 @@ let () =
         sched ();
         par ();
         vf ();
+        prov_bench ();
         micro ()
       | other ->
-        Printf.eprintf "unknown command %S (table1|table2|figure12|sched|par|vf|micro|all)\n"
+        Printf.eprintf
+          "unknown command %S (table1|table2|figure12|sched|par|vf|prov|micro|all)\n"
           other;
         exit 1)
     cmds

@@ -67,12 +67,21 @@ let with_program f source =
 
 module T = Fsam_core.Telemetry
 
+(* Arm the crash flush before the pipeline runs: if the analysis dies, the
+   requested --json / --trace files still get partial documents built from
+   the open span stack. A successful export disarms both. *)
+let arm_crash_flush ~json ~trace =
+  (match json with Some p when p <> "-" -> T.flush_at_exit p | _ -> ());
+  match trace with Some p -> Fsam_obs.Trace.flush_at_exit p | None -> ()
+
 (* shared by analyze/races: write the telemetry document and/or the Chrome
    trace of the spans recorded by the last pipeline run *)
 let export ~json ~trace mk_doc =
   try
     (match json with Some path -> T.write_json path (mk_doc ()) | None -> ());
-    match trace with Some path -> T.write_trace path | None -> ()
+    (match trace with Some path -> T.write_trace path | None -> ());
+    T.mark_flushed ();
+    Fsam_obs.Trace.mark_flushed ()
   with Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
@@ -88,10 +97,19 @@ let trace_arg =
            ~doc:"Write the span tree in Chrome trace_event format \
                  (chrome://tracing, Perfetto).")
 
+let provenance_arg =
+  Arg.(value & flag
+       & info [ "provenance" ]
+           ~doc:"Record derivation provenance during the run (fsam engine): every \
+                 points-to fact keeps the edge that introduced it, every store its \
+                 strong/weak verdict and every [THREAD-VF] candidate its \
+                 MHP/lock verdict. Results are identical; see $(b,fsam explain).")
+
 let analyze source config_name scheduler_name engine dump_pts json trace jobs
-    nonsparse_budget =
+    nonsparse_budget provenance =
   with_program
     (fun prog ->
+      arm_crash_flush ~json ~trace;
       match engine with
       | "andersen" ->
         let m = Fsam_core.Measure.run (fun () -> Fsam_andersen.Solver.run prog) in
@@ -154,6 +172,7 @@ let analyze source config_name scheduler_name engine dump_pts json trace jobs
             {
               config with
               D.jobs;
+              provenance;
               nonsparse_budget =
                 Option.value ~default:config.D.nonsparse_budget nonsparse_budget;
             }
@@ -206,19 +225,26 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
     Term.(
       const analyze $ source_arg $ config_arg $ scheduler $ engine $ dump $ json_arg
-      $ trace_arg $ jobs_arg $ nonsparse_budget)
+      $ trace_arg $ jobs_arg $ nonsparse_budget $ provenance_arg)
 
 (* -- races ------------------------------------------------------------------- *)
 
-let races source json trace jobs =
+let races source json trace jobs provenance =
   with_program
     (fun prog ->
-      let d = D.run ~config:{ D.default_config with jobs } prog in
+      arm_crash_flush ~json ~trace;
+      let d = D.run ~config:{ D.default_config with jobs; provenance } prog in
       let rs = Fsam_core.Races.detect ~jobs d in
       if rs = [] then Format.printf "no data races found@."
       else begin
         Format.printf "%d potential data race(s):@." (List.length rs);
-        List.iter (fun r -> Format.printf "  %a@." (Fsam_core.Races.pp_race d) r) rs
+        List.iteri
+          (fun i r ->
+            Format.printf "  [%d] %a@." i (Fsam_core.Races.pp_race d) r;
+            match Fsam_core.Explain.witness d r with
+            | Some w -> Format.printf "  %a@." (Fsam_core.Explain.pp_witness d) w
+            | None -> ())
+          rs
       end;
       export ~json ~trace (fun () -> T.races_json d rs))
     source
@@ -226,7 +252,213 @@ let races source json trace jobs =
 let races_cmd =
   Cmd.v
     (Cmd.info "races" ~doc:"Detect data races using FSAM's points-to results")
-    Term.(const races $ source_arg $ json_arg $ trace_arg $ jobs_arg)
+    Term.(const races $ source_arg $ json_arg $ trace_arg $ jobs_arg $ provenance_arg)
+
+(* -- explain ------------------------------------------------------------------ *)
+
+module E = Fsam_core.Explain
+module J = Fsam_obs.Json
+
+(* Accept a numeric id or a source-level name for vars and objects. *)
+let resolve ~what n name_of s =
+  match int_of_string_opt s with
+  | Some i when i >= 0 && i < n -> i
+  | _ ->
+    let rec scan i =
+      if i >= n then begin
+        Printf.eprintf "error: unknown %s %S\n" what s;
+        exit 1
+      end
+      else if String.equal (name_of i) s then i
+      else scan (i + 1)
+    in
+    scan 0
+
+let split_args ~what ~n s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  if List.length parts <> n then begin
+    Printf.eprintf "error: %s expects %d comma-separated arguments, got %S\n" what n s;
+    exit 1
+  end;
+  List.map String.trim parts
+
+let parse_gid prog s =
+  match int_of_string_opt s with
+  | Some g when g >= 0 && g < Prog.n_stmts prog -> g
+  | _ ->
+    Printf.eprintf "error: %S is not a statement gid (0..%d)\n" s (Prog.n_stmts prog - 1);
+    exit 1
+
+let explain source why_pt why_andersen why_mhp why_edge why_race json max_depth jobs =
+  with_program
+    (fun prog ->
+      if why_pt = None && why_andersen = None && why_mhp = None && why_edge = None
+         && why_race = None
+      then begin
+        Printf.eprintf
+          "error: nothing to explain — pass --why-pt, --why-pt-andersen, --why-mhp, \
+           --why-edge or --why-race\n";
+        exit 1
+      end;
+      (* provenance is the whole point of this command *)
+      let d = D.run ~config:{ D.default_config with jobs; provenance = true } prog in
+      let queries = ref [] in
+      let record q j = queries := J.Obj [ ("query", J.String q); ("result", j) ] :: !queries in
+      let var_of = resolve ~what:"variable" (Prog.n_vars prog) (Prog.var_name prog) in
+      let obj_of = resolve ~what:"object" (Prog.n_objs prog) (Prog.obj_name prog) in
+      (match why_pt with
+      | None -> ()
+      | Some s ->
+        let v, o =
+          match split_args ~what:"--why-pt" ~n:2 s with
+          | [ sv; so ] -> (var_of sv, obj_of so)
+          | _ -> assert false
+        in
+        (match E.why_pt ~max_depth d v o with
+        | None ->
+          Format.printf "pt(%s) does not contain %s@." (Prog.var_name prog v)
+            (Prog.obj_name prog o);
+          record ("why-pt " ^ s) J.Null
+        | Some chain ->
+          Format.printf "%a" (E.pp_chain d) chain;
+          Format.printf "replay: %s@." (if E.replay d chain then "ok" else "FAILED");
+          record ("why-pt " ^ s) (E.chain_json d chain)));
+      (match why_andersen with
+      | None -> ()
+      | Some s ->
+        let v, o =
+          match split_args ~what:"--why-pt-andersen" ~n:2 s with
+          | [ sv; so ] -> (var_of sv, obj_of so)
+          | _ -> assert false
+        in
+        (match E.why_pt_andersen ~max_depth d v o with
+        | None ->
+          Format.printf "andersen pt(%s) does not contain %s@." (Prog.var_name prog v)
+            (Prog.obj_name prog o);
+          record ("why-pt-andersen " ^ s) J.Null
+        | Some chain ->
+          Format.printf "%a" (E.pp_chain d) chain;
+          Format.printf "replay: %s@." (if E.replay d chain then "ok" else "FAILED");
+          record ("why-pt-andersen " ^ s) (E.chain_json d chain)));
+      (match why_mhp with
+      | None -> ()
+      | Some s ->
+        let g1, g2 =
+          match split_args ~what:"--why-mhp" ~n:2 s with
+          | [ a; b ] -> (parse_gid prog a, parse_gid prog b)
+          | _ -> assert false
+        in
+        (match E.why_mhp d g1 g2 with
+        | None ->
+          Format.printf "#%d and #%d never happen in parallel@." g1 g2;
+          record ("why-mhp " ^ s) J.Null
+        | Some j ->
+          Format.printf "%a@." (E.pp_mhp d) j;
+          record ("why-mhp " ^ s) (E.mhp_json d j)));
+      (match why_edge with
+      | None -> ()
+      | Some s ->
+        let store, o, access =
+          match split_args ~what:"--why-edge" ~n:3 s with
+          | [ a; b; c ] -> (parse_gid prog a, obj_of b, parse_gid prog c)
+          | _ -> assert false
+        in
+        let v = E.why_edge d ~store ~obj:o ~access in
+        Format.printf "[THREAD-VF] %d --%s--> %d: %a@." store (Prog.obj_name prog o)
+          access (E.pp_edge_verdict d) v;
+        record ("why-edge " ^ s) (E.edge_verdict_json d v));
+      (match why_race with
+      | None -> ()
+      | Some idx ->
+        let rs = Fsam_core.Races.detect ~jobs d in
+        if idx < 0 || idx >= List.length rs then begin
+          Printf.eprintf "error: race index %d out of range (%d race(s) found)\n" idx
+            (List.length rs);
+          exit 1
+        end;
+        let r = List.nth rs idx in
+        (match E.witness d r with
+        | Some w ->
+          Format.printf "%a@." (E.pp_witness d) w;
+          record (Printf.sprintf "why-race %d" idx) (E.witness_json d w)
+        | None ->
+          (* unreachable: provenance is forced on above *)
+          Format.printf "no witness for race %d@." idx;
+          record (Printf.sprintf "why-race %d" idx) J.Null));
+      match json with
+      | None -> ()
+      | Some path ->
+        let doc =
+          J.Obj
+            [
+              ("schema", J.String "fsam.explain/1");
+              ("program", J.String source);
+              ("queries", J.List (List.rev !queries));
+            ]
+        in
+        if path = "-" then J.to_channel stdout doc
+        else begin
+          try T.write_json path doc
+          with Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        end)
+    source
+
+let explain_cmd =
+  let opt_str names docv doc =
+    Arg.(value & opt (some string) None & info names ~docv ~doc)
+  in
+  let why_pt =
+    opt_str [ "why-pt" ] "VAR,OBJ"
+      "Explain why the sparse solution has OBJ in pt(VAR). VAR and OBJ are \
+       source names or numeric ids."
+  in
+  let why_andersen =
+    opt_str [ "why-pt-andersen" ] "VAR,OBJ"
+      "Same question against the Andersen pre-analysis (inclusion-edge chain)."
+  in
+  let why_mhp =
+    opt_str [ "why-mhp" ] "GID1,GID2"
+      "Explain why two statement gids may happen in parallel: witness instance \
+       pair, thread relation and fork chains."
+  in
+  let why_edge =
+    opt_str [ "why-edge" ] "STORE,OBJ,ACCESS"
+      "Show the recorded [THREAD-VF] verdict for the candidate pair: kept \
+       (racy or protected-but-interfering), filtered by the lock-span \
+       non-interference test (with the justifying span pair), or skipped by MHP."
+  in
+  let why_race =
+    Arg.(value & opt (some int) None
+         & info [ "why-race" ] ~docv:"N"
+             ~doc:"Print the full witness of the N-th race (0-based, as numbered \
+                   by $(b,fsam races)).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write all query results as one JSON document ($(b,-) for stdout).")
+  in
+  let max_depth =
+    Arg.(value & opt int 64
+         & info [ "max-depth" ] ~docv:"N" ~doc:"Derivation-chain depth bound.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain analysis results from recorded provenance"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Re-runs the analysis with provenance recording forced on, then \
+              answers one or more queries from the recorded derivations: \
+              points-to chains, MHP justifications, [THREAD-VF] edge verdicts \
+              and full race witnesses. Recording changes no results.";
+         ])
+    Term.(
+      const explain $ source_arg $ why_pt $ why_andersen $ why_mhp $ why_edge
+      $ why_race $ json $ max_depth $ jobs_arg)
 
 (* -- deadlocks ---------------------------------------------------------------- *)
 
@@ -396,6 +628,7 @@ let () =
           [
             analyze_cmd;
             races_cmd;
+            explain_cmd;
             deadlocks_cmd;
             leaks_cmd;
             instrument_cmd;

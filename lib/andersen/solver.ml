@@ -17,6 +17,7 @@ type callsite = {
 type t = {
   prog : Prog.t;
   nvars : int;
+  prov : Fsam_prov.t option;
   uf : Uf.t;
   mutable pts : Iset.t array;
   mutable prop : Iset.t array; (* portion of pts already propagated *)
@@ -70,11 +71,23 @@ let push t n =
     if depth > t.queue_peak then t.queue_peak <- depth
   end
 
-let add_pts t n set =
+(* [rt]/[rx] are the provenance reason tag and payload for any object that
+   enters [pts n] through this call; plain ints so the disabled path stays
+   allocation-free. *)
+let add_pts t ~rt ~rx n set =
   let n = rep t n in
-  let u = Iset.union t.pts.(n) set in
-  if not (u == t.pts.(n)) then begin
+  let old = t.pts.(n) in
+  let u = Iset.union old set in
+  if not (u == old) then begin
     t.pts.(n) <- u;
+    (match t.prov with
+    | Some r ->
+      Iset.iter
+        (fun o ->
+          if not (Iset.mem o old) then
+            Fsam_prov.add r ~space:Fsam_prov.sp_avar ~k1:n ~k2:0 ~obj:o ~tag:rt ~x:rx ~y:0 ~z:0)
+        set
+    | None -> ());
     push t n
   end
 
@@ -89,7 +102,7 @@ let add_edge t u v =
     t.edges_since_collapse <- t.edges_since_collapse + 1;
     t.copy_edges <- t.copy_edges + 1;
     (* flow everything u already knows into v *)
-    add_pts t v t.pts.(u)
+    add_pts t ~rt:Fsam_prov.a_copy ~rx:u v t.pts.(u)
   end
 
 let connect t cs callee =
@@ -151,6 +164,16 @@ let collapse t =
           (fun m ->
             let m = Uf.find t.uf m in
             if m <> keep then begin
+              (match t.prov with
+              | Some r ->
+                (* keep a bridge reason so chains recorded under the absorbed
+                   node stay reachable from the surviving representative *)
+                Iset.iter
+                  (fun o ->
+                    Fsam_prov.add r ~space:Fsam_prov.sp_avar ~k1:keep ~k2:0 ~obj:o
+                      ~tag:Fsam_prov.a_merge ~x:m ~y:0 ~z:0)
+                  t.pts.(m)
+              | None -> ());
               merged_pts := Iset.union !merged_pts t.pts.(m);
               merged_succs := Iset.union !merged_succs t.succs.(m);
               (* move complex constraints onto the representative *)
@@ -209,7 +232,7 @@ let process t n =
               (fun (p, field) ->
                 let fld = Prog.field_obj t.prog ~base:o ~field in
                 ensure t (node_of_obj t fld);
-                add_pts t (node_of_var t p) (Iset.singleton fld))
+                add_pts t ~rt:Fsam_prov.a_gep ~rx:o (node_of_var t p) (Iset.singleton fld))
               gs)
         delta
     | None -> ());
@@ -220,7 +243,7 @@ let process t n =
           List.iter
             (fun k ->
               let theta = Prog.thread_obj_of_fork t.prog k in
-              add_pts t (node_of_obj t o) (Iset.singleton theta))
+              add_pts t ~rt:Fsam_prov.a_fork ~rx:k (node_of_obj t o) (Iset.singleton theta))
             fork_ids)
         delta
     | None -> ());
@@ -245,7 +268,7 @@ let process t n =
     | None -> ());
     (* copy edges (snapshot: Iset is persistent, so edges added during the
        complex phase above were already seeded with full pts at add time) *)
-    Iset.iter (fun m -> add_pts t m delta) t.succs.(n)
+    Iset.iter (fun m -> add_pts t ~rt:Fsam_prov.a_copy ~rx:n m delta) t.succs.(n)
   end
 
 let total_pts_size t =
@@ -255,7 +278,7 @@ let total_pts_size t =
     t.pts;
   !total
 
-let run prog =
+let run ?prov prog =
   let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
   let nvars = Prog.n_vars prog in
   let size = nvars + Prog.n_objs prog + 64 in
@@ -269,6 +292,7 @@ let run prog =
     {
       prog;
       nvars;
+      prov;
       uf = Uf.create size;
       pts = Array.make size Iset.empty;
       prop = Array.make size Iset.empty;
@@ -301,7 +325,10 @@ let run prog =
       let fid = f.Func.fid in
       Func.iter_stmts f (fun idx s ->
           match s with
-          | Stmt.Addr_of { dst; obj } -> add_pts t (node_of_var t dst) (Iset.singleton obj)
+          | Stmt.Addr_of { dst; obj } ->
+            add_pts t ~rt:Fsam_prov.a_base
+              ~rx:(match prov with Some _ -> Prog.gid prog ~fid ~idx | None -> 0)
+              (node_of_var t dst) (Iset.singleton obj)
           | Stmt.Copy { dst; src } -> add_edge t (node_of_var t src) (node_of_var t dst)
           | Stmt.Phi { dst; srcs } ->
             List.iter (fun s -> add_edge t (node_of_var t s) (node_of_var t dst)) srcs
@@ -383,6 +410,27 @@ let reachable_funcs t =
   Fsam_graph.Reach.from t.cg (Prog.main_fid t.prog)
 
 let n_solver_iterations t = t.iterations
+
+(* Provenance queries ------------------------------------------------------ *)
+
+let prov_recorder t = t.prov
+let prov_node_of_var t v = rep t (node_of_var t v)
+let prov_node_of_obj t o = rep t (node_of_obj t o)
+let prov_var_of_node t n = if n < t.nvars then Some n else None
+let prov_obj_of_node t n = if n >= t.nvars then Some (n - t.nvars) else None
+
+let prov_find t ~node ~obj =
+  match t.prov with
+  | None -> None
+  | Some r -> (
+    (* reasons are keyed by the representative at record time; try the node
+       itself first (pre-merge records survive), then today's rep *)
+    match Fsam_prov.find r ~space:Fsam_prov.sp_avar ~k1:node ~k2:0 ~obj with
+    | Some _ as res -> res
+    | None ->
+      let n' = rep t node in
+      if n' = node then None
+      else Fsam_prov.find r ~space:Fsam_prov.sp_avar ~k1:n' ~k2:0 ~obj)
 
 let pp_stats ppf t =
   Format.fprintf ppf "andersen: %d iterations, %d pts entries, %d objects"

@@ -15,7 +15,12 @@ open Fsam_ir
 
 type t
 
-val run : Prog.t -> t
+val run : ?prov:Fsam_prov.t -> Prog.t -> t
+(** [prov], when given, records one derivation reason per points-to fact
+    (space [Fsam_prov.sp_avar], keyed by constraint-graph node): which
+    inclusion edge, address-of, field materialisation, fork binding or
+    cycle merge first introduced each target. Recording never changes
+    results; without it the solver allocates nothing extra. *)
 
 (* Points-to queries ------------------------------------------------------ *)
 
@@ -51,6 +56,19 @@ val ret_vars : t -> int -> Stmt.var list
 
 val reachable_funcs : t -> Fsam_dsa.Bitvec.t
 (** Functions reachable from [main] in the call graph (incl. fork edges). *)
+
+(* Provenance queries ----------------------------------------------------- *)
+
+val prov_recorder : t -> Fsam_prov.t option
+val prov_node_of_var : t -> Stmt.var -> int
+val prov_node_of_obj : t -> Stmt.obj -> int
+val prov_var_of_node : t -> int -> Stmt.var option
+val prov_obj_of_node : t -> int -> Stmt.obj option
+
+val prov_find : t -> node:int -> obj:int -> (int * int * int * int) option
+(** [(tag, x, y, z)] for "why is [obj] in the points-to set of [node]" —
+    looks the node up both directly and through its representative, so
+    chains recorded before a cycle collapse remain resolvable. *)
 
 (* Statistics ------------------------------------------------------------- *)
 

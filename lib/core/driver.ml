@@ -11,6 +11,7 @@ type config = {
   nonsparse_budget : float;
   scheduler : Sparse.scheduler;
   jobs : int;
+  provenance : bool;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     nonsparse_budget = 7200.;
     scheduler = Sparse.Priority;
     jobs = 1;
+    provenance = false;
   }
 
 let no_interleaving =
@@ -51,6 +53,7 @@ type t = {
   svfg : Svfg.t;
   sparse : Sparse.t;
   times : phase_times;
+  prov : Fsam_prov.t option;
 }
 
 (* Each [run] owns the process-global observability buffers: spans and
@@ -60,10 +63,11 @@ let run ?(config = default_config) prog =
   Validate.check_exn prog;
   Obs.Span.reset ();
   Obs.Metrics.reset ();
+  let prov = if config.provenance then Some (Fsam_prov.create ()) else None in
   Obs.Span.with_ ~name:"fsam.run" (fun () ->
       let (ast, modref), sp_pre =
         Obs.Span.with_timed ~name:"phase.pre" (fun () ->
-            let ast = A.run prog in
+            let ast = A.run ?prov prog in
             let modref =
               Obs.Span.with_ ~name:"modref.compute" (fun () -> Modref.compute prog ast)
             in
@@ -88,7 +92,8 @@ let run ?(config = default_config) prog =
       let pcg = Obs.Span.with_ ~name:"pcg.compute" (fun () -> Mta.Pcg.compute tm icfg) in
       let svfg, sp_svfg =
         Obs.Span.with_timed ~name:"phase.svfg" (fun () ->
-            Svfg.build ~config:config.svfg ~jobs:config.jobs prog ast modref icfg tm mhp locks pcg)
+            Svfg.build ~config:config.svfg ~jobs:config.jobs ?prov prog ast modref icfg tm mhp
+              locks pcg)
       in
       let sparse, sp_solve =
         Obs.Span.with_timed ~name:"phase.solve" (fun () ->
@@ -96,8 +101,11 @@ let run ?(config = default_config) prog =
               Obs.Span.with_ ~name:"singletons.compute" (fun () ->
                   Singletons.compute prog ast tm icfg)
             in
-            Sparse.solve ~scheduler:config.scheduler prog ast svfg ~singleton)
+            Sparse.solve ~scheduler:config.scheduler ?prov prog ast svfg ~singleton)
       in
+      (match prov with
+      | Some r -> Obs.Metrics.(set (gauge "prov.records") (Fsam_prov.n_records r))
+      | None -> ());
       {
         prog;
         ast;
@@ -118,6 +126,7 @@ let run ?(config = default_config) prog =
             t_svfg = sp_svfg.Obs.Span.dur_s;
             t_solve = sp_solve.Obs.Span.dur_s;
           };
+        prov;
       })
 
 let run_nonsparse ?(config = default_config) prog =

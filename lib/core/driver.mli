@@ -18,6 +18,11 @@ type config = {
           hands it to the post-solve clients). [1] (the default) is the
           exact serial path; [0] means [Fsam_par.available_jobs ()].
           Results are identical for every value. *)
+  provenance : bool;
+      (** record derivation reasons for every points-to fact, SVFG edge and
+          [THREAD-VF] pair verdict (see [Fsam_prov] and [Explain]). Default
+          [false]; analysis results are byte-identical either way (including
+          under [jobs]), and the disabled hot paths allocate nothing. *)
 }
 
 val default_config : config
@@ -53,6 +58,8 @@ type t = {
   svfg : Fsam_memssa.Svfg.t;
   sparse : Sparse.t;
   times : phase_times;
+  prov : Fsam_prov.t option;
+      (** the derivation recorder — [Some] iff [config.provenance] *)
 }
 
 val run : ?config:config -> Prog.t -> t

@@ -1,0 +1,573 @@
+open Fsam_dsa
+open Fsam_ir
+module A = Fsam_andersen.Solver
+module Mta = Fsam_mta
+module Svfg = Fsam_memssa.Svfg
+module Obs = Fsam_obs
+module P = Fsam_prov
+module J = Fsam_obs.Json
+
+type site = At_var of Stmt.var | At_mem of { node : int; cont : int } | At_avar of int
+
+type step = { site : site; obj : int; tag : int; x : int; y : int; z : int }
+
+(* Each explain query observes its wall cost so `--json` telemetry shows the
+   price of provenance walks alongside the analysis phases. *)
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  Obs.Metrics.observe (Obs.Metrics.histogram name) us;
+  r
+
+(* ------------------------------------------------------------------------ *)
+(* Points-to derivation chains                                              *)
+(* ------------------------------------------------------------------------ *)
+
+(* The recorder guarantees each reason was written strictly after the
+   reasons of its antecedents, so chains terminate; the visited set and
+   depth bound are belt-and-braces against any post-collapse aliasing of
+   Andersen representatives. *)
+let walk_sparse r d ~max_depth v o =
+  let steps = ref [] in
+  let n = ref 0 in
+  let visited = Hashtbl.create 16 in
+  let emit site tag x y z = steps := { site; obj = o; tag; x; y; z } :: !steps in
+  let rec go site depth =
+    if depth < max_depth && not (Hashtbl.mem visited site) then begin
+      Hashtbl.replace visited site ();
+      incr n;
+      let reason =
+        match site with
+        | At_var v -> P.find r ~space:P.sp_var ~k1:v ~k2:0 ~obj:o
+        | At_mem { node; cont } -> P.find r ~space:P.sp_mem ~k1:node ~k2:cont ~obj:o
+        | At_avar _ -> None
+      in
+      match reason with
+      | None -> emit site 0 0 0 0
+      | Some (tag, x, y, z) ->
+        emit site tag x y z;
+        if tag = P.s_copy || tag = P.s_phi || tag = P.s_bind then go (At_var x) (depth + 1)
+        else if tag = P.s_load then go (At_mem { node = y; cont = z }) (depth + 1)
+        else if tag = P.m_store then go (At_var x) (depth + 1)
+        else if tag = P.m_edge then begin
+          match site with
+          | At_mem { cont; _ } -> go (At_mem { node = x; cont }) (depth + 1)
+          | _ -> ()
+        end
+        (* s_addr, s_gep, m_fork: base events *)
+    end
+  in
+  go (At_var v) 0;
+  ignore d;
+  List.rev !steps
+
+let why_pt ?(max_depth = 64) d v o =
+  match d.Driver.prov with
+  | None -> None
+  | Some r ->
+    if not (Iset.mem o (Sparse.pt_top d.Driver.sparse v)) then None
+    else
+      timed "prov.explain_cost_us" (fun () ->
+          let chain = walk_sparse r d ~max_depth v o in
+          Obs.Metrics.observe (Obs.Metrics.histogram "prov.chain_len") (List.length chain);
+          Some chain)
+
+let why_pt_andersen ?(max_depth = 64) d v o =
+  let ast = d.Driver.ast in
+  match A.prov_recorder ast with
+  | None -> None
+  | Some _ ->
+    if not (Iset.mem o (A.pt_var ast v)) then None
+    else
+      timed "prov.explain_cost_us" (fun () ->
+          let steps = ref [] in
+          let visited = Hashtbl.create 16 in
+          let rec go node depth =
+            if depth < max_depth && not (Hashtbl.mem visited node) then begin
+              Hashtbl.replace visited node ();
+              match A.prov_find ast ~node ~obj:o with
+              | None -> steps := { site = At_avar node; obj = o; tag = 0; x = 0; y = 0; z = 0 } :: !steps
+              | Some (tag, x, y, z) ->
+                steps := { site = At_avar node; obj = o; tag; x; y; z } :: !steps;
+                if tag = P.a_copy || tag = P.a_merge then go x (depth + 1)
+            end
+          in
+          go (A.prov_node_of_var ast v) 0;
+          let chain = List.rev !steps in
+          Obs.Metrics.observe (Obs.Metrics.histogram "prov.chain_len") (List.length chain);
+          Some chain)
+
+(* Differential replay: the chain must re-justify the exact fact it
+   explains against the final solution and the program text. *)
+let replay d chain =
+  let prog = d.Driver.prog in
+  let sparse = d.Driver.sparse in
+  let ast = d.Driver.ast in
+  let holds st =
+    match st.site with
+    | At_var v -> Iset.mem st.obj (Sparse.pt_top sparse v)
+    | At_mem { node; cont } -> Iset.mem st.obj (Sparse.pto_get sparse node cont)
+    | At_avar n -> (
+      match (A.prov_var_of_node ast n, A.prov_obj_of_node ast n) with
+      | Some v, _ -> Iset.mem st.obj (A.pt_var ast v)
+      | _, Some o -> Iset.mem st.obj (A.pt_obj ast o)
+      | _ -> false)
+  in
+  let base_ok st =
+    (* recorded base events must match the program text *)
+    if st.tag = P.s_addr || st.tag = P.a_base then
+      match Prog.stmt_at prog st.x with
+      | Stmt.Addr_of { obj; _ } -> obj = st.obj
+      | _ -> false
+    else if st.tag = P.m_store then
+      match Prog.stmt_at prog st.y with Stmt.Store _ -> true | _ -> false
+    else if st.tag = P.s_load then
+      match Prog.stmt_at prog st.x with Stmt.Load _ -> true | _ -> false
+    else if st.tag = P.m_fork then
+      match Prog.stmt_at prog st.x with Stmt.Fork _ -> true | _ -> false
+    else true
+  in
+  chain <> [] && List.for_all (fun st -> holds st && base_ok st) chain
+
+(* ------------------------------------------------------------------------ *)
+(* MHP justifications                                                       *)
+(* ------------------------------------------------------------------------ *)
+
+type mhp_reason =
+  | Same_thread of int
+  | Ancestor_descendant of { anc : int; desc : int }
+  | Sibling of { t1 : int; t2 : int }
+
+type mhp_just = {
+  j_gids : int * int;
+  j_insts : int * int;
+  j_threads : int * int;
+  j_reason : mhp_reason;
+  j_chains : (int * int option) list * (int * int option) list;
+}
+
+let why_mhp d g1 g2 =
+  timed "prov.explain_cost_us" (fun () ->
+      match Mta.Mhp.witness_pair d.Driver.mhp g1 g2 with
+      | None -> None
+      | Some (i, j) ->
+        let tm = d.Driver.tm in
+        let ti = (Mta.Threads.inst tm i).Mta.Threads.i_thread in
+        let tj = (Mta.Threads.inst tm j).Mta.Threads.i_thread in
+        let reason =
+          if ti = tj then Same_thread ti
+          else if Iset.mem tj (Mta.Threads.descendants tm ti) then
+            Ancestor_descendant { anc = ti; desc = tj }
+          else if Iset.mem ti (Mta.Threads.descendants tm tj) then
+            Ancestor_descendant { anc = tj; desc = ti }
+          else Sibling { t1 = ti; t2 = tj }
+        in
+        Some
+          {
+            j_gids = (g1, g2);
+            j_insts = (i, j);
+            j_threads = (ti, tj);
+            j_reason = reason;
+            j_chains = (Mta.Threads.fork_chain tm ti, Mta.Threads.fork_chain tm tj);
+          })
+
+(* ------------------------------------------------------------------------ *)
+(* [THREAD-VF] edge verdicts and store updates                              *)
+(* ------------------------------------------------------------------------ *)
+
+type edge_verdict =
+  | Kept of { unprotected : bool; winsts : (int * int) option }
+  | Filtered_lock of {
+      insts : int * int;
+      spans : int * int;
+      store_not_tail : bool;
+      load_not_head : bool;
+    }
+  | Skipped_mhp
+  | Unrecorded
+
+let why_edge d ~store ~obj ~access =
+  match d.Driver.prov with
+  | None -> Unrecorded
+  | Some r ->
+    timed "prov.explain_cost_us" (fun () ->
+        match P.find r ~space:P.sp_pair ~k1:store ~k2:access ~obj with
+        | None -> Unrecorded
+        | Some (tag, x, y, z) ->
+          if tag = P.p_kept then
+            Kept { unprotected = x = 1; winsts = (if y >= 0 then Some (y, z) else None) }
+          else if tag = P.p_filtered_lock then begin
+            let sp, sp', store_not_tail, load_not_head = P.unpack_spans z in
+            Filtered_lock { insts = (x, y); spans = (sp, sp'); store_not_tail; load_not_head }
+          end
+          else Skipped_mhp)
+
+let store_update d gid =
+  match d.Driver.prov with
+  | None -> None
+  | Some r -> (
+    match P.find r ~space:P.sp_store ~k1:gid ~k2:0 ~obj:0 with
+    | Some (tag, x, _, _) when tag = P.u_strong -> Some (`Strong x)
+    | Some (tag, _, _, _) when tag = P.u_weak -> Some `Weak
+    | _ -> None)
+
+(* ------------------------------------------------------------------------ *)
+(* Race witnesses                                                           *)
+(* ------------------------------------------------------------------------ *)
+
+type witness = {
+  w_obj : int;
+  w_store : int;
+  w_access : int;
+  w_both_writes : bool;
+  w_insts : int * int;
+  w_ctxs : int list * int list;
+  w_threads : int * int;
+  w_mhp : mhp_just;
+  w_locks : int list * int list;
+  w_path : step list;
+}
+
+let witness d (r : Races.race) =
+  match d.Driver.prov with
+  | None -> None
+  | Some _ -> (
+    match why_mhp d r.Races.store_gid r.Races.access_gid with
+    | None -> None
+    | Some just ->
+      let i, j = just.j_insts in
+      let tm = d.Driver.tm in
+      let ctx iid =
+        Mta.Ctx.to_list (Mta.Threads.ctx_store tm) (Mta.Threads.inst tm iid).Mta.Threads.i_ctx
+      in
+      let path =
+        match Prog.stmt_at d.Driver.prog r.Races.store_gid with
+        | Stmt.Store { dst; _ } -> Option.value ~default:[] (why_pt d dst r.Races.obj)
+        | _ -> []
+      in
+      Obs.Metrics.observe (Obs.Metrics.histogram "prov.witness_path_len") (List.length path);
+      Some
+        {
+          w_obj = r.Races.obj;
+          w_store = r.Races.store_gid;
+          w_access = r.Races.access_gid;
+          w_both_writes = r.Races.both_writes;
+          w_insts = just.j_insts;
+          w_ctxs = (ctx i, ctx j);
+          w_threads = just.j_threads;
+          w_mhp = just;
+          w_locks = (Mta.Locks.held_locks d.Driver.locks i, Mta.Locks.held_locks d.Driver.locks j);
+          w_path = path;
+        })
+
+(* ------------------------------------------------------------------------ *)
+(* Rendering                                                                *)
+(* ------------------------------------------------------------------------ *)
+
+let stmt_str d gid =
+  Format.asprintf "#%d: %a" gid (Prog.pp_stmt d.Driver.prog) (Prog.stmt_at d.Driver.prog gid)
+
+let node_desc d n =
+  match Svfg.node d.Driver.svfg n with
+  | Svfg.Stmt_node g -> stmt_str d g
+  | Svfg.Formal_in (f, o) ->
+    Printf.sprintf "formal-in(%s, %s)" (Prog.func d.Driver.prog f).Func.fname
+      (Prog.obj_name d.Driver.prog o)
+  | Svfg.Formal_out (f, o) ->
+    Printf.sprintf "formal-out(%s, %s)" (Prog.func d.Driver.prog f).Func.fname
+      (Prog.obj_name d.Driver.prog o)
+  | Svfg.Call_chi (g, o) ->
+    Printf.sprintf "call-chi(gid %d, %s)" g (Prog.obj_name d.Driver.prog o)
+
+let site_str d = function
+  | At_var v -> Printf.sprintf "pt(%s)" (Prog.var_name d.Driver.prog v)
+  | At_mem { node; cont } ->
+    Printf.sprintf "%s at [%s]" (Prog.obj_name d.Driver.prog cont) (node_desc d node)
+  | At_avar n -> (
+    match (A.prov_var_of_node d.Driver.ast n, A.prov_obj_of_node d.Driver.ast n) with
+    | Some v, _ -> Printf.sprintf "pt(%s)" (Prog.var_name d.Driver.prog v)
+    | _, Some o -> Printf.sprintf "cell(%s)" (Prog.obj_name d.Driver.prog o)
+    | _ -> Printf.sprintf "node %d" n)
+
+let edge_kind_name k =
+  if k = Svfg.k_thread_vf then "thread-vf"
+  else if k = Svfg.k_fork_bypass then "fork-bypass"
+  else if k = Svfg.k_join then "join"
+  else "oblivious"
+
+let var d v = Prog.var_name d.Driver.prog v
+let obj d o = Prog.obj_name d.Driver.prog o
+
+(* One clause per reason tag; [site] is needed for the SVFG-edge kinds. *)
+let reason_str d st =
+  let t = st.tag in
+  if t = 0 then "(unrecorded)"
+  else if t = P.s_addr || t = P.a_base then Printf.sprintf "address-of at %s" (stmt_str d st.x)
+  else if t = P.s_copy then Printf.sprintf "copied from %s at %s" (var d st.x) (stmt_str d st.y)
+  else if t = P.s_phi then Printf.sprintf "phi from %s at %s" (var d st.x) (stmt_str d st.y)
+  else if t = P.s_gep then Printf.sprintf "field of %s at %s" (obj d st.x) (stmt_str d st.y)
+  else if t = P.s_load then
+    Printf.sprintf "loaded at %s out of %s defined at [%s]" (stmt_str d st.x) (obj d st.z)
+      (node_desc d st.y)
+  else if t = P.s_bind then
+    Printf.sprintf "bound from %s at call %s" (var d st.x) (stmt_str d st.y)
+  else if t = P.m_store then
+    Printf.sprintf "stored from %s at %s" (var d st.x) (stmt_str d st.y)
+  else if t = P.m_edge then begin
+    let kind =
+      match st.site with
+      | At_mem { node; cont } ->
+        edge_kind_name (Svfg.edge_kind d.Driver.svfg ~src:st.x ~obj:cont ~dst:node)
+      | _ -> "oblivious"
+    in
+    let upd =
+      (* a weak update passing a value through a store is worth naming *)
+      match st.site with
+      | At_mem { node; _ } -> (
+        match Svfg.node d.Driver.svfg node with
+        | Svfg.Stmt_node g -> (
+          match (Prog.stmt_at d.Driver.prog g, store_update d g) with
+          | Stmt.Store _, Some `Weak -> "; weak update"
+          | Stmt.Store _, Some (`Strong k) ->
+            Printf.sprintf "; strong update (kills %s)" (obj d k)
+          | _ -> "")
+        | _ -> "")
+      | _ -> ""
+    in
+    Printf.sprintf "reached over %s SVFG edge from [%s]%s" kind (node_desc d st.x) upd
+  end
+  else if t = P.m_fork then Printf.sprintf "fork-site theta at %s" (stmt_str d st.x)
+  else if t = P.a_copy then Printf.sprintf "flowed over inclusion edge from %s" (site_str d (At_avar st.x))
+  else if t = P.a_gep then Printf.sprintf "field of %s" (obj d st.x)
+  else if t = P.a_fork then Printf.sprintf "thread object bound by fork %d" st.x
+  else if t = P.a_merge then
+    Printf.sprintf "cycle collapse absorbed %s" (site_str d (At_avar st.x))
+  else Printf.sprintf "reason tag %d" t
+
+let tag_name t =
+  if t = 0 then "unrecorded"
+  else if t = P.s_addr then "addr-of"
+  else if t = P.s_copy then "copy"
+  else if t = P.s_phi then "phi"
+  else if t = P.s_gep then "gep"
+  else if t = P.s_load then "load"
+  else if t = P.s_bind then "bind"
+  else if t = P.m_store then "store"
+  else if t = P.m_edge then "svfg-edge"
+  else if t = P.m_fork then "fork-theta"
+  else if t = P.a_base then "addr-of"
+  else if t = P.a_copy then "inclusion-edge"
+  else if t = P.a_gep then "gep"
+  else if t = P.a_fork then "fork"
+  else if t = P.a_merge then "cycle-merge"
+  else "tag-" ^ string_of_int t
+
+let pp_chain d ppf chain =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i st ->
+      Format.fprintf ppf "%s%s ∋ %s — %s@,"
+        (if i = 0 then "" else "  <- ")
+        (site_str d st.site) (obj d st.obj) (reason_str d st))
+    chain;
+  Format.fprintf ppf "@]"
+
+let step_json d st =
+  let site =
+    match st.site with
+    | At_var v -> [ ("site", J.String "var"); ("var", J.String (var d v)) ]
+    | At_mem { node; cont } ->
+      [
+        ("site", J.String "mem");
+        ("node", J.Int node);
+        ("node_desc", J.String (node_desc d node));
+        ("container", J.String (obj d cont));
+      ]
+    | At_avar n -> [ ("site", J.String "andersen"); ("node", J.Int n) ]
+  in
+  J.Obj
+    (site
+    @ [
+        ("obj", J.String (obj d st.obj));
+        ("reason", J.String (tag_name st.tag));
+        ("detail", J.String (reason_str d st));
+        ("x", J.Int st.x);
+        ("y", J.Int st.y);
+        ("z", J.Int st.z);
+      ])
+
+let chain_json d chain = J.List (List.map (step_json d) chain)
+
+let thread_str d tid = Mta.Threads.thread_name d.Driver.tm tid
+
+let chain_link_json d (tid, fg) =
+  J.Obj
+    [
+      ("thread", J.String (thread_str d tid));
+      ("fork_gid", match fg with Some g -> J.Int g | None -> J.Null);
+    ]
+
+let pp_fork_chain d ppf chain =
+  List.iteri
+    (fun i (tid, fg) ->
+      if i > 0 then Format.fprintf ppf " -> ";
+      match fg with
+      | Some g -> Format.fprintf ppf "%s (forked at #%d)" (thread_str d tid) g
+      | None -> Format.fprintf ppf "%s" (thread_str d tid))
+    chain
+
+let pp_mhp d ppf j =
+  let g1, g2 = j.j_gids in
+  let t1, t2 = j.j_threads in
+  Format.fprintf ppf "@[<v>#%d || #%d may happen in parallel:@," g1 g2;
+  (match j.j_reason with
+  | Same_thread t ->
+    Format.fprintf ppf "  multi-forked thread %s runs both instances@," (thread_str d t)
+  | Ancestor_descendant { anc; desc } ->
+    Format.fprintf ppf "  %s is an ancestor of %s and does not join it first@,"
+      (thread_str d anc) (thread_str d desc)
+  | Sibling { t1; t2 } ->
+    Format.fprintf ppf "  %s and %s are unordered siblings@," (thread_str d t1)
+      (thread_str d t2));
+  Format.fprintf ppf "  fork chain of %s: " (thread_str d t1);
+  pp_fork_chain d ppf (fst j.j_chains);
+  Format.fprintf ppf "@,  fork chain of %s: " (thread_str d t2);
+  pp_fork_chain d ppf (snd j.j_chains);
+  Format.fprintf ppf "@]"
+
+let mhp_json d j =
+  let reason =
+    match j.j_reason with
+    | Same_thread t ->
+      J.Obj [ ("kind", J.String "same-thread-multi"); ("thread", J.String (thread_str d t)) ]
+    | Ancestor_descendant { anc; desc } ->
+      J.Obj
+        [
+          ("kind", J.String "ancestor-descendant");
+          ("ancestor", J.String (thread_str d anc));
+          ("descendant", J.String (thread_str d desc));
+        ]
+    | Sibling { t1; t2 } ->
+      J.Obj
+        [
+          ("kind", J.String "sibling");
+          ("t1", J.String (thread_str d t1));
+          ("t2", J.String (thread_str d t2));
+        ]
+  in
+  J.Obj
+    [
+      ("gids", J.List [ J.Int (fst j.j_gids); J.Int (snd j.j_gids) ]);
+      ("insts", J.List [ J.Int (fst j.j_insts); J.Int (snd j.j_insts) ]);
+      ( "threads",
+        J.List
+          [ J.String (thread_str d (fst j.j_threads)); J.String (thread_str d (snd j.j_threads)) ] );
+      ("reason", reason);
+      ("fork_chain_1", J.List (List.map (chain_link_json d) (fst j.j_chains)));
+      ("fork_chain_2", J.List (List.map (chain_link_json d) (snd j.j_chains)));
+    ]
+
+let span_str d lk sid =
+  Printf.sprintf "span %d (lock %s)" sid (obj d (Mta.Locks.span_lock lk sid))
+
+let pp_edge_verdict d ppf v =
+  match v with
+  | Kept { unprotected; winsts } ->
+    Format.fprintf ppf "kept (%s)" (if unprotected then "unprotected" else "lock-protected");
+    (match winsts with
+    | Some (i, j) -> Format.fprintf ppf " — witness instance pair (%d, %d)" i j
+    | None -> ())
+  | Filtered_lock { insts = i, j; spans = sp, sp'; store_not_tail; load_not_head } ->
+    Format.fprintf ppf
+      "filtered by the lock analysis: instance pair (%d, %d) under %s / %s — %s%s%s" i j
+      (span_str d d.Driver.locks sp) (span_str d d.Driver.locks sp')
+      (if store_not_tail then "the store is not the span tail" else "")
+      (if store_not_tail && load_not_head then " and " else "")
+      (if load_not_head then "the access is not the span head" else "")
+  | Skipped_mhp -> Format.fprintf ppf "no edge: the statements never happen in parallel"
+  | Unrecorded -> Format.fprintf ppf "no verdict recorded (provenance off or not a candidate)"
+
+let edge_verdict_json d v =
+  match v with
+  | Kept { unprotected; winsts } ->
+    J.Obj
+      ([ ("verdict", J.String "kept"); ("unprotected", J.Bool unprotected) ]
+      @
+      match winsts with
+      | Some (i, j) -> [ ("witness_insts", J.List [ J.Int i; J.Int j ]) ]
+      | None -> [])
+  | Filtered_lock { insts = i, j; spans = sp, sp'; store_not_tail; load_not_head } ->
+    J.Obj
+      [
+        ("verdict", J.String "filtered-lock");
+        ("insts", J.List [ J.Int i; J.Int j ]);
+        ("spans", J.List [ J.Int sp; J.Int sp' ]);
+        ("span_locks",
+         J.List
+           [
+             J.String (obj d (Mta.Locks.span_lock d.Driver.locks sp));
+             J.String (obj d (Mta.Locks.span_lock d.Driver.locks sp'));
+           ]);
+        ("store_not_tail", J.Bool store_not_tail);
+        ("load_not_head", J.Bool load_not_head);
+      ]
+  | Skipped_mhp -> J.Obj [ ("verdict", J.String "skipped-mhp") ]
+  | Unrecorded -> J.Obj [ ("verdict", J.String "unrecorded") ]
+
+let pp_witness d ppf w =
+  let ctx_str c =
+    match c with
+    | [] -> "<entry>"
+    | l -> String.concat " > " (List.map (fun g -> "#" ^ string_of_int g) l)
+  in
+  let locks_str = function
+    | [] -> "none"
+    | l -> String.concat ", " (List.map (obj d) l)
+  in
+  Format.fprintf ppf
+    "@[<v>witness for race on %s:@,\
+    \  write  %s@,\
+    \    thread %s, ctx %s, holding {%s}@,\
+    \  %s %s@,\
+    \    thread %s, ctx %s, holding {%s}@,\
+    \  %a@,\
+    \  value flow to %s:@,  %a@]"
+    (obj d w.w_obj) (stmt_str d w.w_store)
+    (thread_str d (fst w.w_threads))
+    (ctx_str (fst w.w_ctxs))
+    (locks_str (fst w.w_locks))
+    (if w.w_both_writes then "write " else "read  ")
+    (stmt_str d w.w_access)
+    (thread_str d (snd w.w_threads))
+    (ctx_str (snd w.w_ctxs))
+    (locks_str (snd w.w_locks))
+    (pp_mhp d) w.w_mhp (obj d w.w_obj) (pp_chain d) w.w_path
+
+let witness_json d w =
+  J.Obj
+    [
+      ("obj", J.String (obj d w.w_obj));
+      ("store_gid", J.Int w.w_store);
+      ("access_gid", J.Int w.w_access);
+      ("both_writes", J.Bool w.w_both_writes);
+      ("insts", J.List [ J.Int (fst w.w_insts); J.Int (snd w.w_insts) ]);
+      ( "contexts",
+        J.List
+          [
+            J.List (List.map (fun g -> J.Int g) (fst w.w_ctxs));
+            J.List (List.map (fun g -> J.Int g) (snd w.w_ctxs));
+          ] );
+      ( "threads",
+        J.List
+          [ J.String (thread_str d (fst w.w_threads)); J.String (thread_str d (snd w.w_threads)) ]
+      );
+      ("mhp", mhp_json d w.w_mhp);
+      ( "locks",
+        J.List
+          [
+            J.List (List.map (fun o -> J.String (obj d o)) (fst w.w_locks));
+            J.List (List.map (fun o -> J.String (obj d o)) (snd w.w_locks));
+          ] );
+      ("value_flow", chain_json d w.w_path);
+    ]

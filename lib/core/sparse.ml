@@ -42,7 +42,7 @@ let pts_entries t =
   Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.ptv
   + Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) t.pto 0
 
-let solve ?(scheduler = Priority) prog ast svfg ~singleton =
+let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
   let n_stmts = Prog.n_stmts prog in
   let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
   let t =
@@ -182,18 +182,40 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
       if d > !peak then peak := d
     end
   in
-  let add_var v set =
-    let u = Iset.union t.ptv.(v) set in
-    if not (u == t.ptv.(v)) then begin
+  (* [rt]/[rx]/[ry]/[rz] are the provenance reason tag and payload for any
+     object entering the set through this call; plain ints so the disabled
+     path stays allocation-free. *)
+  let add_var ~rt ~rx ~ry ~rz v set =
+    let old = t.ptv.(v) in
+    let u = Iset.union old set in
+    if not (u == old) then begin
       t.ptv.(v) <- u;
+      (match prov with
+      | Some r ->
+        Iset.iter
+          (fun o ->
+            if not (Iset.mem o old) then
+              Fsam_prov.add r ~space:Fsam_prov.sp_var ~k1:v ~k2:0 ~obj:o ~tag:rt ~x:rx ~y:ry
+                ~z:rz)
+          set
+      | None -> ());
       List.iter push var_users.(v)
     end
   in
-  let add_obj node o set =
+  let add_obj ~rt ~rx ~ry node o set =
     let cur = pto_get t node o in
     let u = Iset.union cur set in
     if not (u == cur) then begin
       Hashtbl.replace t.pto (node, o) u;
+      (match prov with
+      | Some r ->
+        Iset.iter
+          (fun tgt ->
+            if not (Iset.mem tgt cur) then
+              Fsam_prov.add r ~space:Fsam_prov.sp_mem ~k1:node ~k2:o ~obj:tgt ~tag:rt ~x:rx
+                ~y:ry ~z:0)
+          set
+      | None -> ());
       let any = Option.value ~default:Iset.empty (Hashtbl.find_opt t.obj_any o) in
       Hashtbl.replace t.obj_any o (Iset.union any u);
       List.iter
@@ -209,29 +231,35 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
         let rec go args params =
           match (args, params) with
           | a :: args, p :: params ->
-            add_var p t.ptv.(a);
+            add_var ~rt:Fsam_prov.s_bind ~rx:a ~ry:gid ~rz:0 p t.ptv.(a);
             go args params
           | _ -> ()
         in
         go args f.Func.params;
         match ret with
-        | Some r -> List.iter (fun rv -> add_var r t.ptv.(rv)) (A.ret_vars ast callee)
+        | Some r ->
+          List.iter
+            (fun rv -> add_var ~rt:Fsam_prov.s_bind ~rx:rv ~ry:gid ~rz:0 r t.ptv.(rv))
+            (A.ret_vars ast callee)
         | None -> ())
-      (A.callees ast ~fid ~idx);
-    ignore gid
+      (A.callees ast ~fid ~idx)
   in
   let process gid =
     let fid, idx = Prog.of_gid prog gid in
     match Prog.stmt_at prog gid with
-    | Stmt.Addr_of { dst; obj } -> add_var dst (Iset.singleton obj)
-    | Stmt.Copy { dst; src } -> add_var dst t.ptv.(src)
-    | Stmt.Phi { dst; srcs } -> List.iter (fun s -> add_var dst t.ptv.(s)) srcs
+    | Stmt.Addr_of { dst; obj } ->
+      add_var ~rt:Fsam_prov.s_addr ~rx:gid ~ry:0 ~rz:0 dst (Iset.singleton obj)
+    | Stmt.Copy { dst; src } ->
+      add_var ~rt:Fsam_prov.s_copy ~rx:src ~ry:gid ~rz:0 dst t.ptv.(src)
+    | Stmt.Phi { dst; srcs } ->
+      List.iter (fun s -> add_var ~rt:Fsam_prov.s_phi ~rx:s ~ry:gid ~rz:0 dst t.ptv.(s)) srcs
     | Stmt.Gep { dst; src; field } ->
       Iset.iter
         (fun o ->
           let info = Prog.obj prog o in
           if not (Fsam_ir.Memobj.is_function info || Fsam_ir.Memobj.is_thread info) then
-            add_var dst (Iset.singleton (Prog.field_obj prog ~base:o ~field)))
+            add_var ~rt:Fsam_prov.s_gep ~rx:o ~ry:gid ~rz:0 dst
+              (Iset.singleton (Prog.field_obj prog ~base:o ~field)))
         t.ptv.(src)
     | Stmt.Load { dst; src } -> (
       match stmt_node gid with
@@ -239,14 +267,16 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
       | Some node ->
         let pts = t.ptv.(src) in
         List.iter
-          (fun (o, d) -> if Iset.mem o pts then add_var dst (pto_get t d o))
+          (fun (o, d) ->
+            if Iset.mem o pts then
+              add_var ~rt:Fsam_prov.s_load ~rx:gid ~ry:d ~rz:o dst (pto_get t d o))
           (Svfg.o_preds svfg node))
     | Stmt.Store { dst; src } -> (
       match stmt_node gid with
       | None -> ()
       | Some node ->
         let targets = t.ptv.(dst) in
-        Iset.iter (fun o -> add_obj node o t.ptv.(src)) targets;
+        Iset.iter (fun o -> add_obj ~rt:Fsam_prov.m_store ~rx:src ~ry:gid node o t.ptv.(src)) targets;
         (* kill(s, p) of Figure 10, decided once per store processing: the
            verdict depends only on pt(p) and the store's racy objects, not
            on the incoming def edge. One deviation: the paper kills
@@ -260,12 +290,20 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
             o'
           | _ -> -1
         in
+        (* replace semantics: the verdict of the final (sound) processing of
+           this store is the one the explain layer reports *)
+        (match prov with
+        | Some r ->
+          Fsam_prov.set r ~space:Fsam_prov.sp_store ~k1:gid ~k2:0 ~obj:0
+            ~tag:(if killed >= 0 then Fsam_prov.u_strong else Fsam_prov.u_weak)
+            ~x:killed ~y:0 ~z:0
+        | None -> ());
         List.iter
           (fun (o, d) ->
             if o = killed then t.strong_updates <- t.strong_updates + 1
             else begin
               t.weak_updates <- t.weak_updates + 1;
-              add_obj node o (pto_get t d o)
+              add_obj ~rt:Fsam_prov.m_edge ~rx:d ~ry:0 node o (pto_get t d o)
             end)
           (Svfg.o_preds svfg node))
     | Stmt.Call { args; ret; _ } -> bind_call gid fid idx args ret
@@ -274,9 +312,13 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
       match (handle, stmt_node gid) with
       | Some h, Some node ->
         let theta = Prog.thread_obj_of_fork prog fork_id in
-        Iset.iter (fun o -> add_obj node o (Iset.singleton theta)) t.ptv.(h);
+        Iset.iter
+          (fun o -> add_obj ~rt:Fsam_prov.m_fork ~rx:gid ~ry:0 node o (Iset.singleton theta))
+          t.ptv.(h);
         (* weak: old handle contents survive *)
-        List.iter (fun (o, d) -> add_obj node o (pto_get t d o)) (Svfg.o_preds svfg node)
+        List.iter
+          (fun (o, d) -> add_obj ~rt:Fsam_prov.m_edge ~rx:d ~ry:0 node o (pto_get t d o))
+          (Svfg.o_preds svfg node)
       | _ -> ())
     | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ()
   in
@@ -287,7 +329,9 @@ let solve ?(scheduler = Priority) prog ast svfg ~singleton =
       | Svfg.Formal_in (_, o) | Svfg.Formal_out (_, o) | Svfg.Call_chi (_, o) -> o
       | Svfg.Stmt_node _ -> assert false
     in
-    List.iter (fun (o', d) -> if o' = o then add_obj n o (pto_get t d o)) (Svfg.o_preds svfg n)
+    List.iter
+      (fun (o', d) -> if o' = o then add_obj ~rt:Fsam_prov.m_edge ~rx:d ~ry:0 n o (pto_get t d o))
+      (Svfg.o_preds svfg n)
   in
   (* worklist drain, including the strong/weak update loop inside stores *)
   let seen = Bitvec.create ~capacity:n_units () in

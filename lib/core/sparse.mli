@@ -24,12 +24,17 @@ type scheduler =
 
 val solve :
   ?scheduler:scheduler ->
+  ?prov:Fsam_prov.t ->
   Prog.t ->
   Fsam_andersen.Solver.t ->
   Fsam_memssa.Svfg.t ->
   singleton:(int -> bool) ->
   t
-(** [scheduler] defaults to [Priority]. *)
+(** [scheduler] defaults to [Priority]. [prov], when given, records one
+    derivation reason per propagated points-to fact (spaces
+    [Fsam_prov.sp_var] and [Fsam_prov.sp_mem]) plus the final strong/weak
+    verdict of every store ([Fsam_prov.sp_store]); results are identical
+    either way and the disabled path allocates nothing extra. *)
 
 val pt_top : t -> Stmt.var -> Fsam_dsa.Iset.t
 (** Points-to set of a top-level variable (at/after its unique def). *)

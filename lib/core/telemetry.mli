@@ -20,10 +20,27 @@ val analysis_json :
 
 val races_json : Driver.t -> Races.race list -> Fsam_obs.Json.t
 (** Telemetry document for [fsam races]: the findings (rendered with
-    [Races.pp_race]) plus metrics and spans. *)
+    [Races.pp_race]) plus metrics and spans. When the run recorded
+    provenance, each race entry additionally carries its full
+    {!Explain.witness} (accesses with contexts, fork chains, held locks,
+    recorded value-flow path); without provenance the document is
+    byte-identical to previous releases. *)
 
 val write_json : string -> Fsam_obs.Json.t -> unit
 (** Write a JSON document to a file (pretty-printed, trailing newline). *)
 
 val write_trace : string -> unit
 (** Write the current span forest as a Chrome trace_event file. *)
+
+val flush_at_exit : string -> unit
+(** Arm a crash flush for the telemetry document: on process exit (normal,
+    [exit], or uncaught exception) a partial document — [{"partial": true}]
+    plus the metrics registry and [Fsam_obs.Span.snapshot] — is written to
+    the path unless {!mark_flushed} disarmed it first. *)
+
+val mark_flushed : unit -> unit
+(** Disarm the telemetry crash flush after a successful normal export. *)
+
+val flush_now : unit -> unit
+(** Run the armed flush immediately and disarm (no-op when disarmed);
+    exposed for tests. *)

@@ -21,6 +21,12 @@ type config = {
 let default_config =
   { thread_aware = true; use_interleaving = true; use_value_flow = true; use_lock = true }
 
+(* Provenance edge kinds (recorded only when a recorder is attached). *)
+let k_oblivious = 0
+let k_fork_bypass = 1
+let k_join = 2
+let k_thread_vf = 3
+
 type t = {
   prog : Prog.t;
   nodes : node Vec.t;
@@ -30,6 +36,8 @@ type t = {
   edge_set : (int * int * int, unit) Hashtbl.t; (* (src, obj, dst) *)
   mutable thread_edges : int;
   racy : (int, Iset.t) Hashtbl.t; (* store gid -> objects with interfering MHP pairs *)
+  ekind : (int * int * int, int) Hashtbl.t; (* non-oblivious kinds, prov only *)
+  mutable record_prov : Fsam_prov.t option;
 }
 
 let n_nodes t = Vec.length t.nodes
@@ -52,14 +60,20 @@ let intern t n =
     Hashtbl.replace t.index n i;
     i
 
-let add_edge t src obj dst =
+let add_edge ?(kind = 0) t src obj dst =
   if not (Hashtbl.mem t.edge_set (src, obj, dst)) then begin
     Hashtbl.replace t.edge_set (src, obj, dst) ();
+    (match t.record_prov with
+    | Some _ -> if kind <> k_oblivious then Hashtbl.replace t.ekind (src, obj, dst) kind
+    | None -> ());
     Vec.set t.preds dst ((obj, src) :: Vec.get t.preds dst);
     Vec.set t.succs src ((obj, dst) :: Vec.get t.succs src)
   end
 
 let has_edge t src obj dst = Hashtbl.mem t.edge_set (src, obj, dst)
+
+let edge_kind t ~src ~obj ~dst =
+  Option.value ~default:k_oblivious (Hashtbl.find_opt t.ekind (src, obj, dst))
 
 (* ------------------------------------------------------------------------ *)
 (* Thread-oblivious construction: per-(function, object) sparse
@@ -108,6 +122,10 @@ let join_info_tbl tm mr =
 let build_oblivious t ast mr icfg join_info =
   let prog = t.prog in
   ignore icfg;
+  let record = t.record_prov <> None in
+  (* formal-out nodes injected by a handled join: edges sourced from them
+     carry the "join" kind in provenance mode *)
+  let join_src : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun f ->
       let fid = f.Func.fid in
       let objs = Iset.union (Modref.mod_of mr fid) (Modref.ref_of mr fid) in
@@ -143,7 +161,23 @@ let build_oblivious t ast mr icfg join_info =
             if i = 0 then in_state.(0) <- Iset.add formal_in in_state.(0);
             let gid = Prog.gid prog ~fid ~idx:i in
             let all_defs = Array.fold_left Iset.union Iset.empty in_state in
-            let link_all node_id = Iset.iter (fun d -> add_edge t d o node_id) all_defs in
+            let kind_of =
+              if not record then fun _ -> k_oblivious
+              else begin
+                let bypass = ref Iset.empty in
+                for c = 1 to nchan - 1 do
+                  bypass := Iset.union !bypass in_state.(c)
+                done;
+                let bp = !bypass in
+                fun d ->
+                  if Hashtbl.mem join_src d then k_join
+                  else if Iset.mem d bp then k_fork_bypass
+                  else k_oblivious
+              end
+            in
+            let link_all node_id =
+              Iset.iter (fun d -> add_edge ~kind:(kind_of d) t d o node_id) all_defs
+            in
             let collapse_to node_id =
               (* all channels absorbed into one def node *)
               link_all node_id;
@@ -221,8 +255,11 @@ let build_oblivious t ast mr icfg join_info =
                   let st = Array.copy in_state in
                   List.iter
                     (fun (fg, sf, mods) ->
-                      if Iset.mem o mods then
-                        st.(0) <- Iset.add (intern t (Formal_out (sf, o))) st.(0);
+                      if Iset.mem o mods then begin
+                        let fo = intern t (Formal_out (sf, o)) in
+                        if record then Hashtbl.replace join_src fo ();
+                        st.(0) <- Iset.add fo st.(0)
+                      end;
                       match Hashtbl.find_opt fork_channel fg with
                       | Some c -> st.(c) <- Iset.empty
                       | None -> ())
@@ -273,10 +310,13 @@ type chunk_res = {
   mutable lock_filtered : int;
   (* (obj, store gid, access gid, unprotected) in discovery order *)
   mutable events : (int * int * int * bool) list;
+  (* chunk-local pair-verdict recorder, absorbed in chunk order *)
+  c_prov : Fsam_prov.t option;
 }
 
 let build_thread_aware t config ~jobs ast tm mhp lk pcg =
   let prog = t.prog in
+  let record = t.record_prov <> None in
   let tbl_add tbl k v =
     Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
   in
@@ -336,8 +376,12 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
         skipped_stmt = 0;
         lock_filtered = 0;
         events = [];
+        c_prov = (if record then Some (Fsam_prov.local ()) else None);
       }
     in
+    (* the justification pass re-runs the lock queries with a throwaway
+       cache so the flushed counters stay identical with recording off *)
+    let why_cache = if record then Some (Mta.Locks.make_cache ()) else None in
     let span_accs = Hashtbl.create 64 in
     let span_cache = Hashtbl.create 64 in
     let mhp_cache = Hashtbl.create 1024 in
@@ -429,13 +473,44 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
           (not (Hashtbl.mem si.tl i)) || not (Hashtbl.mem sj.hd j))
         (Mta.Locks.common_lock ~cache:res.lk_cache lk i j)
     in
+    (* Like [non_interfering] but returns the first justifying span pair and
+       which half of Definition 6 held (provenance mode only). *)
+    let non_interfering_why o (i, j) =
+      let cache = Option.get why_cache in
+      List.find_map
+        (fun (sp, sp') ->
+          let si = span_hd_tl sp o and sj = span_hd_tl sp' o in
+          let store_not_tail = not (Hashtbl.mem si.tl i) in
+          let load_not_head = not (Hashtbl.mem sj.hd j) in
+          if store_not_tail || load_not_head then Some (sp, sp', store_not_tail, load_not_head)
+          else None)
+        (Mta.Locks.common_lock ~cache lk i j)
+    in
+    let record_verdict o s s' ~tag ~x ~y ~z =
+      match res.c_prov with
+      | Some r -> Fsam_prov.set r ~space:Fsam_prov.sp_pair ~k1:s ~k2:s' ~obj:o ~tag ~x ~y ~z
+      | None -> ()
+    in
     let consider_edge o s s' =
       res.considered <- res.considered + 1;
-      if not (stmt_mhp s s') then res.skipped_stmt <- res.skipped_stmt + 1
+      if not (stmt_mhp s s') then begin
+        res.skipped_stmt <- res.skipped_stmt + 1;
+        if record then record_verdict o s s' ~tag:Fsam_prov.p_skipped_mhp ~x:0 ~y:0 ~z:0
+      end
       else begin
         let pairs = inst_pairs s s' in
         let blocked = config.use_lock && pairs <> [] && List.for_all (non_interfering o) pairs in
-        if blocked then res.lock_filtered <- res.lock_filtered + 1
+        if blocked then begin
+          res.lock_filtered <- res.lock_filtered + 1;
+          if record then begin
+            let i, j = List.hd pairs in
+            match non_interfering_why o (i, j) with
+            | Some (sp, sp', store_not_tail, load_not_head) ->
+              record_verdict o s s' ~tag:Fsam_prov.p_filtered_lock ~x:i ~y:j
+                ~z:(Fsam_prov.pack_spans ~sp ~sp' ~store_not_tail ~load_not_head)
+            | None -> ()
+          end
+        end
         else begin
           (* Strong updates: an interfering pair forbids them on o — the
              interleaving may order the accesses either way — unless every
@@ -449,6 +524,12 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
             || pairs = []
             || List.exists (fun (i, j) -> not (Mta.Locks.commonly_protected lk i j)) pairs
           in
+          if record then begin
+            let y, z = match pairs with (i, j) :: _ -> (i, j) | [] -> (-1, -1) in
+            record_verdict o s s' ~tag:Fsam_prov.p_kept
+              ~x:(if unprotected then 1 else 0)
+              ~y ~z
+          end;
           res.events <- (o, s, s', unprotected) :: res.events
         end
       end
@@ -514,11 +595,14 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
   Obs.Span.with_ ~name:"svfg.pair_apply" (fun () ->
       List.iter
         (fun res ->
+          (match (t.record_prov, res.c_prov) with
+          | Some dst, Some src -> Fsam_prov.absorb dst src
+          | _ -> ());
           List.iter
             (fun (o, s, s', unprotected) ->
               let a = intern t (Stmt_node s) and b = intern t (Stmt_node s') in
               if not (has_edge t a o b) then begin
-                add_edge t a o b;
+                add_edge ~kind:k_thread_vf t a o b;
                 t.thread_edges <- t.thread_edges + 1
               end;
               if unprotected then begin
@@ -559,7 +643,7 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
       (counter "locks.naive_span_checks")
       (sum (fun r -> Mta.Locks.cache_naive_checks r.lk_cache)))
 
-let build ?(config = default_config) ?(jobs = 1) prog ast mr icfg tm mhp lk pcg =
+let build ?(config = default_config) ?(jobs = 1) ?prov prog ast mr icfg tm mhp lk pcg =
   let t =
     {
       prog;
@@ -570,6 +654,8 @@ let build ?(config = default_config) ?(jobs = 1) prog ast mr icfg tm mhp lk pcg 
       edge_set = Hashtbl.create 4096;
       thread_edges = 0;
       racy = Hashtbl.create 64;
+      ekind = Hashtbl.create 64;
+      record_prov = prov;
     }
   in
   (* mu/chi annotation material (what each join makes visible) *)

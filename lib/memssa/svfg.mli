@@ -47,6 +47,7 @@ type t
 val build :
   ?config:config ->
   ?jobs:int ->
+  ?prov:Fsam_prov.t ->
   Prog.t ->
   Fsam_andersen.Solver.t ->
   Fsam_andersen.Modref.t ->
@@ -73,5 +74,23 @@ val n_thread_aware_edges : t -> int
     way, so a kill could erase a concurrent thread's later effect. *)
 val racy_objs : t -> int -> Fsam_dsa.Iset.t
 val prog : t -> Prog.t
+
+(* Provenance (populated only when [build ~prov] was given) --------------- *)
+
+(** Edge kinds for {!edge_kind}: how a def-use edge came to exist. *)
+
+val k_oblivious : int  (** thread-oblivious reaching-definition edge *)
+
+val k_fork_bypass : int  (** paper §3.2 step 2: defs bypassing a fork *)
+
+val k_join : int  (** paper §3.2 step 3: spawnee formal-out via a join *)
+
+val k_thread_vf : int  (** paper §3.3 rule [THREAD-VF] *)
+
+(** Kind of the given edge; {!k_oblivious} when unknown or when built
+    without a recorder. The [THREAD-VF] pair verdicts themselves (kept /
+    lock-filtered / no-MHP, space [Fsam_prov.sp_pair]) live in the recorder
+    passed to [build]. *)
+val edge_kind : t -> src:int -> obj:int -> dst:int -> int
 val iter_nodes : t -> (int -> node -> unit) -> unit
 val pp_stats : Format.formatter -> t -> unit

@@ -127,6 +127,10 @@ let compute prog ast tm =
 let n_spans t = Array.length t.spans
 let n_lock_objs t = t.n_lock_objs
 let span_lock t sid = t.spans.(sid).sp_lock
+
+(* Lock objects held at an instance — the lock-set half of a race witness. *)
+let held_locks t i =
+  List.sort_uniq compare (List.map (fun sid -> t.spans.(sid).sp_lock) t.of_inst.(i))
 let span_members t sid = t.spans.(sid).sp_members
 let spans_of_inst t i = t.of_inst.(i)
 

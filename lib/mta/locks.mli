@@ -41,7 +41,12 @@ val span_members : t -> int -> int list
 (** Statement-instance ids in the span. *)
 
 val spans_of_inst : t -> int -> int list
+
 (** Span ids containing the given instance. *)
+
+val held_locks : t -> int -> int list
+(** Sorted, deduplicated lock objects of the spans covering the instance —
+    the held lock set reported in race witnesses. *)
 
 val commonly_protected : t -> int -> int -> bool
 (** Do the two instances hold a common runtime lock ([common_lock] would be

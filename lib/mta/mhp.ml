@@ -291,3 +291,8 @@ let mhp_stmt_naive ?stats t g1 g2 =
           mhp_inst t i j)
         is2)
     is1
+
+(* First instance pair witnessing that two statements may happen in
+   parallel, in the deterministic [mhp_pairs_inst] order. *)
+let witness_pair t g1 g2 =
+  match mhp_pairs_inst t g1 g2 with [] -> None | p :: _ -> Some p

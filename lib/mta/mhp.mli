@@ -71,6 +71,13 @@ val mhp_pairs_inst_naive : ?stats:stats -> t -> int -> int -> (int * int) list
 (** Reference pair enumeration over the full instance product, in
     [insts_of_gid] nesting order. *)
 
+val witness_pair : t -> int -> int -> (int * int) option
+(** First instance pair witnessing [mhp_stmt] for two statement gids (the
+    head of the deterministic [mhp_pairs_inst] order); [None] when the
+    statements never happen in parallel. The fork/sibling chain justifying
+    the pair is recoverable through [Threads.fork_chain] and
+    [Threads.happens_before]. *)
+
 val threads : t -> Threads.t
 val n_iterations : t -> int
 val total_fact_size : t -> int

@@ -466,6 +466,15 @@ let ancestors t tid = t.anc.(tid)
 let siblings t a b =
   a <> b && (not (Iset.mem b t.desc.(a))) && not (Iset.mem a t.desc.(b))
 
+(* Chain of (thread, creating fork gid) from main down to [tid]; the
+   justification backbone of MHP witnesses (main's entry is (main, None)). *)
+let fork_chain t tid =
+  let rec up tid acc =
+    let acc = (tid, (Vec.get t.threads tid).fork_gid) :: acc in
+    match (Vec.get t.threads tid).par with None -> acc | Some p -> up p acc
+  in
+  up tid []
+
 let thread_name t tid =
   if tid = 0 then "main"
   else

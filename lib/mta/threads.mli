@@ -50,6 +50,11 @@ val happens_before : t -> int -> int -> bool
 (** [happens_before m t t'] — Definition 2 for sibling threads: the fork
     site of [t'] is only reachable after a join of [t] on every path. *)
 
+val fork_chain : t -> int -> (int * int option) list
+(** The spawn chain from main down to (and including) the thread: each
+    element is [(tid, fork gid that created it)]; main carries [None].
+    This is the fork-chain half of an MHP justification. *)
+
 val thread_name : t -> int -> string
 
 (* Instances -------------------------------------------------------------- *)

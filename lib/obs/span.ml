@@ -72,6 +72,36 @@ let with_ ~name f = fst (with_timed ~name f)
 
 let roots () = List.rev !roots_rev
 
+let snapshot () =
+  let closed = List.rev !roots_rev in
+  match !stack with
+  | [] -> closed
+  | frames ->
+    (* Materialise the open stack as a chain of still-running spans: the
+       innermost open frame nests inside the next one out, each with its
+       already-completed children first and dur measured to now. *)
+    let now = Unix.gettimeofday () in
+    let cpu = Sys.time () in
+    let minor = Gc.minor_words () in
+    let major = (Gc.quick_stat ()).Gc.major_words in
+    let open_roots =
+      List.fold_left
+        (fun inner fr ->
+          [
+            {
+              name = fr.f_name;
+              start_s = fr.f_start;
+              dur_s = now -. fr.f_start;
+              cpu_s = cpu -. fr.f_cpu;
+              minor_words = minor -. fr.f_minor;
+              major_words = major -. fr.f_major;
+              children = List.rev fr.f_children_rev @ inner;
+            };
+          ])
+        [] frames
+    in
+    closed @ open_roots
+
 let rec count sp = List.fold_left (fun acc c -> acc + count c) 1 sp.children
 
 let distinct_names forest =

@@ -34,6 +34,13 @@ val reset : unit -> unit
 val roots : unit -> t list
 (** Completed top-level spans since the last [reset], in completion order. *)
 
+val snapshot : unit -> t list
+(** [roots ()] plus the currently open span stack rendered as one extra
+    root whose durations are measured up to now (each open frame nests the
+    next inner one after its completed children). Read-only — the open
+    frames keep running. Used by the crash-flush paths to export partial
+    traces when the process dies mid-analysis. *)
+
 val count : t -> int
 (** Number of spans in the tree, including the root. *)
 

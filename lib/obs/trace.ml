@@ -37,3 +37,25 @@ let write path forest =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Json.to_channel ~minify:true oc (to_json forest))
+
+(* Crash flush: once armed, process exit (normal return, uncaught exception,
+   [exit]) writes whatever spans exist — including still-open ones via
+   [Span.snapshot] — unless the normal export path disarmed it first. *)
+let pending : string option ref = ref None
+let registered = ref false
+
+let flush_now () =
+  match !pending with
+  | None -> ()
+  | Some path ->
+    pending := None;
+    (try write path (Span.snapshot ()) with Sys_error _ -> ())
+
+let flush_at_exit path =
+  pending := Some path;
+  if not !registered then begin
+    registered := true;
+    at_exit flush_now
+  end
+
+let mark_flushed () = pending := None

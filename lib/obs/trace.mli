@@ -8,3 +8,19 @@ val to_json : Span.t list -> Json.t
 
 val write : string -> Span.t list -> unit
 (** Write [to_json] of the forest to a file (minified). *)
+
+val flush_at_exit : string -> unit
+(** Arm the crash flush: when the process exits — normally, via [exit], or
+    from an uncaught exception — the current [Span.snapshot] (completed
+    spans plus the open stack) is written to the path, so an aborted run
+    still leaves a usable partial Chrome trace. Re-arming replaces the
+    path; the [at_exit] hook is installed once. Write failures at exit are
+    swallowed. *)
+
+val mark_flushed : unit -> unit
+(** Disarm the crash flush — call after the normal export path has written
+    its own (complete) trace, to avoid overwriting it with a snapshot. *)
+
+val flush_now : unit -> unit
+(** Run the armed flush immediately and disarm it (no-op when disarmed).
+    Exposed for tests; this is exactly what the [at_exit] hook runs. *)

@@ -26,4 +26,5 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("query-index", Test_query_index.suite);
+      ("prov", Test_prov.suite);
     ]

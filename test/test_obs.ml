@@ -111,6 +111,144 @@ let test_json_roundtrip () =
   | Ok parsed -> Alcotest.(check bool) "minified round-trip" true (J.equal doc parsed)
   | Error e -> Alcotest.failf "minified parse failed: %s" e
 
+(* qcheck: arbitrary documents round-trip through the emitter and parser.
+   Floats are forced fractional — the emitter prints %.12g, so an integral
+   float legitimately re-parses as an Int. *)
+let json_arbitrary =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun i -> J.Float (float_of_int i +. 0.5)) (int_range (-1_000_000) 1_000_000);
+        map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let gen =
+    sized
+      (fix (fun self n ->
+           if n <= 0 then scalar
+           else
+             frequency
+               [
+                 (3, scalar);
+                 (1, map (fun l -> J.List l) (list_size (int_range 0 4) (self (n / 3))));
+                 ( 1,
+                   map
+                     (fun kvs -> J.Obj kvs)
+                     (list_size (int_range 0 4)
+                        (pair (string_size ~gen:printable (int_range 0 8)) (self (n / 3))))
+                 );
+               ]))
+  in
+  QCheck.make ~print:(fun j -> J.to_string ~minify:true j) gen
+
+let qcheck_json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"json round-trips arbitrary values" ~count:300 json_arbitrary
+       (fun doc ->
+         let ok s = match J.of_string s with Ok j -> J.equal doc j | Error _ -> false in
+         ok (J.to_string doc) && ok (J.to_string ~minify:true doc)))
+
+let test_span_snapshot () =
+  Obs.Span.reset ();
+  Obs.Span.with_ ~name:"done" (fun () -> ());
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner-done" (fun () -> ());
+      Obs.Span.with_ ~name:"inner-open" (fun () ->
+          match Obs.Span.snapshot () with
+          | [ d0; open_root ] ->
+            Alcotest.(check string) "closed root first" "done" d0.Obs.Span.name;
+            Alcotest.(check string) "open root present" "outer" open_root.Obs.Span.name;
+            Alcotest.(check (list string))
+              "open root nests completed then open children"
+              [ "inner-done"; "inner-open" ]
+              (List.map (fun c -> c.Obs.Span.name) open_root.Obs.Span.children);
+            Alcotest.(check bool) "open durations non-negative" true
+              (open_root.Obs.Span.dur_s >= 0.)
+          | l -> Alcotest.failf "expected 2 snapshot roots, got %d" (List.length l)));
+  (* snapshotting did not disturb the live recording *)
+  Alcotest.(check (list string))
+    "normal completion unaffected" [ "done"; "outer" ]
+    (List.map (fun r -> r.Obs.Span.name) (Obs.Span.roots ()))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* names appearing anywhere in the exported span forest *)
+let rec json_span_names acc j =
+  let name = match J.member "name" j with Some (J.String n) -> [ n ] | _ -> [] in
+  let kids =
+    match J.member "children" j with
+    | Some (J.List l) -> l
+    | _ -> []
+  in
+  List.fold_left json_span_names (name @ acc) kids
+
+let test_trace_crash_flush () =
+  Obs.Span.reset ();
+  let path = Filename.temp_file "fsam_flush" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace.flush_at_exit path;
+      (* simulate dying inside an open span: the flush must capture it *)
+      Obs.Span.with_ ~name:"open-at-crash" (fun () -> Obs.Trace.flush_now ());
+      (match J.of_string (String.trim (read_file path)) with
+      | Ok doc -> (
+        match J.member "traceEvents" doc with
+        | Some (J.List events) ->
+          Alcotest.(check bool) "open span captured" true
+            (List.exists
+               (fun ev -> J.member "name" ev = Some (J.String "open-at-crash"))
+               events)
+        | _ -> Alcotest.fail "flushed trace has no traceEvents")
+      | Error e -> Alcotest.failf "flushed trace is not valid JSON: %s" e);
+      (* a fired flush is disarmed: nothing rewrites the file *)
+      let oc = open_out path in
+      output_string oc "sentinel";
+      close_out oc;
+      Obs.Trace.flush_now ();
+      Alcotest.(check string) "flush disarmed after firing" "sentinel" (read_file path);
+      (* mark_flushed disarms a re-armed flush *)
+      Obs.Trace.flush_at_exit path;
+      Obs.Trace.mark_flushed ();
+      Obs.Trace.flush_now ();
+      Alcotest.(check string) "mark_flushed disarms" "sentinel" (read_file path))
+
+let test_telemetry_crash_flush () =
+  Obs.Span.reset ();
+  let path = Filename.temp_file "fsam_flush" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fsam_core.Telemetry.flush_at_exit path;
+      Obs.Span.with_ ~name:"partial-phase" (fun () -> Fsam_core.Telemetry.flush_now ());
+      (match J.of_string (String.trim (read_file path)) with
+      | Ok doc ->
+        Alcotest.(check (option bool)) "schema" (Some true)
+          (Option.map (J.equal (J.String "fsam.telemetry/1")) (J.member "schema" doc));
+        Alcotest.(check (option bool)) "marked partial" (Some true)
+          (Option.map (J.equal (J.Bool true)) (J.member "partial" doc));
+        Alcotest.(check bool) "metrics present" true (J.member "metrics" doc <> None);
+        (match J.member "spans" doc with
+        | Some (J.List spans) ->
+          Alcotest.(check bool) "open span exported" true
+            (List.mem "partial-phase" (List.fold_left json_span_names [] spans))
+        | _ -> Alcotest.fail "spans missing from partial document")
+      | Error e -> Alcotest.failf "partial telemetry is not valid JSON: %s" e);
+      Fsam_core.Telemetry.mark_flushed ();
+      let oc = open_out path in
+      output_string oc "sentinel";
+      close_out oc;
+      Fsam_core.Telemetry.flush_now ();
+      Alcotest.(check string) "disarmed" "sentinel" (read_file path))
+
 let test_json_non_finite () =
   (* non-finite floats must still yield valid JSON *)
   let s = J.to_string (J.List [ J.Float Float.nan; J.Float Float.infinity ]) in
@@ -142,16 +280,6 @@ let test_trace_format () =
 
 let pipeline_phases =
   [ "phase.pre"; "phase.threads"; "phase.mhp"; "phase.locks"; "phase.svfg"; "phase.solve" ]
-
-(* names appearing anywhere in the exported span forest *)
-let rec json_span_names acc j =
-  let name = match J.member "name" j with Some (J.String n) -> [ n ] | _ -> [] in
-  let kids =
-    match J.member "children" j with
-    | Some (J.List l) -> l
-    | _ -> []
-  in
-  List.fold_left json_span_names (name @ acc) kids
 
 let test_analyze_telemetry_golden () =
   let spec = Option.get (Fsam_workloads.Suite.find "word_count") in
@@ -254,7 +382,11 @@ let suite =
     Alcotest.test_case "counter monotonicity" `Quick test_counters;
     Alcotest.test_case "gauges and histograms" `Quick test_gauges_histograms;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    qcheck_json_roundtrip;
     Alcotest.test_case "json non-finite floats" `Quick test_json_non_finite;
+    Alcotest.test_case "span snapshot includes open stack" `Quick test_span_snapshot;
+    Alcotest.test_case "trace crash flush" `Quick test_trace_crash_flush;
+    Alcotest.test_case "telemetry crash flush" `Quick test_telemetry_crash_flush;
     Alcotest.test_case "chrome trace format" `Quick test_trace_format;
     Alcotest.test_case "analyze --json telemetry (golden)" `Quick test_analyze_telemetry_golden;
     Alcotest.test_case "trace file round-trip" `Quick test_trace_file;
