@@ -105,8 +105,16 @@ let provenance_arg =
                  strong/weak verdict and every [THREAD-VF] candidate its \
                  MHP/lock verdict. Results are identical; see $(b,fsam explain).")
 
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Enable the execution profiler (fsam engine): per-domain timeline \
+                 lanes in --trace, per-domain par.* gauges and the solver \
+                 convergence curve in --json. Results are identical; see \
+                 $(b,fsam profile) for the report view.")
+
 let analyze source config_name scheduler_name engine dump_pts json trace jobs
-    nonsparse_budget provenance =
+    nonsparse_budget provenance profile =
   with_program
     (fun prog ->
       arm_crash_flush ~json ~trace;
@@ -173,6 +181,7 @@ let analyze source config_name scheduler_name engine dump_pts json trace jobs
               config with
               D.jobs;
               provenance;
+              profile;
               nonsparse_budget =
                 Option.value ~default:config.D.nonsparse_budget nonsparse_budget;
             }
@@ -225,7 +234,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run a pointer analysis on a program")
     Term.(
       const analyze $ source_arg $ config_arg $ scheduler $ engine $ dump $ json_arg
-      $ trace_arg $ jobs_arg $ nonsparse_budget $ provenance_arg)
+      $ trace_arg $ jobs_arg $ nonsparse_budget $ provenance_arg $ profile_flag)
 
 (* -- races ------------------------------------------------------------------- *)
 
@@ -542,6 +551,216 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Full per-phase statistics of one FSAM run")
     Term.(const report $ source_arg)
 
+(* -- profile ------------------------------------------------------------------ *)
+
+module P = Fsam_obs.Profile
+module Tl = Fsam_obs.Timeline
+
+(* Per-item durations of one lane's ring: the gap between consecutive
+   [k_item] timestamps (the last item is bounded by the chunk stop). Top
+   keys by duration are the imbalance attribution — "which object/chunk
+   keys dominated". *)
+let hot_keys ring ~limit =
+  let evs = Tl.events ring in
+  let stop_t =
+    List.fold_left (fun acc (t, k, _, _) -> if k = Tl.k_chunk_stop then t else acc) 0 evs
+  in
+  let items = List.filter (fun (_, k, _, _) -> k = Tl.k_item) evs in
+  let rec durations = function
+    | (t, _, key, _) :: ((t', _, _, _) :: _ as rest) ->
+      (key, t' - t) :: durations rest
+    | [ (t, _, key, _) ] -> [ (key, max 0 (stop_t - t)) ]
+    | [] -> []
+  in
+  let ds = List.sort (fun (_, a) (_, b) -> compare b a) (durations items) in
+  List.filteri (fun i _ -> i < limit) ds
+
+let pct num den = if den <= 0 then 100 else 100 * num / den
+
+let print_hotspots ~top forest =
+  let hs = P.hotspots forest in
+  Format.printf "@.top %d spans by exclusive wall time:@." top;
+  Format.printf "  %-28s %6s %10s %10s %10s@." "span" "count" "self-wall" "self-cpu" "wall";
+  List.iteri
+    (fun i h ->
+      if i < top then
+        Format.printf "  %-28s %6d %9.3fms %9.3fms %9.3fms@." h.P.hs_name h.P.hs_count
+          (h.P.hs_self_wall_s *. 1e3) (h.P.hs_self_cpu_s *. 1e3) (h.P.hs_wall_s *. 1e3))
+    hs
+
+let print_regions () =
+  let regions = P.regions () in
+  if regions = [] then
+    Format.printf "@.parallel regions: none recorded (serial run or empty ranges)@."
+  else begin
+    Format.printf "@.parallel regions:@.";
+    List.iter
+      (fun r ->
+        let lanes = r.P.rs_lanes in
+        let mx = List.fold_left (fun a l -> max a l.P.ls_busy_us) 0 lanes in
+        let mn = List.fold_left (fun a l -> min a l.P.ls_busy_us) max_int lanes in
+        let imb = if mx <= 0 then 0 else 100 * (mx - mn) / mx in
+        Format.printf
+          "  %-18s wall %6dus  lanes %d  utilization %3d%%  imbalance %3d%%@."
+          r.P.rs_region r.P.rs_wall_us (List.length lanes) (P.utilization_pct r) imb;
+        List.iter
+          (fun l ->
+            Format.printf
+              "    domain %d: busy %6dus (%3d%%)  range [%d,%d)  items %d  events %d%s%s@."
+              l.P.ls_lane l.P.ls_busy_us (pct l.P.ls_busy_us r.P.rs_wall_us) l.P.ls_lo
+              l.P.ls_hi l.P.ls_items l.P.ls_events
+              (if l.P.ls_contention > 0 then
+                 Printf.sprintf "  intern-contention %d" l.P.ls_contention
+               else "")
+              (if l.P.ls_dropped > 0 then Printf.sprintf "  dropped %d" l.P.ls_dropped
+               else ""))
+          lanes;
+        match P.dominant_lane r with
+        | Some l when List.length lanes > 1 ->
+          let ring =
+            List.find_opt
+              (fun (rg : Tl.ring) -> rg.Tl.region = r.P.rs_region && rg.Tl.lane = l.P.ls_lane)
+              (Tl.collected ())
+          in
+          let keys =
+            match ring with Some rg -> hot_keys rg ~limit:3 | None -> []
+          in
+          Format.printf "    dominant: domain %d (busy %dus)%s@." l.P.ls_lane l.P.ls_busy_us
+            (match keys with
+            | [] -> ""
+            | ks ->
+              "  hot keys: "
+              ^ String.concat ", "
+                  (List.map (fun (k, d) -> Printf.sprintf "%d (%dus)" k d) ks))
+        | _ -> ())
+      regions
+  end
+
+let print_convergence () =
+  let samples = P.samples () in
+  let stalls = P.stalls () in
+  Format.printf "@.convergence (sampled every %d propagations):@." (P.sample_interval ());
+  match samples with
+  | [] -> Format.printf "  no samples (solver finished under one interval)@."
+  | _ ->
+    let last = List.nth samples (List.length samples - 1) in
+    let hits = List.fold_left (fun a s -> a + s.P.s_memo_hits) 0 samples in
+    let misses = List.fold_left (fun a s -> a + s.P.s_memo_misses) 0 samples in
+    let peak = List.fold_left (fun a s -> max a s.P.s_depth) 0 samples in
+    Format.printf
+      "  %d samples; final: %d propagations, %d facts; peak depth %d; memo hit rate %d%%@."
+      (List.length samples) last.P.s_prop last.P.s_facts peak
+      (pct hits (hits + misses));
+    List.iteri
+      (fun i s ->
+        if i < 5 || i >= List.length samples - 5 || List.length samples <= 10 then
+          Format.printf
+            "    prop %7d  depth %6d  +facts %6d  rank %5d  scc %5d  memo %3d%%@."
+            s.P.s_prop s.P.s_depth s.P.s_facts_delta s.P.s_rank s.P.s_scc_size
+            (pct s.P.s_memo_hits (s.P.s_memo_hits + s.P.s_memo_misses))
+        else if i = 5 then Format.printf "    ...@.")
+      samples;
+    if stalls = [] then Format.printf "  no stalls detected@."
+    else
+      List.iter
+        (fun st ->
+          Format.printf
+            "  STALL at propagation %d: no new facts for %d samples (rank %d, SCC size %d)@."
+            st.P.st_prop st.P.st_samples st.P.st_rank st.P.st_scc_size)
+        stalls
+
+let profile_run source config_name scheduler_name json trace jobs top =
+  with_program
+    (fun prog ->
+      arm_crash_flush ~json ~trace;
+      match
+        Result.bind (config_of_string config_name) (fun config ->
+            Result.map
+              (fun scheduler -> { config with D.scheduler })
+              (scheduler_of_string scheduler_name))
+      with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+      | Ok config ->
+        let config = { config with D.jobs; profile = true } in
+        let m = Fsam_core.Measure.run (fun () -> D.run ~config prog) in
+        let _d : D.t = m.Fsam_core.Measure.value in
+        Format.printf "profile: %s  (config %s, jobs %d, %.3fs wall, %.3fs cpu)@." source
+          config_name (Fsam_par.resolve_jobs jobs) m.Fsam_core.Measure.wall_seconds
+          m.Fsam_core.Measure.cpu_seconds;
+        print_hotspots ~top (Fsam_obs.Span.roots ());
+        print_regions ();
+        print_convergence ();
+        let mk_doc () =
+          let measure =
+            J.Obj
+              [
+                ("wall_seconds", J.Float m.Fsam_core.Measure.wall_seconds);
+                ("cpu_seconds", J.Float m.Fsam_core.Measure.cpu_seconds);
+                ("live_mb", J.Float m.Fsam_core.Measure.live_mb);
+              ]
+          in
+          match P.to_json () with
+          | J.Obj (schema :: rest) ->
+            J.Obj
+              (schema
+              :: ("program", J.String source)
+              :: ("jobs", J.Int (Fsam_par.resolve_jobs jobs))
+              :: ("measure", measure)
+              :: rest)
+          | j -> j
+        in
+        (try
+           (match json with
+           | Some "-" -> J.to_channel stdout (mk_doc ())
+           | Some path -> T.write_json path (mk_doc ())
+           | None -> ());
+           (match trace with Some path -> T.write_trace path | None -> ());
+           T.mark_flushed ();
+           Fsam_obs.Trace.mark_flushed ()
+         with Sys_error msg ->
+           Printf.eprintf "error: %s\n" msg;
+           exit 1))
+    source
+
+let profile_cmd =
+  let scheduler =
+    Arg.(value & opt string "priority" & info [ "scheduler" ] ~docv:"SCHED"
+           ~doc:"Sparse-solver worklist scheduler: priority or fifo.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"How many spans to show in the hotspot table.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the profile document (convergence curve, region/lane stats, \
+                   raw timelines) as JSON; $(b,-) for stdout.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run FSAM with the execution profiler and print the report"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the full pipeline with profiling enabled, then reports: the top \
+              spans by exclusive time, per-domain utilization of every parallel \
+              region with imbalance attribution (dominant lane and its hottest item \
+              keys), and the sparse solver's convergence curve with stall warnings. \
+              Profiling changes no analysis results — reports are byte-identical \
+              with it on or off, for every --jobs value.";
+           `P
+             "With $(b,--trace) the Chrome trace gains one lane per domain \
+              (open in Perfetto); with $(b,--json) the raw profile document is \
+              exported for tooling.";
+         ])
+    Term.(
+      const profile_run $ source_arg $ config_arg $ scheduler $ json $ trace_arg
+      $ jobs_arg $ top)
+
 (* -- dot ---------------------------------------------------------------------- *)
 
 let dot source what out =
@@ -633,6 +852,7 @@ let () =
             leaks_cmd;
             instrument_cmd;
             report_cmd;
+            profile_cmd;
             dump_ir_cmd;
             dot_cmd;
             interp_cmd;

@@ -12,6 +12,7 @@ type config = {
   scheduler : Sparse.scheduler;
   jobs : int;
   provenance : bool;
+  profile : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     scheduler = Sparse.Priority;
     jobs = 1;
     provenance = false;
+    profile = false;
   }
 
 let no_interleaving =
@@ -63,6 +65,8 @@ let run ?(config = default_config) prog =
   Validate.check_exn prog;
   Obs.Span.reset ();
   Obs.Metrics.reset ();
+  Obs.Profile.set_enabled config.profile;
+  Obs.Profile.reset ();
   let prov = if config.provenance then Some (Fsam_prov.create ()) else None in
   Obs.Span.with_ ~name:"fsam.run" (fun () ->
       let (ast, modref), sp_pre =

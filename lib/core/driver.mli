@@ -23,6 +23,13 @@ type config = {
           [THREAD-VF] pair verdict (see [Fsam_prov] and [Explain]). Default
           [false]; analysis results are byte-identical either way (including
           under [jobs]), and the disabled hot paths allocate nothing. *)
+  profile : bool;
+      (** enable the execution profiler: per-domain [Fsam_obs.Timeline]
+          rings in the parallel regions, the [Sparse] convergence monitor,
+          and per-domain gauges (see [Fsam_obs.Profile]). Default [false];
+          purely observational — analysis results are byte-identical with
+          it on or off, and the disabled path costs one atomic load per
+          probe site. *)
 }
 
 val default_config : config

@@ -61,6 +61,9 @@ let detect ?(jobs = 1) d =
         let acc = { races = []; lock_queries = 0; saved = 0 } in
         for i = lo to hi - 1 do
           let s = stores.(i) in
+          (* per-store timeline event: [a] = store gid, [b] = lock queries
+             so far — attributes chunk imbalance to the dominant stores *)
+          Obs.Timeline.emit ~kind:Obs.Timeline.k_item ~a:s ~b:acc.lock_queries;
           List.iter (fun a -> consider acc s a) loads;
           Array.iter (fun a -> if s <= a then consider acc s a) stores
         done;

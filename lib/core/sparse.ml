@@ -78,6 +78,10 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
      scheduler only; Fifo keeps the legacy queue and skips the
      condensation). *)
   let rank = Array.make (max 1 n_units) 0 in
+  (* SCC membership, kept for the convergence monitor (Priority only): a
+     stall warning names the stuck SCC and its size. *)
+  let comp_of = ref [||] in
+  let comp_size = ref [||] in
   Obs.Span.with_ ~name:"sparse.index" (fun () ->
       Prog.iter_funcs prog (fun f ->
           Func.iter_stmts f (fun i s ->
@@ -144,6 +148,8 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
            and intra-SCC cycles drain to fixpoint before the next rank
            starts *)
         let scc = Fsam_graph.Scc.compute dep in
+        comp_of := scc.Fsam_graph.Scc.comp_of;
+        comp_size := Array.map List.length scc.Fsam_graph.Scc.comps;
         for u = 0 to n_units - 1 do
           (* component ids are in reverse topological order *)
           rank.(u) <- scc.Fsam_graph.Scc.n_comps - 1 - scc.Fsam_graph.Scc.comp_of.(u)
@@ -161,6 +167,11 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
   let heap = Heap.create ~capacity:(max 16 n_units) () in
   let queued = Bitvec.create ~capacity:n_units () in
   let peak = ref 0 in
+  (* facts-growth events: each add_var/add_obj call that enlarged a set.
+     The convergence monitor's progress signal — cheap (one incr on the
+     growth path), monotone, and zero across an interval exactly when the
+     solver churned without learning anything. *)
+  let facts = ref 0 in
   let depth () =
     match scheduler with Fifo -> Queue.length queue | Priority -> Heap.length heap
   in
@@ -189,6 +200,7 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
     let old = t.ptv.(v) in
     let u = Iset.union old set in
     if not (u == old) then begin
+      incr facts;
       t.ptv.(v) <- u;
       (match prov with
       | Some r ->
@@ -206,6 +218,7 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
     let cur = pto_get t node o in
     let u = Iset.union cur set in
     if not (u == cur) then begin
+      incr facts;
       Hashtbl.replace t.pto (node, o) u;
       (match prov with
       | Some r ->
@@ -333,6 +346,55 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
       (fun (o', d) -> if o' = o then add_obj ~rt:Fsam_prov.m_edge ~rx:d ~ry:0 n o (pto_get t d o))
       (Svfg.o_preds svfg n)
   in
+  (* Convergence monitor (profiling only): every [sample_interval]
+     propagations, record worklist/heap depth, cumulative facts and the
+     per-interval delta, union-memo hit/miss deltas, and the rank + SCC
+     size of the unit being drained. [stall_after] consecutive zero-growth
+     samples raise one structured stall warning naming the stuck SCC;
+     the streak keeps counting so a single long stall warns once. *)
+  let profiling = Obs.Profile.enabled () in
+  let sample_interval = 512 in
+  if profiling then Obs.Profile.set_sample_interval sample_interval;
+  let mon_facts = ref 0 and mon_hits = ref memo_hits0 and mon_misses = ref memo_misses0 in
+  let mon_streak = ref 0 in
+  let stall_after = 8 in
+  let monitor u =
+    if t.iterations land (sample_interval - 1) = 0 then begin
+      let hits, misses = Iset.union_memo_stats () in
+      let r = if u < Array.length rank then rank.(u) else 0 in
+      let comp = if u < Array.length !comp_of then (!comp_of).(u) else -1 in
+      let scc_size = if comp >= 0 then (!comp_size).(comp) else 0 in
+      let delta = !facts - !mon_facts in
+      Obs.Profile.add_sample
+        {
+          Obs.Profile.s_prop = t.iterations;
+          s_depth = depth ();
+          s_facts = !facts;
+          s_facts_delta = delta;
+          s_memo_hits = hits - !mon_hits;
+          s_memo_misses = misses - !mon_misses;
+          s_rank = r;
+          s_scc_size = scc_size;
+        };
+      mon_facts := !facts;
+      mon_hits := hits;
+      mon_misses := misses;
+      if delta = 0 then begin
+        incr mon_streak;
+        if !mon_streak = stall_after then begin
+          Obs.Profile.add_stall
+            {
+              Obs.Profile.st_prop = t.iterations;
+              st_samples = !mon_streak;
+              st_rank = r;
+              st_scc_size = scc_size;
+            };
+          Obs.Metrics.(add (counter "sparse.stall_warnings") 1)
+        end
+      end
+      else mon_streak := 0
+    end
+  in
   (* worklist drain, including the strong/weak update loop inside stores *)
   let seen = Bitvec.create ~capacity:n_units () in
   let reprocessed = ref 0 in
@@ -340,7 +402,8 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
     Bitvec.clear queued u;
     t.iterations <- t.iterations + 1;
     if not (Bitvec.set_if_unset seen u) then incr reprocessed;
-    if u < n_stmts then process u else process_node (u - n_stmts)
+    if u < n_stmts then process u else process_node (u - n_stmts);
+    if profiling then monitor u
   in
   Obs.Span.with_ ~name:"sparse.drain" (fun () ->
       for g = 0 to n_stmts - 1 do

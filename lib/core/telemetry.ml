@@ -22,6 +22,9 @@ let analysis_json ~program ~engine ~config ~wall_seconds ~cpu_seconds ~live_mb ?
            ] );
      ]
     @ (match report with Some r -> [ ("report", Report.to_json r) ] | None -> [])
+    (* additive: the profile section appears only when profiling ran, so
+       the profiling-off document shape is unchanged *)
+    @ (if Obs.Profile.enabled () then [ ("profile", Obs.Profile.to_json ()) ] else [])
     @ [ ("metrics", Obs.Metrics.to_json ()); ("spans", spans_json ()) ])
 
 let races_json d races =
@@ -47,7 +50,8 @@ let write_json path j =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> J.to_channel oc j)
 
-let write_trace path = Obs.Trace.write path (Obs.Span.roots ())
+let write_trace path =
+  Obs.Trace.write ~timelines:(Obs.Timeline.collected ()) path (Obs.Span.roots ())
 
 (* Crash flush mirroring [Obs.Trace.flush_at_exit]: an aborted run still
    leaves a telemetry document marked ["partial"] with whatever metrics and

@@ -65,11 +65,20 @@ let stripes = Array.init n_stripes (fun _ -> W.create 512)
 let stripe_locks = Array.init n_stripes (fun _ -> Mutex.create ())
 let next_tag = Atomic.make 0
 
+(* Per-domain count of stripe-lock acquisitions that found the lock held —
+   the profiler's contention signal. [try_lock] on an uncontended mutex is
+   the same CAS [lock] starts with, so the serial path pays nothing. *)
+let contention_key = Domain.DLS.new_key (fun () -> ref 0)
+let intern_contention () = !(Domain.DLS.get contention_key)
+
 let hashcons node =
   let tentative = { tag = Atomic.fetch_and_add next_tag 1; node } in
   let i = Node_hash.hash tentative land (n_stripes - 1) in
   let m = stripe_locks.(i) in
-  Mutex.lock m;
+  if not (Mutex.try_lock m) then begin
+    incr (Domain.DLS.get contention_key);
+    Mutex.lock m
+  end;
   match W.merge stripes.(i) tentative with
   | r ->
     Mutex.unlock m;

@@ -564,6 +564,10 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
     in
     for x = lo to hi - 1 do
       let o = objs.(x) in
+      (* one timeline event per object processed: [a] = object id, [b] =
+         pairs considered so far — lets the profiler attribute chunk
+         imbalance to the dominant object keys *)
+      Obs.Timeline.emit ~kind:Obs.Timeline.k_item ~a:o ~b:res.considered;
       let stores = Option.value ~default:[] (Hashtbl.find_opt stores_of o) in
       let escapes = lazy (may_escape o) in
       List.iter
@@ -593,8 +597,11 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
   in
   (* serial in-order application of the discovered events *)
   Obs.Span.with_ ~name:"svfg.pair_apply" (fun () ->
-      List.iter
-        (fun res ->
+      Obs.Timeline.with_ring ~region:"svfg.pair_apply" ~lane:0 (fun () ->
+      List.iteri
+        (fun ci res ->
+          Obs.Timeline.emit ~kind:Obs.Timeline.k_absorb ~a:ci
+            ~b:(List.length res.events);
           (match (t.record_prov, res.c_prov) with
           | Some dst, Some src -> Fsam_prov.absorb dst src
           | _ -> ());
@@ -614,7 +621,7 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
                 match Prog.stmt_at prog s' with Stmt.Store _ -> mark s' | _ -> ()
               end)
             res.events)
-        chunks);
+        chunks));
   (* flush the chunk-local work tallies *)
   let sum f = List.fold_left (fun n res -> n + f res) 0 chunks in
   Obs.Metrics.(add (counter "svfg.thread_pairs_considered") (sum (fun r -> r.considered)));

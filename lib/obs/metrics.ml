@@ -76,6 +76,22 @@ let observe h v =
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
+(* Quantile estimate from the power-of-two buckets: the upper bound of the
+   first bucket whose cumulative count reaches q * count. Exact for values
+   that are bucket bounds; otherwise an upper bound within 2x. *)
+let quantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let target = max 1 (min h.h_count (int_of_float (ceil (q *. float_of_int h.h_count)))) in
+    let rec go k cum =
+      if k >= n_buckets - 1 then bucket_le (n_buckets - 1)
+      else
+        let cum = cum + h.h_buckets.(k) in
+        if cum >= target then bucket_le k else go (k + 1) cum
+    in
+    go 0 0
+  end
+
 let find_counter name =
   match Hashtbl.find_opt registry name with Some (C c) -> Some c.c_value | _ -> None
 
@@ -100,6 +116,9 @@ let to_json () =
       [
         ("count", Json.Int h.h_count);
         ("sum", Json.Int h.h_sum);
+        ("p50", Json.Int (quantile h 0.50));
+        ("p95", Json.Int (quantile h 0.95));
+        ("p99", Json.Int (quantile h 0.99));
         ("buckets", Json.List !buckets);
       ]
   in

@@ -35,6 +35,11 @@ val observe : histogram -> int -> unit
 (** Buckets are powers of two: bucket [0] counts values [<= 0], bucket [2^k]
     counts values in [(2^(k-1), 2^k]]. *)
 
+val quantile : histogram -> float -> int
+(** [quantile h q] for [q] in [\[0, 1\]]: the upper bound of the first
+    bucket whose cumulative count reaches [q * count] — an upper-bound
+    estimate within the bucket resolution (2x). 0 on an empty histogram. *)
+
 val reset : unit -> unit
 (** Empty the registry. *)
 
@@ -43,4 +48,5 @@ val find_gauge : string -> int option
 
 val to_json : unit -> Json.t
 (** [{ "counters": {..}, "gauges": {..}, "histograms": {name: { "count",
-    "sum", "buckets": [{"le", "count"}, ...] }} }], names sorted. *)
+    "sum", "p50", "p95", "p99", "buckets": [{"le", "count"}, ...] }} }],
+    names sorted; the pNN fields are {!quantile} summaries. *)

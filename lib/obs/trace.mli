@@ -1,12 +1,21 @@
 (** Chrome [trace_event] export: converts a span forest into the JSON
     object format ({["traceEvents": [...]]}) that [chrome://tracing] and
     {{:https://ui.perfetto.dev}Perfetto} open directly. Each span becomes a
-    complete ("ph": "X") event; timestamps are microseconds relative to the
-    earliest root span. *)
+    complete ("ph": "X") event on pid 1 / tid 1; timestamps are
+    microseconds relative to the earliest root span.
 
-val to_json : Span.t list -> Json.t
+    With [?timelines] (profiled runs), each {!Timeline.ring} contributes a
+    lane on tid [lane + 1]: thread_name metadata events label the lanes
+    ("domain 0 (main)", "domain 1", ...), every chunk becomes an X event
+    carrying its index range / item count / contention, per-item progress
+    and intern-table contention become counter ("C") tracks, and
+    merge/absorb events become instants — so slow chunks and idle domains
+    are visible at a glance in Perfetto. Without timelines the output is
+    byte-identical to the span-only format. *)
 
-val write : string -> Span.t list -> unit
+val to_json : ?timelines:Timeline.ring list -> Span.t list -> Json.t
+
+val write : ?timelines:Timeline.ring list -> string -> Span.t list -> unit
 (** Write [to_json] of the forest to a file (minified). *)
 
 val flush_at_exit : string -> unit

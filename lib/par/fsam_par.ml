@@ -1,4 +1,5 @@
 module Obs = Fsam_obs
+module Timeline = Obs.Timeline
 
 let available_jobs () = Domain.recommended_domain_count ()
 let resolve_jobs j = if j <= 0 then available_jobs () else j
@@ -7,44 +8,82 @@ let resolve_jobs j = if j <= 0 then available_jobs () else j
    decomposition — and with it the ordered merge — is deterministic. *)
 let chunk_bounds ~n ~k i = (i * n / k, (i + 1) * n / k)
 
-let record_metrics ~label ~jobs ~k ~wall_us times_us =
+type chunk_obs = {
+  c_wall_us : int;
+  c_items : int;
+  c_contention : int;
+  c_ring : Timeline.ring option;
+}
+
+let record_metrics ~label ~jobs ~k ~wall_us chunks =
   let g name = Obs.Metrics.gauge (Printf.sprintf "par.%s.%s" label name) in
   Obs.Metrics.set (g "jobs") jobs;
   Obs.Metrics.set (g "chunks") k;
   Obs.Metrics.set (g "wall_us") wall_us;
-  match times_us with
+  match chunks with
   | [] -> ()
-  | t0 :: rest ->
-    let mx = List.fold_left max t0 rest and mn = List.fold_left min t0 rest in
+  | c0 :: rest ->
+    let mx = List.fold_left (fun a c -> max a c.c_wall_us) c0.c_wall_us rest
+    and mn = List.fold_left (fun a c -> min a c.c_wall_us) c0.c_wall_us rest in
     Obs.Metrics.set (g "max_chunk_us") mx;
     Obs.Metrics.set (g "min_chunk_us") mn;
     Obs.Metrics.set (g "imbalance_pct") (if mx <= 0 then 0 else 100 * (mx - mn) / mx);
+    (* per-domain gauges: imbalance is attributable, not just measured *)
     List.iteri
-      (fun i t -> Obs.Metrics.set (g (Printf.sprintf "domain%d.wall_us" i)) t)
-      times_us
+      (fun i c ->
+        let gd name = g (Printf.sprintf "domain%d.%s" i name) in
+        Obs.Metrics.set (gd "wall_us") c.c_wall_us;
+        Obs.Metrics.set (gd "items") c.c_items;
+        Obs.Metrics.set (gd "intern_contention") c.c_contention;
+        match c.c_ring with
+        | Some r -> Obs.Metrics.set (gd "events") (Timeline.n_recorded r)
+        | None -> ())
+      chunks
 
 let run_chunks ?(label = "par") ~jobs ~n f =
   let jobs = if jobs <= 0 then available_jobs () else jobs in
   let k = max 1 (min jobs n) in
+  let profiling = Timeline.enabled () in
   let t_start = Unix.gettimeofday () in
-  let timed lo hi () =
+  (* Each chunk owns a fresh ring installed as its domain's current ring:
+     chunk boundaries and intern-table contention are recorded here, and
+     analysis code inside [f] adds per-item events via [Timeline.emit]. *)
+  let timed lane lo hi () =
+    let ring =
+      if profiling then Some (Timeline.create_ring ~region:label ~lane ()) else None
+    in
+    Timeline.set_current ring;
+    (match ring with
+    | Some r -> Timeline.record r ~kind:Timeline.k_chunk_start ~a:lo ~b:hi
+    | None -> ());
+    let c0 = Fsam_dsa.Iset.intern_contention () in
     let t0 = Unix.gettimeofday () in
-    let r = f ~lo ~hi in
-    (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    Fun.protect
+      ~finally:(fun () -> Timeline.set_current None)
+      (fun () ->
+        let r = f ~lo ~hi in
+        let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        let dc = Fsam_dsa.Iset.intern_contention () - c0 in
+        (match ring with
+        | Some rg ->
+          if dc > 0 then Timeline.record rg ~kind:Timeline.k_contention ~a:dc ~b:0;
+          Timeline.record rg ~kind:Timeline.k_chunk_stop ~a:(hi - lo) ~b:dc
+        | None -> ());
+        (r, { c_wall_us = wall_us; c_items = hi - lo; c_contention = dc; c_ring = ring }))
   in
   let results =
-    if k = 1 then [ timed 0 n () ]
+    if k = 1 then [ timed 0 0 n () ]
     else begin
       (* spawn chunks 1..k-1, keep chunk 0 for the calling domain: the
          caller does its share of the work instead of blocking in join *)
       let workers =
         List.init (k - 1) (fun i ->
             let lo, hi = chunk_bounds ~n ~k (i + 1) in
-            Domain.spawn (timed lo hi))
+            Domain.spawn (timed (i + 1) lo hi))
       in
       let r0 =
         let lo, hi = chunk_bounds ~n ~k 0 in
-        match timed lo hi () with
+        match timed 0 lo hi () with
         | r -> r
         | exception e ->
           (* never leak un-joined domains; the chunk-0 failure wins *)
@@ -55,5 +94,16 @@ let run_chunks ?(label = "par") ~jobs ~n f =
     end
   in
   let wall_us = int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6) in
-  record_metrics ~label ~jobs ~k ~wall_us (List.map snd results);
+  let obs = List.map snd results in
+  (* the joins happened-before this point: worker rings are safely readable.
+     Merge events land on lane 0, then all rings are absorbed in lane
+     order so the collected timeline is deterministic. *)
+  (match obs with
+  | { c_ring = Some r0; _ } :: rest ->
+    List.iteri
+      (fun i c -> Timeline.record r0 ~kind:Timeline.k_merge ~a:(i + 1) ~b:c.c_wall_us)
+      rest
+  | _ -> ());
+  List.iter (fun c -> match c.c_ring with Some r -> Timeline.absorb r | None -> ()) obs;
+  record_metrics ~label ~jobs ~k ~wall_us obs;
   List.map fst results

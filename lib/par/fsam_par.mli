@@ -34,6 +34,16 @@ val run_chunks : ?label:string -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) 
     After the join, per-domain wall times and the chunk imbalance are
     recorded in {!Fsam_obs.Metrics} (from the calling domain only):
     [par.<label>.jobs], [par.<label>.chunks], [par.<label>.wall_us],
-    [par.<label>.max_chunk_us], [par.<label>.min_chunk_us] and
+    [par.<label>.max_chunk_us], [par.<label>.min_chunk_us],
     [par.<label>.imbalance_pct] ([100 * (max - min) / max], 0 when the
-    region is trivially small). [label] defaults to ["par"]. *)
+    region is trivially small), and per-domain attribution gauges
+    [par.<label>.domain<i>.wall_us] / [.items] / [.intern_contention] /
+    [.events] (the last only under profiling). [label] defaults to ["par"].
+
+    When {!Fsam_obs.Timeline.enabled} (set by [Driver.config.profile]),
+    each chunk additionally records a {!Fsam_obs.Timeline} ring: chunk
+    start/stop with the index range, intern-table stripe contention, and
+    whatever per-item events the chunk body [emit]s; lane-0 records one
+    merge event per joined worker, and all rings are absorbed in lane
+    order after the join — the basis of the per-domain trace lanes and the
+    [fsam profile] utilization report. *)

@@ -27,4 +27,5 @@ let () =
       ("par", Test_par.suite);
       ("query-index", Test_query_index.suite);
       ("prov", Test_prov.suite);
+      ("profile", Test_profile.suite);
     ]
