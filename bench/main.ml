@@ -28,6 +28,13 @@ let budget = ref 120.
 let quick = ref false
 let only : string list option ref = ref None
 
+(* --size small|large: [small] is the historical tier (suite workloads /
+   thread-scaled vf programs); [large] switches par/vf to the paper-scale
+   synthesized MiniC programs (Minic_synth, 100+ KLOC) with a single capped
+   measurement iteration per jobs value, writing BENCH_<cmd>_large.json so
+   the two tiers keep independent committed baselines. *)
+let size = ref "small"
+
 let workloads () =
   match !only with
   | None -> W.all
@@ -427,6 +434,112 @@ let par () =
          ("rows", J.List (List.rev !rows));
        ])
 
+(* Paper-scale tier: one synthesized 100+ KLOC MiniC program, a single
+   pipeline run, then the two parallel showcase regions — races detection
+   and the SVFG's [THREAD-VF] pair discovery — timed per jobs value with a
+   byte-identity assertion. One iteration per jobs value (this is a smoke
+   tier: wall times are informational, the deterministic counts are the
+   gate; speedups are only meaningful on multi-core hosts and are gated in
+   CI via bench_gate --speedup-floor). *)
+let par_large () =
+  let jobs_list = [ 1; 4 ] in
+  let cores = Fsam_par.available_jobs () in
+  let p = Fsam_workloads.Minic_synth.large in
+  let src = Fsam_workloads.Minic_synth.generate p in
+  let lines = Fsam_workloads.Minic_synth.line_count src in
+  Printf.printf
+    "Paper-scale parallel smoke: synthesized MiniC, %d lines (host has %d core(s)).\n"
+    lines cores;
+  let prog = Fsam_frontend.Lower.compile_string src in
+  Printf.printf "  IR statements: %d\n%!" (Prog.n_stmts prog);
+  let m = Measure'.run (fun () -> D.run prog) in
+  let d = m.Measure'.value in
+  Printf.printf "  pipeline (jobs=1): %.1fs\n%!" m.Measure'.wall_seconds;
+  (* races: the post-solve client fan-out *)
+  let races_runs =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let r = Fsam_core.Races.detect ~jobs d in
+        (jobs, r, Unix.gettimeofday () -. t0))
+      jobs_list
+  in
+  let _, races1, races_t1 = List.hd races_runs in
+  List.iter
+    (fun (jobs, r, _) ->
+      if r <> races1 then begin
+        Printf.eprintf "error: races reports differ at --jobs %d\n" jobs;
+        exit 1
+      end)
+    (List.tl races_runs);
+  (* svfg: rebuild just the def-use phase per jobs value on the shared
+     pipeline state — [THREAD-VF] pair discovery is its parallel region *)
+  let svfg_runs =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let g =
+          Fsam_memssa.Svfg.build ~jobs prog d.D.ast d.D.modref d.D.icfg d.D.tm d.D.mhp
+            d.D.locks d.D.pcg
+        in
+        (jobs, g, Unix.gettimeofday () -. t0))
+      jobs_list
+  in
+  let _, g1, svfg_t1 = List.hd svfg_runs in
+  List.iter
+    (fun (jobs, g, _) ->
+      if
+        Fsam_memssa.Svfg.n_edges g <> Fsam_memssa.Svfg.n_edges g1
+        || Fsam_memssa.Svfg.n_thread_aware_edges g
+           <> Fsam_memssa.Svfg.n_thread_aware_edges g1
+      then begin
+        Printf.eprintf "error: SVFG differs at --jobs %d\n" jobs;
+        exit 1
+      end)
+    (List.tl svfg_runs);
+  let races_t4 = match List.find (fun (j, _, _) -> j = 4) races_runs with _, _, t -> t in
+  let svfg_t4 = match List.find (fun (j, _, _) -> j = 4) svfg_runs with _, _, t -> t in
+  Printf.printf "  %-12s | %10s %10s | %8s\n" "region" "j=1 (s)" "j=4 (s)" "speedup4";
+  Printf.printf "  %-12s | %10.2f %10.2f | %7.2fx\n" "races" races_t1 races_t4
+    (races_t1 /. max 1e-9 races_t4);
+  Printf.printf "  %-12s | %10.2f %10.2f | %7.2fx\n\n" "svfg.pairs" svfg_t1 svfg_t4
+    (svfg_t1 /. max 1e-9 svfg_t4);
+  write_bench "BENCH_par_large.json"
+    (J.Obj
+       [
+         ("schema", J.String "fsam.bench.par_large/1");
+         ("cores", J.Int cores);
+         ("jobs", J.List (List.map (fun j -> J.Int j) jobs_list));
+         ( "rows",
+           J.List
+             [
+               J.Obj
+                 [
+                   ("program", J.String "synth_large");
+                   ("source_lines", J.Int lines);
+                   ("ir_stmts", J.Int (Prog.n_stmts prog));
+                   ("pipeline_wall_s", J.Float m.Measure'.wall_seconds);
+                   ("n_races", J.Int (List.length races1));
+                   ("svfg_edges", J.Int (Fsam_memssa.Svfg.n_edges g1));
+                   ( "svfg_thread_edges",
+                     J.Int (Fsam_memssa.Svfg.n_thread_aware_edges g1) );
+                   ("identical", J.Bool true);
+                   ( "races_wall_s",
+                     J.Obj
+                       (List.map
+                          (fun (j, _, t) -> (Printf.sprintf "j%d" j, J.Float t))
+                          races_runs) );
+                   ( "svfg_wall_s",
+                     J.Obj
+                       (List.map
+                          (fun (j, _, t) -> (Printf.sprintf "j%d" j, J.Float t))
+                          svfg_runs) );
+                   ("races_speedup_j4", J.Float (races_t1 /. max 1e-9 races_t4));
+                   ("svfg_speedup_j4", J.Float (svfg_t1 /. max 1e-9 svfg_t4));
+                 ];
+             ] );
+       ])
+
 (* ------------------------------------------------------------------------- *)
 (* vf — indexed MHP/lock query layer on thread-scaled workloads.              *)
 (* ------------------------------------------------------------------------- *)
@@ -513,12 +626,17 @@ let query_replay (d : D.t) =
   (indexed, naive)
 
 let vf () =
-  let jobs_list = [ 1; 2; 4 ] in
-  let scale = if !quick then 20 else 60 in
+  let large = !size = "large" in
+  let jobs_list = if large then [ 1; 4 ] else [ 1; 2; 4 ] in
+  (* the large tier is one paper-scale thread-scaled program: more workers
+     and a bigger sweep than vf_t32, run once per jobs value *)
+  let scale = if large then 100 else if !quick then 20 else 60 in
   let specs =
-    match !only with
-    | None -> Vf.specs
-    | Some names -> List.filter (fun (name, _) -> List.mem name names) Vf.specs
+    if large then [ ("vf_t48", 48) ]
+    else
+      match !only with
+      | None -> Vf.specs
+      | Some names -> List.filter (fun (name, _) -> List.mem name names) Vf.specs
   in
   Printf.printf
     "Thread-scaled [THREAD-VF] workloads: indexed vs naive MHP/lock query work.\n\
@@ -633,10 +751,12 @@ let vf () =
       "WARNING: work reduction on the largest workload is %.2fx, below the 2x target\n"
       !last_ratio;
   Printf.printf "\n";
-  write_bench "BENCH_vf.json"
+  write_bench
+    (if large then "BENCH_vf_large.json" else "BENCH_vf.json")
     (J.Obj
        [
-         ("schema", J.String "fsam.bench.vf/1");
+         ( "schema",
+           J.String (if large then "fsam.bench.vf_large/1" else "fsam.bench.vf/1") );
          ("quick", J.Bool !quick);
          ("scale", J.Int scale);
          ("jobs", J.List (List.map (fun j -> J.Int j) jobs_list));
@@ -827,6 +947,13 @@ let () =
     | "--only" :: v :: rest ->
       only := Some (String.split_on_char ',' v);
       parse rest
+    | "--size" :: v :: rest ->
+      if v <> "small" && v <> "large" then begin
+        Printf.eprintf "unknown --size %S (small|large)\n" v;
+        exit 1
+      end;
+      size := v;
+      parse rest
     | x :: rest -> x :: parse rest
   in
   let cmds = match parse (List.tl args) with [] -> [ "all" ] | l -> l in
@@ -837,7 +964,7 @@ let () =
       | "table2" -> table2 ()
       | "figure12" -> figure12 ()
       | "sched" -> sched ()
-      | "par" -> par ()
+      | "par" -> if !size = "large" then par_large () else par ()
       | "vf" -> vf ()
       | "prov" -> prov_bench ()
       | "micro" -> micro ()

@@ -47,8 +47,11 @@ let jobs_arg =
   let doc =
     "Number of domains for the parallelisable passes (MHP sibling seeding, \
      the SVFG's [THREAD-VF] pair discovery and the post-solve clients). 1 \
-     (the default) is the exact serial path; 0 means the runtime's \
-     recommended domain count. Reports are identical for every value."
+     (the default) runs everything in the calling domain; 0 means auto \
+     (Domain.recommended_domain_count, i.e. Fsam_par.resolve_jobs). Small \
+     inputs stay serial at any value via the adaptive sequential cutoff \
+     (FSAM_PAR_CUTOFF overrides the threshold). Reports are byte-identical \
+     for every value."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

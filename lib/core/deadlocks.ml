@@ -28,7 +28,10 @@ let detect ?(jobs = 1) d =
   let mhp = d.Driver.mhp in
   let tm = d.Driver.tm in
   let chunks =
-    Fsam_par.run_chunks ~label:"deadlocks" ~jobs ~n:(Array.length edges)
+    (* every edge scans the whole edge array for its reverse pair *)
+    Fsam_par.run_chunks ~label:"deadlocks"
+      ~weight:(fun _ -> Array.length edges)
+      ~jobs ~n:(Array.length edges)
       (fun ~lo ~hi ->
         let acc = ref [] in
         for x = lo to hi - 1 do

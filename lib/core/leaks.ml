@@ -52,7 +52,10 @@ let detect ?(jobs = 1) d =
   (* double free: two distinct free sites may release the same object, or a
      single site that can execute repeatedly *)
   let chunks =
-    Fsam_par.run_chunks ~label:"leaks" ~jobs ~n:(Array.length sites) (fun ~lo ~hi ->
+    (* triangular pair scan: site [i] probes the [n - i - 1] sites after it *)
+    Fsam_par.run_chunks ~label:"leaks"
+      ~weight:(fun i -> Array.length sites - i)
+      ~jobs ~n:(Array.length sites) (fun ~lo ~hi ->
         let acc = ref [] in
         for i = lo to hi - 1 do
           let g1, s1 = sites.(i) in

@@ -56,8 +56,21 @@ let detect ?(jobs = 1) d =
       end
     | _ -> ()
   in
+  (* Cost model for the adaptive fan-out, in probe units: every store scans
+     all accesses (the flat quadratic term, ~16 scans per unit), and stores
+     with fatter points-to sets hit the expensive common-object/MHP/lock
+     path proportionally more often — their pt cardinality is the best
+     static proxy for that skew. *)
+  let n_accesses = Array.length stores + List.length loads in
+  let weight i =
+    match Prog.stmt_at prog stores.(i) with
+    | Stmt.Store { dst; _ } ->
+      ((n_accesses + 15) / 16) + Iset.cardinal (Sparse.pt_top d.Driver.sparse dst)
+    | _ -> 1
+  in
   let chunks =
-    Fsam_par.run_chunks ~label:"races" ~jobs ~n:(Array.length stores) (fun ~lo ~hi ->
+    Fsam_par.run_chunks ~label:"races" ~weight ~jobs ~n:(Array.length stores)
+      (fun ~lo ~hi ->
         let acc = { races = []; lock_queries = 0; saved = 0 } in
         for i = lo to hi - 1 do
           let s = stores.(i) in

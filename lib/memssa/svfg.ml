@@ -352,16 +352,52 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
      probing the whole edge set per candidate. *)
   let stmt_gid = Array.make (n_nodes t) (-1) in
   Vec.iteri (fun i n -> match n with Stmt_node g -> stmt_gid.(i) <- g | _ -> ()) t.nodes;
-  let obl_pred : (int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
-  let obl_succ : (int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  (* The per-(object, gid) index of that snapshot lives in flat arena
+     structures (packed-int-keyed open-addressing map + CSR rows) rather
+     than a boxed-tuple Hashtbl of int lists: the span head/tail tests
+     probe it once per candidate access, and the flat form is probed
+     without tuple hashing or list chasing and is shared across the chunk
+     domains as a contiguous read-only snapshot. Row-id assignment order is
+     irrelevant — only row membership is ever queried. *)
+  let obl_stride = Prog.n_stmts prog in
+  let obl_edges = Arena.Buf.create ~capacity:4096 () in
   Hashtbl.iter
     (fun (src, o, dst) () ->
       let gs = stmt_gid.(src) and gd = stmt_gid.(dst) in
       if gs >= 0 && gd >= 0 then begin
-        tbl_add obl_succ (o, gs) gd;
-        tbl_add obl_pred (o, gd) gs
+        ignore (Arena.Buf.push obl_edges o);
+        ignore (Arena.Buf.push obl_edges gs);
+        ignore (Arena.Buf.push obl_edges gd)
       end)
     t.edge_set;
+  let n_obl = Arena.Buf.length obl_edges / 3 in
+  let obl_index ~key_gid ~val_gid =
+    let rows = Arena.Intmap.create ~capacity:(max 16 n_obl) () in
+    let next = ref 0 in
+    let key_of e =
+      (Arena.Buf.get obl_edges (3 * e) * obl_stride) + Arena.Buf.get obl_edges ((3 * e) + key_gid)
+    in
+    for e = 0 to n_obl - 1 do
+      ignore
+        (Arena.Intmap.find_or_add rows ~key:(key_of e) (fun () ->
+             let r = !next in
+             incr next;
+             r))
+    done;
+    let csr =
+      Arena.Csr.build ~n_rows:!next (fun emit ->
+          for e = 0 to n_obl - 1 do
+            emit
+              ~row:(Arena.Intmap.find rows ~key:(key_of e) ~default:(-1))
+              ~value:(Arena.Buf.get obl_edges ((3 * e) + val_gid))
+          done)
+    in
+    (rows, csr)
+  in
+  (* pred rows are keyed by the edge head (o, gd) holding tails gs;
+     succ rows by the tail (o, gs) holding heads gd *)
+  let obl_pred = obl_index ~key_gid:2 ~val_gid:1 in
+  let obl_succ = obl_index ~key_gid:1 ~val_gid:2 in
   let objs =
     Array.of_list (List.sort compare (Hashtbl.fold (fun o _ acc -> o :: acc) stores_of []))
   in
@@ -424,13 +460,13 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
             bump acc_cnt g;
             if is_store then bump st_cnt g)
           accs;
-        let blocked idx cnt g =
-          List.exists
-            (fun g' ->
-              match Hashtbl.find_opt cnt g' with
-              | None -> false
-              | Some c -> g' <> g || c >= 2)
-            (Option.value ~default:[] (Hashtbl.find_opt idx (o, g)))
+        let blocked (rows, csr) cnt g =
+          let row = Arena.Intmap.find rows ~key:((o * obl_stride) + g) ~default:(-1) in
+          row >= 0
+          && Arena.Csr.exists_row csr row (fun g' ->
+                 match Hashtbl.find_opt cnt g' with
+                 | None -> false
+                 | Some c -> g' <> g || c >= 2)
         in
         let hd = Hashtbl.create 8 and tl = Hashtbl.create 8 in
         List.iter
@@ -591,9 +627,27 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
     res.events <- List.rev res.events;
     res
   in
+  (* Cost model for the adaptive fan-out: an object's pair space is exactly
+     |stores| x |targets| (its accesses under [THREAD-VF], every access
+     statement in the program under the No-Value-Flow ablation) — the known
+     per-object degrees, so block boundaries land between the hot objects
+     instead of lumping them into one chunk. *)
+  let n_access_stmts =
+    let n = ref 0 in
+    Prog.iter_stmts prog (fun _ _ s ->
+        match s with Stmt.Load _ | Stmt.Store _ -> incr n | _ -> ());
+    !n
+  in
+  let pair_weight x =
+    let o = objs.(x) in
+    let deg tbl = List.length (Option.value ~default:[] (Hashtbl.find_opt tbl o)) in
+    let targets = if config.use_value_flow then deg accesses_of else n_access_stmts in
+    1 + (deg stores_of * targets)
+  in
   let chunks =
     Obs.Span.with_ ~name:"svfg.pair_discovery" (fun () ->
-        Fsam_par.run_chunks ~label:"svfg.pairs" ~jobs ~n:(Array.length objs) discover)
+        Fsam_par.run_chunks ~label:"svfg.pairs" ~weight:pair_weight ~jobs
+          ~n:(Array.length objs) discover)
   in
   (* serial in-order application of the discovered events *)
   Obs.Span.with_ ~name:"svfg.pair_apply" (fun () ->

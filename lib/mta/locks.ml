@@ -3,7 +3,7 @@ open Fsam_ir
 module A = Fsam_andersen.Solver
 module Obs = Fsam_obs
 
-type span = { sp_lock : int; sp_members : int list; sp_set : Bitvec.t }
+type span = { sp_lock : int; sp_members : int list }
 
 type t = {
   spans : span array;
@@ -59,6 +59,11 @@ let may_release ast v lock_obj = Iset.mem lock_obj (A.pt_var ast v)
 let compute prog ast tm =
   let n = Threads.n_insts tm in
   let spans = ref [] in
+  (* one scratch visited-set shared by every span exploration: spans are
+     typically a handful of instances, so a fresh length-n bitvec per span
+     would make this phase O(spans * n_insts) in allocation alone — the
+     members list tells us exactly which bits to clear between spans *)
+  let set = Bitvec.create ~capacity:n () in
   for iid = 0 to n - 1 do
     let { Threads.i_gid; _ } = Threads.inst tm iid in
     match Prog.stmt_at prog i_gid with
@@ -67,7 +72,6 @@ let compute prog ast tm =
       | None -> ()
       | Some lock_obj ->
         (* forward exploration stopping at any may-release unlock *)
-        let set = Bitvec.create ~capacity:n () in
         let members = ref [] in
         let stack = ref [ iid ] in
         Bitvec.set set iid;
@@ -90,7 +94,8 @@ let compute prog ast tm =
                 (fun j -> if Bitvec.set_if_unset set j then stack := j :: !stack)
                 (Threads.inst_succs tm i)
         done;
-        spans := { sp_lock = lock_obj; sp_members = !members; sp_set = set } :: !spans)
+        List.iter (Bitvec.clear set) !members;
+        spans := { sp_lock = lock_obj; sp_members = !members } :: !spans)
     | _ -> ()
   done;
   let spans = Array.of_list (List.rev !spans) in

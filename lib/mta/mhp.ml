@@ -111,7 +111,10 @@ let compute ?(jobs = 1) tm =
            before domains could race on the thunk *)
         ignore (Threads.inst_graph tm);
       let sibling_pairs =
-        Fsam_par.run_chunks ~label:"mhp.siblings" ~jobs ~n:nt (fun ~lo ~hi ->
+        (* triangular: thread [a] is probed against the [nt - a - 1] later ones *)
+        Fsam_par.run_chunks ~label:"mhp.siblings"
+          ~weight:(fun a -> nt - a)
+          ~jobs ~n:nt (fun ~lo ~hi ->
             let acc = ref [] in
             for a = hi - 1 downto lo do
               for b = nt - 1 downto a + 1 do

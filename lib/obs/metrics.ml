@@ -92,6 +92,13 @@ let quantile h q =
     go 0 0
   end
 
+(* Removal is for re-recorded families (per-domain [par.*.domain<i>.*]
+   gauges): a later run of the same region with fewer lanes must not leave
+   the dead lanes' values behind in the snapshot. *)
+let remove_matching p =
+  let doomed = Hashtbl.fold (fun name _ acc -> if p name then name :: acc else acc) registry [] in
+  List.iter (Hashtbl.remove registry) doomed
+
 let find_counter name =
   match Hashtbl.find_opt registry name with Some (C c) -> Some c.c_value | _ -> None
 

@@ -1,0 +1,6 @@
+external now_ns : unit -> int = "fsam_monotonic_now_ns" [@@noalloc]
+
+let now_us () = now_ns () / 1000
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+let elapsed_us ~since_us = max 0 (now_us () - since_us)
+let elapsed_s ~since_s = Float.max 0. (now_s () -. since_s)

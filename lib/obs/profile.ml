@@ -117,10 +117,16 @@ type region_stat = {
   rs_lanes : lane_stat list;
 }
 
+(* A lane may execute several blocks under the adaptive scheduler, so it
+   records one chunk_start/stop pair per block: the lane's item range is
+   the envelope of the block ranges, items and contention are summed over
+   the stops, and the busy window runs from the first start to the last
+   stop. Single-chunk rings (the chunked path) degenerate to the same
+   values as before. *)
 let lane_stat_of_ring (r : Timeline.ring) =
   let start_us = ref max_int
   and stop_us = ref min_int
-  and lo = ref 0
+  and lo = ref max_int
   and hi = ref 0
   and items = ref 0
   and contention = ref 0 in
@@ -128,15 +134,16 @@ let lane_stat_of_ring (r : Timeline.ring) =
     (fun (t, k, a, b) ->
       if k = Timeline.k_chunk_start then begin
         if t < !start_us then start_us := t;
-        lo := a;
-        hi := b
+        if a < !lo then lo := a;
+        if b > !hi then hi := b
       end
       else if k = Timeline.k_chunk_stop then begin
         if t > !stop_us then stop_us := t;
-        items := a;
-        contention := b
+        items := !items + a;
+        contention := !contention + b
       end)
     (Timeline.events r);
+  let lo = if !lo = max_int then ref 0 else lo in
   let start_us = if !start_us = max_int then 0 else !start_us in
   let stop_us = if !stop_us = min_int then start_us else !stop_us in
   {

@@ -10,7 +10,8 @@ type t = {
 
 type frame = {
   f_name : string;
-  f_start : float;
+  f_start : float; (* wall clock: absolute instant for trace alignment *)
+  f_mono : float; (* monotonic: the duration base, NTP-step immune *)
   f_cpu : float;
   f_minor : float;
   f_major : float;
@@ -32,6 +33,7 @@ let with_timed ~name f =
     {
       f_name = name;
       f_start = Unix.gettimeofday ();
+      f_mono = Monotonic.now_s ();
       f_cpu = Sys.time ();
       f_minor = Gc.minor_words ();
       f_major = gc0.Gc.major_words;
@@ -53,8 +55,8 @@ let with_timed ~name f =
       {
         name = fr.f_name;
         start_s = fr.f_start;
-        dur_s = Unix.gettimeofday () -. fr.f_start;
-        cpu_s = Sys.time () -. fr.f_cpu;
+        dur_s = Monotonic.elapsed_s ~since_s:fr.f_mono;
+        cpu_s = Float.max 0. (Sys.time () -. fr.f_cpu);
         minor_words = Gc.minor_words () -. fr.f_minor;
         major_words = gc1.Gc.major_words -. fr.f_major;
         children = List.rev fr.f_children_rev;
@@ -80,7 +82,7 @@ let snapshot () =
     (* Materialise the open stack as a chain of still-running spans: the
        innermost open frame nests inside the next one out, each with its
        already-completed children first and dur measured to now. *)
-    let now = Unix.gettimeofday () in
+    let now_mono = Monotonic.now_s () in
     let cpu = Sys.time () in
     let minor = Gc.minor_words () in
     let major = (Gc.quick_stat ()).Gc.major_words in
@@ -91,8 +93,8 @@ let snapshot () =
             {
               name = fr.f_name;
               start_s = fr.f_start;
-              dur_s = now -. fr.f_start;
-              cpu_s = cpu -. fr.f_cpu;
+              dur_s = Float.max 0. (now_mono -. fr.f_mono);
+              cpu_s = Float.max 0. (cpu -. fr.f_cpu);
               minor_words = minor -. fr.f_minor;
               major_words = major -. fr.f_major;
               children = List.rev fr.f_children_rev @ inner;

@@ -42,10 +42,14 @@ let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
 (* Timestamps are microseconds relative to the last [reset] — ints, so
-   events are fixed-width and the JSON document round-trips exactly. *)
-let epoch_s = Atomic.make 0.
-let epoch () = Atomic.get epoch_s
-let now_us () = int_of_float ((Unix.gettimeofday () -. Atomic.get epoch_s) *. 1e6)
+   events are fixed-width and the JSON document round-trips exactly. The
+   interval comes from the monotonic clock (an NTP step must not produce
+   backwards-travelling lanes); [epoch] keeps the absolute wall-clock
+   instant of the reset for trace alignment. *)
+let epoch_mono_us = Atomic.make 0
+let epoch_wall_s = Atomic.make 0.
+let epoch () = Atomic.get epoch_wall_s
+let now_us () = Monotonic.elapsed_us ~since_us:(Atomic.get epoch_mono_us)
 
 let default_cap = 4096
 
@@ -102,7 +106,8 @@ let collected () =
 
 let reset () =
   collected_rev := [];
-  Atomic.set epoch_s (Unix.gettimeofday ())
+  Atomic.set epoch_mono_us (Monotonic.now_us ());
+  Atomic.set epoch_wall_s (Unix.gettimeofday ())
 
 (* [with_ring ~region ~lane f]: install a fresh ring for the calling domain,
    run [f], uninstall and absorb it. Used for serial phases (merge/absorb

@@ -54,6 +54,8 @@ val epoch : unit -> float
     microseconds since this instant. *)
 
 val now_us : unit -> int
+(** Microseconds since the last {!reset}, measured on the {!Monotonic}
+    clock (never negative, immune to NTP steps). *)
 
 (** {1 Rings} *)
 

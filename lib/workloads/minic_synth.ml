@@ -1,0 +1,184 @@
+type params = {
+  seed : int;
+  modules : int;
+  chain_depth : int;
+  stmts_per_fn : int;
+  globals_per_module : int;
+  threads : int;
+  bridge_every : int;
+  locked_pct : int;
+}
+
+let quick =
+  {
+    seed = 1;
+    modules = 6;
+    chain_depth = 4;
+    stmts_per_fn = 40;
+    globals_per_module = 6;
+    threads = 4;
+    bridge_every = 24;
+    locked_pct = 60;
+  }
+
+let large =
+  {
+    seed = 1;
+    modules = 40;
+    chain_depth = 10;
+    stmts_per_fn = 200;
+    globals_per_module = 10;
+    threads = 8;
+    bridge_every = 40;
+    locked_pct = 60;
+  }
+
+let n_bridge = 4
+
+let line_count s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  !n
+
+(* The load-bearing scaling property: module global spaces are disjoint and
+   the cross-module bridge is contamination-limited, so points-to sets stay
+   bounded as the program grows and analysis cost stays roughly linear.
+   Bridge WRITES publish only the module's own heap handle; bridge READS
+   land in a dead-end sink local that is dereferenced (so the value-flow
+   phase sees real cross-module, cross-thread def-use on the heap objects)
+   but never copied onward (so the bridge's program-wide points-to set
+   cannot leak into module-local webs and snowball). *)
+let generate p =
+  let rng = Random.State.make [| p.seed; 0x5F3A; p.modules; p.chain_depth |] in
+  let buf = Buffer.create (p.modules * p.chain_depth * p.stmts_per_fn * 24) in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let gpm = max 3 p.globals_per_module in
+  (* ---- globals: per-module private spaces + the shared bridge ---- *)
+  for m = 0 to p.modules - 1 do
+    for g = 0 to gpm - 1 do
+      pr "int *g%d_%d;\n" m g
+    done;
+    pr "int *arr%d[4];\n" m;
+    pr "lock_t lk%d;\n" m
+  done;
+  for b = 0 to n_bridge - 1 do
+    pr "int *bridge%d;\n" b
+  done;
+  pr "lock_t bridge_lock;\n";
+  pr "thread_t tids[%d];\n" (max 1 p.threads);
+  (* ---- per-module allocator: one heap object per module bounds fan-in ---- *)
+  for m = 0 to p.modules - 1 do
+    pr "int *mk%d() {\n  int *h;\n  h = malloc();\n  return h;\n}\n" m
+  done;
+  (* ---- pulse: a tiny fixed-size worker that main loop-forks. It is the
+     one multi-instance thread (Definition 1) — self-parallel, so its own
+     bare bridge traffic races with itself — and because it is never
+     joined it stays parallel with everything after the join barrier. Its
+     constant size keeps that always-parallel surface from growing with
+     the program. ---- *)
+  pr "int *pulse_h;\n";
+  pr "void pulse(int *arg) {\n";
+  pr "  int *q;\n  int *qs;\n";
+  pr "  q = malloc();\n";
+  pr "  pulse_h = q;\n";
+  pr "  bridge0 = q;\n";
+  pr "  qs = bridge1;\n";
+  pr "  lock(&bridge_lock);\n  bridge2 = q;\n  unlock(&bridge_lock);\n";
+  pr "}\n";
+  (* ---- module chains, deepest callee first ---- *)
+  let fname m d = Printf.sprintf "f%d_%d" m d in
+  for m = 0 to p.modules - 1 do
+    for d = p.chain_depth - 1 downto 0 do
+      pr "void %s(int *arg) {\n" (fname m d);
+      let n_locals = max 3 (p.stmts_per_fn / 8) in
+      for l = 0 to n_locals - 1 do
+        pr "  int c%d;\n  int *p%d;\n  p%d = &c%d;\n" l l l l
+      done;
+      pr "  int *bh;\n  int *bsink;\n  int *bdead;\n";
+      pr "  bh = mk%d();\n" m;
+      pr "  bsink = bh;\n";
+      (* window-limited global footprint: this function only touches a
+         3-wide slice of the module's global space *)
+      let base = d * 3 mod gpm in
+      let gv k = Printf.sprintf "g%d_%d" m ((base + k) mod gpm) in
+      let pv k = Printf.sprintf "p%d" (k mod n_locals) in
+      (* one bridge READ per chain head: the deref gives the value-flow
+         phase cross-module def-use on the published heap handles while
+         keeping each heap object's cross-thread access degree O(modules),
+         not O(statements) *)
+      if d = 0 then begin
+        let b = Random.State.int rng n_bridge in
+        pr "  bsink = bridge%d;\n" b;
+        pr "  bdead = *bsink;\n"
+      end;
+      let stmts = ref 0 in
+      let emit_one k =
+        incr stmts;
+        if p.bridge_every > 0 && !stmts mod p.bridge_every = 0 then begin
+          (* bridge WRITE: publish the module handle; a locked_pct slice is
+             properly guarded, the rest are the planted races *)
+          let b = Random.State.int rng n_bridge in
+          let locked = Random.State.int rng 100 < p.locked_pct in
+          if locked then pr "  lock(&bridge_lock);\n";
+          pr "  bridge%d = bh;\n" b;
+          if locked then pr "  unlock(&bridge_lock);\n"
+        end
+        else
+          match Random.State.int rng 16 with
+          | 0 | 1 -> pr "  %s = &c%d;\n" (pv k) (k mod n_locals)
+          | 2 | 3 -> pr "  %s = %s;\n" (gv k) (pv (k + 1))
+          | 4 | 5 -> pr "  %s = %s;\n" (pv k) (gv (k + 1))
+          | 6 -> pr "  *%s = %s;\n" (pv k) (pv (k + 1))
+          | 7 -> pr "  %s = *%s;\n" (pv k) (pv (k + 1))
+          | 8 -> pr "  %s = bh;\n" (pv k)
+          | 9 -> pr "  arr%d[1] = %s;\n" m (pv k)
+          | 10 -> pr "  %s = arr%d[0];\n" (pv k) m
+          | 11 ->
+            (* module-lock cluster: guarded private-global handoff *)
+            pr "  lock(&lk%d);\n  %s = %s;\n  %s = %s;\n  unlock(&lk%d);\n" m (gv k)
+              (pv k)
+              (pv (k + 1))
+              (gv (k + 1))
+              m
+          | 12 -> pr "  %s = arg;\n" (pv k)
+          | _ -> pr "  %s = %s;\n" (pv k) (pv (k + 1))
+      in
+      for k = 0 to p.stmts_per_fn - 1 do
+        emit_one k
+      done;
+      if d + 1 < p.chain_depth then
+        if Random.State.bool rng then pr "  %s(%s);\n" (fname m (d + 1)) (pv 0)
+        else
+          (* two call sites: call-graph fan without recursion *)
+          pr "  if (nondet()) {\n    %s(%s);\n  } else {\n    %s(%s);\n  }\n"
+            (fname m (d + 1)) (pv 0)
+            (fname m (d + 1))
+            (pv 1);
+      pr "}\n"
+    done;
+    pr "void worker%d(int *arg) {\n  f%d_0(arg);\n}\n" m m
+  done;
+  (* ---- main: fork the threaded chains, then (after the joins, so the
+     bulk of the code is only parallel with the threaded window and the
+     never-joined pulse) walk the remaining chains serially. Every chain
+     gets its own seed allocation so [arg] stays module-private — a single
+     shared seed would be accessed by every statement of every thread, one
+     giant-degree object that swamps pair discovery. ---- *)
+  pr "int main() {\n  int i;\n  int *out;\n";
+  let nt = min p.threads p.modules in
+  for m = 0 to p.modules - 1 do
+    pr "  int *seed%d;\n  seed%d = malloc();\n" m m
+  done;
+  for t = 0 to nt - 1 do
+    pr "  fork(&tids[%d], worker%d, seed%d);\n" t t t
+  done;
+  pr "  while (nondet()) {\n    fork(null, pulse, seed0);\n  }\n";
+  for t = 0 to nt - 1 do
+    pr "  join(&tids[%d]);\n" t
+  done;
+  for m = nt to p.modules - 1 do
+    pr "  f%d_0(seed%d);\n" m m
+  done;
+  pr "  out = bridge%d;\n" (n_bridge - 1);
+  pr "  return 0;\n}\n";
+  Buffer.contents buf

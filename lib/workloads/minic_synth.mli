@@ -1,0 +1,44 @@
+(** Parameterized MiniC program synthesizer for paper-scale workloads.
+
+    Where {!Rand_minic} draws a small random program per seed (good for
+    property tests) and {!Minic_suite} renders three fixed skeletons, this
+    module grows structured programs to arbitrary size: [modules]
+    independent call chains of [chain_depth] functions, each function
+    carrying [stmts_per_fn] statements of mostly module-local pointer
+    traffic with window-limited global footprints, periodic accesses to a
+    small set of cross-module {e bridge} globals (a tunable fraction under
+    a shared lock — the rest are the rateable races), and a fork/join
+    harness that runs the first [threads] chains concurrently (one of them
+    multi-forked in a loop) while [main] walks the remaining chains
+    serially so every statement stays reachable.
+
+    The disjoint per-module global spaces keep points-to sets and per-object
+    access degrees bounded as the program grows, so analysis cost scales
+    roughly linearly with [KLOC] — which is what makes the 100+ KLOC tier
+    feasible while still giving the parallel pair-discovery phases real
+    work (the bridge objects have program-wide fan-in).
+
+    Output is deterministic in [params] (including [seed]). *)
+
+type params = {
+  seed : int;
+  modules : int;  (** independent call chains with disjoint global spaces *)
+  chain_depth : int;  (** functions per chain, each calling the next *)
+  stmts_per_fn : int;  (** statement lines per function body *)
+  globals_per_module : int;  (** size of a module's private global space *)
+  threads : int;
+      (** forked workers; worker [t] runs chain [t mod modules], chains
+          beyond [threads] run serially from [main] *)
+  bridge_every : int;  (** one bridge-global access per this many statements *)
+  locked_pct : int;  (** percentage of bridge accesses under the bridge lock *)
+}
+
+val quick : params  (** a few KLOC — unit tests and the small bench tier *)
+
+val large : params  (** 100+ KLOC — the paper-scale bench tier *)
+
+val generate : params -> string
+(** Render the program text. Deterministic. *)
+
+val line_count : string -> int
+(** Number of newline-terminated lines — the KLOC measure used in docs. *)

@@ -161,9 +161,76 @@ let prop_uf_model =
       done;
       !ok)
 
+(* -- Arena flat stores ----------------------------------------------------- *)
+
+let test_arena_buf () =
+  let open Fsam_dsa.Arena in
+  let b = Buf.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (Buf.push b (i * 3))
+  done;
+  Alcotest.(check int) "length" 100 (Buf.length b);
+  Alcotest.(check int) "get" 42 (Buf.get b 14);
+  Buf.set b 14 7;
+  Alcotest.(check int) "set/get" 7 (Buf.get b 14);
+  let a = Buf.to_array b in
+  Alcotest.(check int) "to_array length" 100 (Array.length a);
+  Alcotest.(check int) "to_array content" 297 a.(99)
+
+let prop_arena_intmap_model =
+  QCheck.Test.make ~count:100 ~name:"Arena.Intmap behaves like Hashtbl"
+    QCheck.(list (pair (int_bound 1000) (int_bound 10_000)))
+    (fun ops ->
+      let open Fsam_dsa.Arena in
+      let m = Intmap.create ~capacity:2 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Intmap.set m ~key:k v;
+          Hashtbl.replace h k v)
+        ops;
+      Intmap.length m = Hashtbl.length h
+      && List.for_all
+           (fun (k, _) ->
+             Intmap.find m ~key:k ~default:(-1) = Hashtbl.find h k
+             && Intmap.find_or_add m ~key:k (fun () -> -2) = Hashtbl.find h k)
+           ops
+      && Intmap.find m ~key:5000 ~default:(-1) = Option.value ~default:(-1) (Hashtbl.find_opt h 5000)
+      &&
+      (* iter visits exactly the live bindings *)
+      let seen = Hashtbl.create 16 in
+      Intmap.iter m (fun ~key v -> Hashtbl.replace seen key v);
+      Hashtbl.length seen = Hashtbl.length h
+      && Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt seen k = Some v) h true)
+
+let prop_arena_csr_model =
+  QCheck.Test.make ~count:100 ~name:"Arena.Csr matches list adjacency"
+    QCheck.(pair (1 -- 20) (list (pair (int_bound 19) (int_bound 50))))
+    (fun (n_rows, edges) ->
+      let open Fsam_dsa.Arena in
+      let edges = List.filter (fun (r, _) -> r < n_rows) edges in
+      let csr = Csr.build ~n_rows (fun emit -> List.iter (fun (r, v) -> emit ~row:r ~value:v) edges) in
+      let row r = List.filter_map (fun (r', v) -> if r' = r then Some v else None) edges in
+      Csr.n_rows csr = n_rows
+      && List.for_all
+           (fun r ->
+             let expect = row r in
+             let got = ref [] in
+             Csr.iter_row csr r (fun v -> got := v :: !got);
+             Csr.degree csr r = List.length expect
+             && List.sort compare !got = List.sort compare expect
+             && List.for_all (fun v -> Csr.mem_row csr r v) expect
+             && Csr.mem_row csr r 77 = List.mem 77 expect
+             && Csr.exists_row csr r (fun v -> v mod 7 = 0)
+                = List.exists (fun v -> v mod 7 = 0) expect)
+           (List.init n_rows Fun.id))
+
 let suite =
   [
     Alcotest.test_case "bitvec basics" `Quick test_bitvec_basics;
+    Alcotest.test_case "arena buf" `Quick test_arena_buf;
+    QCheck_alcotest.to_alcotest prop_arena_intmap_model;
+    QCheck_alcotest.to_alcotest prop_arena_csr_model;
     Alcotest.test_case "bitvec union" `Quick test_bitvec_union;
     Alcotest.test_case "bitvec iter/clear" `Quick test_bitvec_iter;
     Alcotest.test_case "union-find" `Quick test_uf;

@@ -17,7 +17,9 @@ module Iset = Fsam_dsa.Iset
 let test_run_chunks_decomposition () =
   List.iter
     (fun (n, jobs) ->
-      let chunks = Fsam_par.run_chunks ~jobs ~n (fun ~lo ~hi -> (lo, hi)) in
+      let chunks =
+        Fsam_par.run_chunks ~strategy:Fsam_par.Chunked ~jobs ~n (fun ~lo ~hi -> (lo, hi))
+      in
       (* contiguous cover of [0, n) in order, sizes differing by <= 1 *)
       let expected_k = max 1 (min jobs n) in
       Alcotest.(check int)
@@ -40,21 +42,32 @@ let test_run_chunks_decomposition () =
 
 let test_run_chunks_ordered_merge () =
   (* concatenating per-chunk accumulators in chunk order must equal the
-     serial left-to-right traversal, for any jobs value *)
+     serial left-to-right traversal, for any jobs value and both
+     strategies; the adaptive run uses a tiny cutoff and skewed weights so
+     the work-stealing path actually engages *)
   let n = 237 in
   let serial = List.init n (fun i -> i * i) in
+  let body ~lo ~hi =
+    List.init (hi - lo) (fun k ->
+        let i = lo + k in
+        i * i)
+  in
   List.iter
     (fun jobs ->
-      let merged =
-        List.concat
-          (Fsam_par.run_chunks ~jobs ~n (fun ~lo ~hi ->
-               List.init (hi - lo) (fun k ->
-                   let i = lo + k in
-                   i * i)))
-      in
-      Alcotest.(check (list int))
-        (Printf.sprintf "jobs=%d merge" jobs)
-        serial merged)
+      List.iter
+        (fun (name, run) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s jobs=%d merge" name jobs)
+            serial
+            (List.concat (run jobs)))
+        [
+          ("chunked", fun jobs -> Fsam_par.run_chunks ~strategy:Fsam_par.Chunked ~jobs ~n body);
+          ( "adaptive",
+            fun jobs ->
+              Fsam_par.run_chunks ~strategy:Fsam_par.Adaptive ~cutoff:16
+                ~weight:(fun i -> 1 + (i mod 7))
+                ~jobs ~n body );
+        ])
     [ 1; 2; 3; 4; 8 ]
 
 let test_run_chunks_serial_path () =
@@ -63,7 +76,95 @@ let test_run_chunks_serial_path () =
   let self = Domain.self () in
   let ran_in = ref None in
   ignore (Fsam_par.run_chunks ~jobs:1 ~n:5 (fun ~lo:_ ~hi:_ -> ran_in := Some (Domain.self ())));
-  Alcotest.(check bool) "jobs=1 stays on the calling domain" true (!ran_in = Some self)
+  Alcotest.(check bool) "jobs=1 stays on the calling domain" true (!ran_in = Some self);
+  (* sub-cutoff work stays on the calling domain even at jobs=4 *)
+  let lanes = ref [] in
+  ignore
+    (Fsam_par.run_chunks ~strategy:Fsam_par.Adaptive ~jobs:4 ~n:64 (fun ~lo:_ ~hi:_ ->
+         lanes := Domain.self () :: !lanes));
+  Alcotest.(check bool) "sub-cutoff jobs=4 stays on the calling domain" true
+    (!lanes = [ self ])
+
+(* -- adaptive plan and cutoff ---------------------------------------------- *)
+
+let test_plan_invariants () =
+  (* boundaries cover [0, n) monotonically; below-cutoff plans are the
+     single serial block; the block count respects the caps *)
+  List.iter
+    (fun (n, cutoff, wf) ->
+      let bounds = Fsam_par.plan ~weight:wf ~cutoff ~n () in
+      let nb = Array.length bounds - 1 in
+      Alcotest.(check int) "starts at 0" 0 bounds.(0);
+      Alcotest.(check int) "ends at n" n bounds.(nb);
+      Array.iteri
+        (fun i b -> if i > 0 then Alcotest.(check bool) "monotone" true (b >= bounds.(i - 1)))
+        bounds;
+      Alcotest.(check bool) "block cap" true (nb <= max 1 (min n 256));
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        total := !total + max 0 (wf i)
+      done;
+      if !total < cutoff then
+        Alcotest.(check int) (Printf.sprintf "n=%d below cutoff is serial" n) 1 nb;
+      (* purity: same inputs, same plan *)
+      Alcotest.(check bool) "pure" true (bounds = Fsam_par.plan ~weight:wf ~cutoff ~n ()))
+    [
+      (0, 100, fun _ -> 1);
+      (1, 0, fun _ -> 1000);
+      (50, 1000, fun _ -> 1);
+      (50, 10, fun _ -> 1);
+      (1000, 64, fun i -> i mod 13);
+      (10_000, 65536, fun _ -> 9);
+      (300, 8, fun i -> if i = 7 then 10_000 else 1);
+    ]
+
+let test_adaptive_ranges_jobs_invariant () =
+  (* the exact (lo, hi) ranges f is called on — and their order in the
+     result — must not depend on jobs: per-block caches and counters hinge
+     on this *)
+  let ranges jobs =
+    Fsam_par.run_chunks ~strategy:Fsam_par.Adaptive ~cutoff:32
+      ~weight:(fun i -> 1 + (i mod 5))
+      ~jobs ~n:500
+      (fun ~lo ~hi -> (lo, hi))
+  in
+  let base = ranges 1 in
+  Alcotest.(check bool) "above cutoff: really decomposed" true (List.length base > 1);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ranges identical at jobs=%d" jobs)
+        true
+        (ranges jobs = base))
+    [ 2; 4; 8 ]
+
+let test_cutoff_fires_no_domain_gauges () =
+  (* satellite: a sub-threshold input at jobs=4 must not spawn (no
+     par.<label>.domain1.* gauges), and a later narrow run of the same
+     region must clear the stale wide-run gauges *)
+  Fsam_obs.Metrics.reset ();
+  let label = "cutofftest" in
+  let body ~lo ~hi = hi - lo in
+  (* wide run first: cutoff 0 forces the parallel path, leaving domain1+ *)
+  ignore
+    (Fsam_par.run_chunks ~label ~strategy:Fsam_par.Adaptive ~cutoff:0 ~jobs:4 ~n:600 body);
+  Alcotest.(check bool) "wide run recorded domain1" true
+    (Fsam_obs.Metrics.find_gauge "par.cutofftest.domain1.wall_us" <> None);
+  (* sub-threshold run: serial, and the stale per-domain gauges are gone *)
+  ignore (Fsam_par.run_chunks ~label ~strategy:Fsam_par.Adaptive ~jobs:4 ~n:100 body);
+  Alcotest.(check int) "cutoff engaged: one lane"
+    1
+    (Option.get (Fsam_obs.Metrics.find_gauge "par.cutofftest.chunks"));
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no stale %s" g)
+        true
+        (Fsam_obs.Metrics.find_gauge (Printf.sprintf "par.cutofftest.%s" g) = None))
+    [ "domain1.wall_us"; "domain1.items"; "domain2.wall_us"; "domain3.items" ];
+  Alcotest.(check bool) "domain0 still attributed" true
+    (Fsam_obs.Metrics.find_gauge "par.cutofftest.domain0.items" = Some 100);
+  Fsam_obs.Metrics.reset ()
 
 (* -- Iset domain safety --------------------------------------------------- *)
 
@@ -189,6 +290,43 @@ let prop_iset_concurrent_canonical =
       let u0, i0, d0 = work () in
       List.for_all (fun (u, i, d) -> u == u0 && i == i0 && d == d0) results)
 
+(* qcheck: the work-stealing scheduler must be observationally identical to
+   the chunked reference — races report and SVFG edge counts byte-identical
+   for jobs 1/2/4/8 on random MiniC. The cutoff is dropped to 8 so the
+   adaptive path really decomposes and steals even on tiny programs. *)
+let prop_adaptive_matches_chunked =
+  QCheck.Test.make ~count:8 ~name:"adaptive == chunked digests (random MiniC, jobs 1/2/4/8)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src = Fsam_workloads.Rand_minic.generate ~seed ~size:14 in
+      let prog = Fsam_frontend.Lower.compile_string src in
+      let digest strategy jobs =
+        let saved_s = Fsam_par.default_strategy () and saved_c = Fsam_par.cutoff () in
+        Fsam_par.set_default_strategy strategy;
+        Fsam_par.set_cutoff 8;
+        Fun.protect
+          ~finally:(fun () ->
+            Fsam_par.set_default_strategy saved_s;
+            Fsam_par.set_cutoff saved_c)
+          (fun () ->
+            let d = D.run ~config:{ D.default_config with D.jobs } prog in
+            let races =
+              String.concat "\n"
+                (List.map
+                   (Format.asprintf "%a" (Fsam_core.Races.pp_race d))
+                   (Fsam_core.Races.detect ~jobs d))
+            in
+            ( races,
+              Fsam_memssa.Svfg.n_edges d.D.svfg,
+              Fsam_memssa.Svfg.n_thread_aware_edges d.D.svfg ))
+      in
+      let reference = digest Fsam_par.Chunked 1 in
+      List.for_all
+        (fun jobs ->
+          digest Fsam_par.Chunked jobs = reference
+          && digest Fsam_par.Adaptive jobs = reference)
+        [ 1; 2; 4; 8 ])
+
 let test_clients_deterministic_workload () =
   (* one real benchmark end-to-end, including the rendered report *)
   let spec = Option.get (Fsam_workloads.Suite.find "word_count") in
@@ -211,6 +349,11 @@ let suite =
     Alcotest.test_case "run_chunks decomposition" `Quick test_run_chunks_decomposition;
     Alcotest.test_case "run_chunks ordered merge" `Quick test_run_chunks_ordered_merge;
     Alcotest.test_case "run_chunks serial path" `Quick test_run_chunks_serial_path;
+    Alcotest.test_case "adaptive plan invariants" `Quick test_plan_invariants;
+    Alcotest.test_case "adaptive ranges jobs-invariant" `Quick
+      test_adaptive_ranges_jobs_invariant;
+    Alcotest.test_case "cutoff fires, stale domain gauges cleared" `Quick
+      test_cutoff_fires_no_domain_gauges;
     Alcotest.test_case "iset concurrent hash-consing" `Quick test_iset_concurrent_hashcons;
     Alcotest.test_case "iset concurrent fixpoint contract" `Quick
       test_iset_concurrent_fixpoint_contract;
@@ -221,5 +364,6 @@ let suite =
     Alcotest.test_case "clients deterministic (word_count report)" `Quick
       test_clients_deterministic_workload;
     QCheck_alcotest.to_alcotest prop_clients_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_adaptive_matches_chunked;
     QCheck_alcotest.to_alcotest prop_iset_concurrent_canonical;
   ]

@@ -66,7 +66,8 @@ let test_par_merge_ordering () =
   with_profiling (fun () ->
       let n = 103 and jobs = 4 in
       let sums =
-        Fsam_par.run_chunks ~label:"tmerge" ~jobs ~n (fun ~lo ~hi ->
+        Fsam_par.run_chunks ~label:"tmerge" ~strategy:Fsam_par.Chunked ~jobs ~n
+          (fun ~lo ~hi ->
             let s = ref 0 in
             for i = lo to hi - 1 do
               Tl.emit ~kind:Tl.k_item ~a:i ~b:0;

@@ -103,6 +103,41 @@ let test_workloads_deterministic () =
     (Fsam_core.Sparse.pts_entries d1.D.sparse)
     (Fsam_core.Sparse.pts_entries d2.D.sparse)
 
+(* Minic_synth: the parameterized source-level synthesizer behind the
+   bench --size large tier. A scaled-down parameter set keeps these quick. *)
+module Synth = Fsam_workloads.Minic_synth
+
+let synth_tiny =
+  { Synth.quick with Synth.modules = 3; chain_depth = 3; stmts_per_fn = 16 }
+
+let test_synth_deterministic () =
+  let s1 = Synth.generate synth_tiny and s2 = Synth.generate synth_tiny in
+  Alcotest.(check bool) "same source text" true (String.equal s1 s2);
+  Alcotest.(check bool) "nontrivial program" true (Synth.line_count s1 > 100);
+  let other = Synth.generate { synth_tiny with Synth.seed = 2 } in
+  Alcotest.(check bool) "seed changes the program" false (String.equal s1 other)
+
+let test_synth_scales_with_params () =
+  let bigger = Synth.generate { synth_tiny with Synth.modules = 6 } in
+  Alcotest.(check bool) "more modules, more lines" true
+    (Synth.line_count bigger > Synth.line_count (Synth.generate synth_tiny))
+
+let test_synth_compiles_and_analyzes () =
+  let prog = Fsam_frontend.Lower.compile_string (Synth.generate synth_tiny) in
+  (match Validate.check prog with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "synth invalid: %s" (String.concat "; " es));
+  let d = D.run prog in
+  Alcotest.(check bool) "synth forks threads" true
+    (Fsam_mta.Threads.n_threads d.D.tm > 1);
+  Alcotest.(check bool) "synth has lock spans" true
+    (Fsam_mta.Locks.n_spans d.D.locks > 0);
+  (* the synthesized races are deterministic: a second full run agrees *)
+  let races1 = Fsam_core.Races.detect ~jobs:1 d in
+  let d2 = D.run (Fsam_frontend.Lower.compile_string (Synth.generate synth_tiny)) in
+  let races2 = Fsam_core.Races.detect ~jobs:1 d2 in
+  Alcotest.(check bool) "race report stable" true (races1 = races2)
+
 let test_scaling_monotone () =
   let s = Option.get (W.find "kmeans") in
   let small_p = s.build 20 and big_p = s.build 40 in
@@ -120,4 +155,8 @@ let suite =
     Alcotest.test_case "x264 indirect calls" `Quick test_x264_indirect_calls;
     Alcotest.test_case "generators deterministic" `Quick test_workloads_deterministic;
     Alcotest.test_case "scaling monotone" `Quick test_scaling_monotone;
+    Alcotest.test_case "minic_synth deterministic" `Quick test_synth_deterministic;
+    Alcotest.test_case "minic_synth scales with params" `Quick test_synth_scales_with_params;
+    Alcotest.test_case "minic_synth compiles and analyzes" `Quick
+      test_synth_compiles_and_analyzes;
   ]

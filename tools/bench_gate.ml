@@ -9,7 +9,10 @@
      default: these must never drift silently;
    - ratio metrics (keys containing "speedup" or "ratio") are
      machine-sensitive, so they are gated only when --ratio-tolerance PCT
-     is given (relative drift beyond PCT fails);
+     is given (relative drift beyond PCT fails); additionally,
+     --speedup-floor F gates every "speedup" key by an absolute one-sided
+     floor — the fresh value must be >= F regardless of the baseline (the
+     multi-core CI contract "parallelism must pay at least F x");
    - timing/size metrics (suffixes _s, _us, _mb, _pct, or key "seconds")
      are informational unless --wall-tolerance PCT is given;
    - bookkeeping keys (git_commit, schema, quick, budget_s, scale, cores,
@@ -101,7 +104,8 @@ let pp_leaf = function
 (* Align two row lists by the "program" field when every row has one. *)
 let row_key j = match J.member "program" j with Some (J.String s) -> Some s | _ -> None
 
-let rec compare_tree ~ratio_tol ~wall_tol v path base fresh =
+let rec compare_tree ~ratio_tol ~wall_tol ~speedup_floor v path base fresh =
+  let recurse = compare_tree ~ratio_tol ~wall_tol ~speedup_floor v in
   match (base, fresh) with
   | J.Obj bs, J.Obj fs ->
     List.iter
@@ -110,7 +114,7 @@ let rec compare_tree ~ratio_tol ~wall_tol v path base fresh =
         if List.mem k skip_subtrees then ()
         else
           match List.assoc_opt k fs with
-          | Some fv -> compare_tree ~ratio_tol ~wall_tol v p bv fv
+          | Some fv -> recurse p bv fv
           | None -> fail v "%s: key missing from fresh document" p)
       bs;
     List.iter
@@ -126,7 +130,7 @@ let rec compare_tree ~ratio_tol ~wall_tol v path base fresh =
         let key = Option.get (row_key br) in
         let p = Printf.sprintf "%s[%s]" path key in
         match List.find_opt (fun fr -> row_key fr = Some key) fs with
-        | Some fr -> compare_tree ~ratio_tol ~wall_tol v p br fr
+        | Some fr -> recurse p br fr
         | None -> fail v "%s: row missing from fresh document" p)
       bs;
     List.iter
@@ -140,14 +144,22 @@ let rec compare_tree ~ratio_tol ~wall_tol v path base fresh =
       fail v "%s: length %d -> %d" path (List.length bs) (List.length fs)
     else
       List.iteri
-        (fun i (bv, fv) ->
-          compare_tree ~ratio_tol ~wall_tol v (Printf.sprintf "%s[%d]" path i) bv fv)
+        (fun i (bv, fv) -> recurse (Printf.sprintf "%s[%d]" path i) bv fv)
         (List.combine bs fs)
   | _ -> (
     match classify path with
     | Skip -> ()
-    | Ratio -> (
-      match (ratio_tol, num_of base, num_of fresh) with
+    | Ratio ->
+      let leaf =
+        match List.rev (String.split_on_char '.' path) with l :: _ -> l | [] -> path
+      in
+      (match (speedup_floor, num_of fresh) with
+      | Some floor, Some b when contains "speedup" leaf ->
+        v.gated <- v.gated + 1;
+        if b < floor then
+          fail v "%s: speedup %.2fx below the %.2fx floor" path b floor
+      | _ -> ());
+      (match (ratio_tol, num_of base, num_of fresh) with
       | Some tol, Some a, Some b ->
         v.gated <- v.gated + 1;
         let d = rel_drift a b in
@@ -174,9 +186,9 @@ let rec compare_tree ~ratio_tol ~wall_tol v path base fresh =
       if not (J.equal base fresh) then
         fail v "%s: %s -> %s (gated exactly)" path (pp_leaf base) (pp_leaf fresh))
 
-let run_compare ~ratio_tol ~wall_tol base fresh =
+let run_compare ?(speedup_floor = None) ~ratio_tol ~wall_tol base fresh =
   let v = { failures = []; notes = []; gated = 0 } in
-  compare_tree ~ratio_tol ~wall_tol v "" base fresh;
+  compare_tree ~ratio_tol ~wall_tol ~speedup_floor v "" base fresh;
   v.failures <- List.rev v.failures;
   v.notes <- List.rev v.notes;
   v
@@ -268,7 +280,7 @@ let self_test path =
 let usage () =
   prerr_endline
     "usage: bench_gate --baseline FILE --fresh FILE [--ratio-tolerance PCT]\n\
-    \       [--wall-tolerance PCT] [--report FILE]\n\
+    \       [--wall-tolerance PCT] [--speedup-floor X] [--report FILE]\n\
     \       bench_gate --self-test FILE";
   exit 2
 
@@ -277,6 +289,7 @@ let () =
   and fresh = ref None
   and ratio_tol = ref None
   and wall_tol = ref None
+  and speedup_floor = ref None
   and report = ref None
   and selftest = ref None in
   let rec parse = function
@@ -295,6 +308,10 @@ let () =
       wall_tol := float_of_string_opt v;
       if !wall_tol = None then usage ();
       parse rest
+    | "--speedup-floor" :: v :: rest ->
+      speedup_floor := float_of_string_opt v;
+      if !speedup_floor = None then usage ();
+      parse rest
     | "--report" :: v :: rest ->
       report := Some v;
       parse rest
@@ -307,7 +324,10 @@ let () =
   match (!selftest, !baseline, !fresh) with
   | Some path, None, None -> self_test path
   | None, Some b, Some f ->
-    let v = run_compare ~ratio_tol:!ratio_tol ~wall_tol:!wall_tol (load b) (load f) in
+    let v =
+      run_compare ~speedup_floor:!speedup_floor ~ratio_tol:!ratio_tol
+        ~wall_tol:!wall_tol (load b) (load f)
+    in
     print_report ~report:!report ~baseline:b ~fresh:f v;
     if v.failures <> [] then exit 1
   | _ -> usage ()
