@@ -823,6 +823,91 @@ let interp_cmd =
     (Cmd.info "interp" ~doc:"Execute a program under a random thread schedule")
     Term.(const interp $ source_arg $ seed)
 
+(* -- serve --------------------------------------------------------------------- *)
+
+let serve program jobs differential provenance batch socket crash_telemetry =
+  let eng = Fsam_serve.Engine.create ~jobs ~provenance ~differential () in
+  (match program with
+  | None -> ()
+  | Some source ->
+    let text =
+      match Fsam_workloads.Suite.find source with
+      | Some _ ->
+        Printf.eprintf
+          "error: %S is an IR-level benchmark; serve needs MiniC source (a file, \
+           or load with {\"synth\": ...})\n"
+          source;
+        exit 1
+      | None -> (
+        try read_file source
+        with Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1)
+    in
+    (match Fsam_serve.Engine.load eng text with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1));
+  let srv = Fsam_serve.Protocol.create ?crash_telemetry eng in
+  match (batch, socket) with
+  | Some _, Some _ ->
+    Printf.eprintf "error: --batch and --socket are mutually exclusive\n";
+    exit 1
+  | Some file, None -> Fsam_serve.Protocol.serve_batch srv file
+  | None, Some path -> Fsam_serve.Protocol.serve_socket srv path
+  | None, None -> Fsam_serve.Protocol.serve_stdio srv
+
+let serve_cmd =
+  let program =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"MiniC source file to load before serving (optional; clients \
+                   can also send a $(b,load) request).")
+  in
+  let differential =
+    Arg.(value & flag
+         & info [ "differential" ]
+             ~doc:"Cross-check every incremental edit against a cold re-run: \
+                   replies carry $(b,identical) and $(b,cold_propagations).")
+  in
+  let batch =
+    Arg.(value & opt (some string) None
+         & info [ "batch" ] ~docv:"FILE"
+             ~doc:"Read NDJSON requests from FILE instead of stdin, write \
+                   replies to stdout, then exit.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let crash_telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "crash-telemetry" ] ~docv:"FILE"
+             ~doc:"Arm a telemetry crash flush to FILE around each request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Resident incremental-analysis daemon (NDJSON over stdin/stdout)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Parses a MiniC program once, keeps the full analysis state \
+              resident, and answers queries (points-to, alias, MHP, races, \
+              explain) over a line-oriented JSON protocol. An $(b,edit) \
+              request replacing one function re-analyses incrementally: the \
+              pre-phases re-run cold, the sparse solve warm-starts from the \
+              previous generation's clean slice — byte-identical results in \
+              a fraction of the propagations. $(b,snapshot)/$(b,restore) \
+              persist the resident state across daemon restarts. See \
+              docs/GUIDE.md for the protocol reference.";
+         ])
+    Term.(
+      const serve $ program $ jobs_arg $ differential $ provenance_arg $ batch
+      $ socket $ crash_telemetry)
+
 (* -- list ---------------------------------------------------------------------- *)
 
 let list_benchmarks () =
@@ -859,5 +944,6 @@ let () =
             dump_ir_cmd;
             dot_cmd;
             interp_cmd;
+            serve_cmd;
             list_cmd;
           ]))

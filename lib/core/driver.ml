@@ -61,7 +61,7 @@ type t = {
 (* Each [run] owns the process-global observability buffers: spans and
    metrics are reset at entry, so after [run] returns they describe exactly
    that pipeline execution (exported by [Telemetry]). *)
-let run ?(config = default_config) prog =
+let run_with_solve ?(config = default_config) ~solve prog =
   Validate.check_exn prog;
   Obs.Span.reset ();
   Obs.Metrics.reset ();
@@ -105,7 +105,7 @@ let run ?(config = default_config) prog =
               Obs.Span.with_ ~name:"singletons.compute" (fun () ->
                   Singletons.compute prog ast tm icfg)
             in
-            Sparse.solve ~scheduler:config.scheduler ?prov prog ast svfg ~singleton)
+            solve ~prog ~ast ~svfg ~singleton ~prov ~scheduler:config.scheduler)
       in
       (match prov with
       | Some r -> Obs.Metrics.(set (gauge "prov.records") (Fsam_prov.n_records r))
@@ -132,6 +132,12 @@ let run ?(config = default_config) prog =
           };
         prov;
       })
+
+let run ?config prog =
+  run_with_solve ?config
+    ~solve:(fun ~prog ~ast ~svfg ~singleton ~prov ~scheduler ->
+      Sparse.solve ~scheduler ?prov prog ast svfg ~singleton)
+    prog
 
 let run_nonsparse ?(config = default_config) prog =
   Validate.check_exn prog;

@@ -74,6 +74,26 @@ val run : ?config:config -> Prog.t -> t
     (checked). Resets [Fsam_obs] (spans and metrics) at entry; after it
     returns, the global span tree and metrics registry describe this run. *)
 
+val run_with_solve :
+  ?config:config ->
+  solve:
+    (prog:Prog.t ->
+    ast:Fsam_andersen.Solver.t ->
+    svfg:Fsam_memssa.Svfg.t ->
+    singleton:(int -> bool) ->
+    prov:Fsam_prov.t option ->
+    scheduler:Sparse.scheduler ->
+    Sparse.t) ->
+  Prog.t ->
+  t
+(** [run] with the final sparse solve replaced by a caller-supplied hook.
+    All pre-phases (Andersen, thread model, MHP, locks, SVFG, singleton
+    detection) run exactly as in [run]; the hook decides how to produce the
+    [Sparse.t] — the incremental engine uses this to warm-start the solve
+    from a previous generation's clean slice, and to retain the [singleton]
+    predicate for the next edit's diff. [run] is this with
+    [Sparse.solve]. *)
+
 val run_nonsparse :
   ?config:config -> Prog.t -> Nonsparse.outcome * float
 (** Runs the NonSparse baseline (pre-analysis + PCG + iterative data-flow);

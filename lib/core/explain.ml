@@ -14,10 +14,9 @@ type step = { site : site; obj : int; tag : int; x : int; y : int; z : int }
 (* Each explain query observes its wall cost so `--json` telemetry shows the
    price of provenance walks alongside the analysis phases. *)
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Monotonic.now_us () in
   let r = f () in
-  let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-  Obs.Metrics.observe (Obs.Metrics.histogram name) us;
+  Obs.Metrics.observe (Obs.Metrics.histogram name) (Obs.Monotonic.elapsed_us ~since_us:t0);
   r
 
 (* ------------------------------------------------------------------------ *)

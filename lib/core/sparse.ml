@@ -15,6 +15,7 @@ type t = {
   mutable iterations : int;
   mutable strong_updates : int; (* store-processing events that killed *)
   mutable weak_updates : int;
+  mutable growth : int; (* add events that enlarged a set during the drain *)
 }
 
 let pt_top t v = t.ptv.(v)
@@ -37,12 +38,109 @@ let iter_pto t f = Hashtbl.iter (fun (node, o) s -> f ~node ~obj:o s) t.pto
 let n_iterations t = t.iterations
 let n_strong_updates t = t.strong_updates
 let n_weak_updates t = t.weak_updates
+let n_growth t = t.growth
 
 let pts_entries t =
   Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 t.ptv
   + Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal s) t.pto 0
 
-let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
+(* -- the unit universe and its dependency structure ------------------------ *)
+(* Work units: statement gids in [0, n_stmts), then non-statement SVFG nodes
+   at [n_stmts + node_id]. Exposed so the incremental engine (lib/serve) can
+   compute dirty closures over exactly the graph the drain propagates on. *)
+
+let unit_of_svfg_node prog svfg n =
+  match Svfg.node svfg n with
+  | Svfg.Stmt_node g -> g
+  | _ -> Prog.n_stmts prog + n
+
+let unit_count prog svfg = Prog.n_stmts prog + Svfg.n_nodes svfg
+
+type deps = { d_defs : int list array; d_users : int list array }
+
+(* A statement using a variable twice (store p p, phi with repeated
+   sources, a call passing one pointer to two parameters) must still be
+   reprocessed once per growth: occurrences land consecutively, so a
+   head check dedupes them at index time. *)
+let compute_deps prog ast =
+  let d_users = Array.make (Prog.n_vars prog) [] in
+  let d_defs = Array.make (Prog.n_vars prog) [] in
+  let add arr v gid =
+    match arr.(v) with g :: _ when g = gid -> () | l -> arr.(v) <- gid :: l
+  in
+  Prog.iter_funcs prog (fun f ->
+      Func.iter_stmts f (fun i s ->
+          let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
+          List.iter (fun v -> add d_users v gid) (Stmt.uses s);
+          (match Stmt.def s with Some v -> add d_defs v gid | None -> ());
+          (* a call's result depends on the callees' returned variables;
+             calls and forks bind actuals to the callees' formals, so the
+             callsite acts as a def of those variables too *)
+          match s with
+          | Stmt.Call { args; ret; _ } ->
+            List.iter
+              (fun callee ->
+                (if ret <> None then
+                   List.iter (fun rv -> add d_users rv gid) (A.ret_vars ast callee));
+                let fn = Prog.func prog callee in
+                let rec bind args params =
+                  match (args, params) with
+                  | _ :: args, p :: params ->
+                    add d_defs p gid;
+                    bind args params
+                  | _ -> ()
+                in
+                bind args fn.Func.params)
+              (A.callees ast ~fid:f.Func.fid ~idx:i)
+          | Stmt.Fork { args; _ } ->
+            List.iter
+              (fun callee ->
+                let fn = Prog.func prog callee in
+                let rec bind args params =
+                  match (args, params) with
+                  | _ :: args, p :: params ->
+                    add d_defs p gid;
+                    bind args params
+                  | _ -> ()
+                in
+                bind args fn.Func.params)
+              (A.callees ast ~fid:f.Func.fid ~idx:i)
+          | _ -> ()));
+  { d_defs; d_users }
+
+(* the dependency graph: an edge u -> w whenever processing u can enqueue w,
+   i.e. u defines a top-level var w uses (including the param/return
+   bindings performed at call and fork sites) or a points-to fact generated
+   at u flows to w along an SVFG edge *)
+let dep_graph prog ast svfg =
+  let n_units = unit_count prog svfg in
+  let dep = Fsam_graph.Digraph.create ~size_hint:n_units () in
+  if n_units > 0 then Fsam_graph.Digraph.ensure_node dep (n_units - 1);
+  let { d_defs; d_users } = compute_deps prog ast in
+  Array.iteri
+    (fun v defs ->
+      match d_users.(v) with
+      | [] -> ()
+      | users ->
+        List.iter
+          (fun d -> List.iter (fun u -> Fsam_graph.Digraph.add_edge dep d u) users)
+          defs)
+    d_defs;
+  Svfg.iter_nodes svfg (fun n _ ->
+      let src = unit_of_svfg_node prog svfg n in
+      List.iter
+        (fun (_, dst) ->
+          Fsam_graph.Digraph.add_edge dep src (unit_of_svfg_node prog svfg dst))
+        (Svfg.o_succs svfg n));
+  dep
+
+type warm = {
+  w_ptv : Iset.t array;
+  w_pto : ((int * int) * Iset.t) list;
+  w_units : int list;
+}
+
+let solve ?(scheduler = Priority) ?warm ?prov prog ast svfg ~singleton =
   let n_stmts = Prog.n_stmts prog in
   let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
   let t =
@@ -55,23 +153,29 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
       iterations = 0;
       strong_updates = 0;
       weak_updates = 0;
+      growth = 0;
     }
   in
-  (* Work units: statement gids, then non-statement SVFG nodes. *)
-  let unit_of_node n =
-    match Svfg.node svfg n with Svfg.Stmt_node g -> g | _ -> n_stmts + n
-  in
-  let n_units = n_stmts + Svfg.n_nodes svfg in
-  (* var -> statements to reprocess when its points-to set grows *)
-  let var_users = Array.make (Prog.n_vars prog) [] in
-  (* A statement using a variable twice (store p p, phi with repeated
-     sources, a call passing one pointer to two parameters) must still be
-     reprocessed once per growth: occurrences land consecutively, so a
-     head check dedupes them at index time. *)
-  let add_user v gid =
-    match var_users.(v) with
-    | g :: _ when g = gid -> ()
-    | l -> var_users.(v) <- gid :: l
+  (* Warm start: pre-load facts proven to match the least fixpoint (the
+     incremental engine's clean slice). The drain below then seeds only
+     [w_units]; the monotone transfer functions grow the pre-loaded state
+     exactly as a cold run would have, reaching the same unique fixpoint. *)
+  (match warm with
+  | None -> ()
+  | Some w ->
+    Array.blit w.w_ptv 0 t.ptv 0 (min (Array.length w.w_ptv) (Array.length t.ptv));
+    List.iter
+      (fun ((node, o), set) ->
+        if not (Iset.is_empty set) then begin
+          Hashtbl.replace t.pto (node, o) set;
+          let any = Option.value ~default:Iset.empty (Hashtbl.find_opt t.obj_any o) in
+          Hashtbl.replace t.obj_any o (Iset.union any set)
+        end)
+      w.w_pto);
+  let unit_of_node n = unit_of_svfg_node prog svfg n in
+  let n_units = unit_count prog svfg in
+  let { d_users = var_users; _ } =
+    Obs.Span.with_ ~name:"sparse.index" (fun () -> compute_deps prog ast)
   in
   (* rank.(u): topological rank of u's SCC in the unit dependency graph —
      the priority of the worklist. Computed below at index time (Priority
@@ -82,67 +186,9 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
      stall warning names the stuck SCC and its size. *)
   let comp_of = ref [||] in
   let comp_size = ref [||] in
-  Obs.Span.with_ ~name:"sparse.index" (fun () ->
-      Prog.iter_funcs prog (fun f ->
-          Func.iter_stmts f (fun i s ->
-              let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
-              List.iter (fun v -> add_user v gid) (Stmt.uses s);
-              (* a call's result depends on the callees' returned variables *)
-              match s with
-              | Stmt.Call { ret = Some _; _ } ->
-                List.iter
-                  (fun callee ->
-                    List.iter (fun rv -> add_user rv gid) (A.ret_vars ast callee))
-                  (A.callees ast ~fid:f.Func.fid ~idx:i)
-              | _ -> ()));
+  Obs.Span.with_ ~name:"sparse.condense" (fun () ->
       if scheduler = Priority then begin
-        (* the dependency graph: an edge u -> w whenever processing u can
-           enqueue w, i.e. u defines a top-level var w uses (including the
-           param/return bindings performed at call and fork sites) or a
-           points-to fact generated at u flows to w along an SVFG edge *)
-        let dep = Fsam_graph.Digraph.create ~size_hint:n_units () in
-        if n_units > 0 then Fsam_graph.Digraph.ensure_node dep (n_units - 1);
-        let var_defs = Array.make (Prog.n_vars prog) [] in
-        let add_def v gid =
-          match var_defs.(v) with
-          | g :: _ when g = gid -> ()
-          | l -> var_defs.(v) <- gid :: l
-        in
-        Prog.iter_funcs prog (fun f ->
-            Func.iter_stmts f (fun i s ->
-                let gid = Prog.gid prog ~fid:f.Func.fid ~idx:i in
-                (match Stmt.def s with Some v -> add_def v gid | None -> ());
-                (* calls and forks bind actuals to the callees' formals, so
-                   the callsite acts as a def of those variables too *)
-                match s with
-                | Stmt.Call { args; _ } | Stmt.Fork { args; _ } ->
-                  List.iter
-                    (fun callee ->
-                      let fn = Prog.func prog callee in
-                      let rec bind args params =
-                        match (args, params) with
-                        | _ :: args, p :: params ->
-                          add_def p gid;
-                          bind args params
-                        | _ -> ()
-                      in
-                      bind args fn.Func.params)
-                    (A.callees ast ~fid:f.Func.fid ~idx:i)
-                | _ -> ()));
-        Array.iteri
-          (fun v defs ->
-            match var_users.(v) with
-            | [] -> ()
-            | users ->
-              List.iter
-                (fun d -> List.iter (fun u -> Fsam_graph.Digraph.add_edge dep d u) users)
-                defs)
-          var_defs;
-        Svfg.iter_nodes svfg (fun n _ ->
-            let src = unit_of_node n in
-            List.iter
-              (fun (_, dst) -> Fsam_graph.Digraph.add_edge dep src (unit_of_node dst))
-              (Svfg.o_succs svfg n));
+        let dep = dep_graph prog ast svfg in
         (* condensation: priorities are topological ranks of the SCCs, so
            each unit is scheduled after its inter-SCC predecessors stabilise
            and intra-SCC cycles drain to fixpoint before the next rank
@@ -406,9 +452,12 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
     if profiling then monitor u
   in
   Obs.Span.with_ ~name:"sparse.drain" (fun () ->
-      for g = 0 to n_stmts - 1 do
-        push g
-      done;
+      (match warm with
+      | None ->
+        for g = 0 to n_stmts - 1 do
+          push g
+        done
+      | Some w -> List.iter push w.w_units);
       match scheduler with
       | Fifo ->
         while not (Queue.is_empty queue) do
@@ -421,6 +470,7 @@ let solve ?(scheduler = Priority) ?prov prog ast svfg ~singleton =
           | Some u -> step u
           | None -> continue := false
         done);
+  t.growth <- !facts;
   Obs.Metrics.(add (counter "sparse.propagations") t.iterations);
   Obs.Metrics.(add (counter "sparse.reprocessed") !reprocessed);
   Obs.Metrics.(add (counter "sparse.strong_updates") t.strong_updates);

@@ -22,15 +22,56 @@ type scheduler =
           before the next rank starts. Reaches the identical (unique)
           fixpoint with fewer propagations. *)
 
+(* -- dirty-tracking hooks (incremental re-analysis) ---------------------- *)
+
+type deps = { d_defs : int list array; d_users : int list array }
+(** Per-variable defining / using statement gids, including the param
+    bindings performed at call and fork sites (the callsite is a def of the
+    callee's formals) and the ret-var uses at value-returning callsites. *)
+
+val compute_deps : Prog.t -> Fsam_andersen.Solver.t -> deps
+
+val unit_count : Prog.t -> Fsam_memssa.Svfg.t -> int
+(** Size of the solver's work-unit universe: statement gids in
+    [0, n_stmts), then non-statement SVFG nodes at [n_stmts + node_id]. *)
+
+val unit_of_svfg_node : Prog.t -> Fsam_memssa.Svfg.t -> int -> int
+(** The work unit draining an SVFG node: the gid for statement nodes,
+    [n_stmts + node_id] for merge nodes. *)
+
+val dep_graph :
+  Prog.t -> Fsam_andersen.Solver.t -> Fsam_memssa.Svfg.t -> Fsam_graph.Digraph.t
+(** The unit dependency graph the drain propagates on: an edge [u -> w]
+    whenever processing [u] can enqueue [w]. The incremental engine takes
+    the forward closure of its dirty seeds over this graph; the priority
+    scheduler condenses it into SCC ranks. *)
+
+type warm = {
+  w_ptv : Fsam_dsa.Iset.t array;  (** pre-proven top-level sets, by var *)
+  w_pto : ((int * int) * Fsam_dsa.Iset.t) list;
+      (** pre-proven [(svfg node, obj) -> contents] facts *)
+  w_units : int list;  (** worklist seeds — the dirty units *)
+}
+(** A warm start: facts already known to be part of the least fixpoint
+    (e.g. copied from a previous solve's clean slice, translated to this
+    program's ids), plus the units whose transfer functions must re-run.
+    Soundness requirement on the caller: every unit whose inputs are not
+    fully covered by the pre-loaded facts must appear in [w_units] — the
+    drain only revisits seeds and whatever they transitively enqueue. *)
+
 val solve :
   ?scheduler:scheduler ->
+  ?warm:warm ->
   ?prov:Fsam_prov.t ->
   Prog.t ->
   Fsam_andersen.Solver.t ->
   Fsam_memssa.Svfg.t ->
   singleton:(int -> bool) ->
   t
-(** [scheduler] defaults to [Priority]. [prov], when given, records one
+(** [scheduler] defaults to [Priority]. [warm], when given, pre-loads the
+    carried facts and seeds the worklist with [w_units] instead of every
+    statement; the monotone transfer functions then reach the same unique
+    least fixpoint a cold run would. [prov], when given, records one
     derivation reason per propagated points-to fact (spaces
     [Fsam_prov.sp_var] and [Fsam_prov.sp_mem]) plus the final strong/weak
     verdict of every store ([Fsam_prov.sp_store]); results are identical
@@ -63,6 +104,12 @@ val n_strong_updates : t -> int
     over solver events). *)
 
 val n_weak_updates : t -> int
+
+val n_growth : t -> int
+(** Add events that enlarged a points-to set during the drain (excluding
+    warm pre-loading). A snapshot restore's verification sweep asserts this
+    is zero: the restored facts were already the fixpoint. *)
+
 val pts_entries : t -> int
 (** Total number of (location, target) facts — the memory-size proxy
     reported in the benchmark tables. *)

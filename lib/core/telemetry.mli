@@ -44,3 +44,7 @@ val mark_flushed : unit -> unit
 val flush_now : unit -> unit
 (** Run the armed flush immediately and disarm (no-op when disarmed);
     exposed for tests. *)
+
+val armed : unit -> bool
+(** Whether the telemetry crash flush is currently armed. See
+    {!Fsam_obs.Trace.armed}. *)

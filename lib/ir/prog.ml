@@ -77,8 +77,16 @@ let field_obj p ~base ~field =
       id
   end
 
+let find_field_obj p ~base ~field =
+  let b = obj p base in
+  if b.Memobj.is_array then Some base
+  else Hashtbl.find_opt p.field_cache (Memobj.base_of b, field)
+
 let fields_of p base =
+  (* Hashtbl.fold order depends on internal bucket layout; sort so callers
+     emitting this list (reports, digests) are byte-stable across runs. *)
   Hashtbl.fold (fun (b, _) o acc -> if b = base then o :: acc else acc) p.field_cache []
+  |> List.sort compare
 
 let n_forks p = Array.length p.fork_sites
 let fork_site p k = p.fork_sites.(k)

@@ -34,9 +34,16 @@ val field_obj : t -> base:Stmt.obj -> field:string -> Stmt.obj
     field objects are flattened onto the root base. Array objects are
     monolithic: their "fields" are the object itself. *)
 
+val find_field_obj : t -> base:Stmt.obj -> field:string -> Stmt.obj option
+(** Like {!field_obj} but read-only: [None] if the field object has not been
+    materialised, never creates one. Used by the incremental engine to map
+    object ids between program versions without perturbing the id assignment
+    order a cold run would produce. *)
+
 val fields_of : t -> Stmt.obj -> Stmt.obj list
 (** All field objects materialised so far for the given base (excluding the
-    base itself). *)
+    base itself), sorted by object id so output built from this list is
+    deterministic. *)
 
 (* Fork sites ----------------------------------------------------------- *)
 

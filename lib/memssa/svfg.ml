@@ -735,6 +735,28 @@ let build ?(config = default_config) ?(jobs = 1) ?prov prog ast mr icfg tm mhp l
 
 let racy_objs t gid = Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy gid)
 
+(* Canonical structural fingerprint: edge counts, every node's sorted
+   outgoing (obj, dst) list, and the racy-object sets per store. Two builds
+   of the same program digest equally iff they produced the same graph —
+   the identity the jobs-invariance tests and the incremental engine's
+   differential mode both check. *)
+let digest t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "e=%d t=%d;" (n_edges t) t.thread_edges);
+  for v = 0 to n_nodes t - 1 do
+    List.iter
+      (fun (o, s) -> Buffer.add_string buf (Printf.sprintf "%d:%d>%d;" v o s))
+      (List.sort compare (o_succs t v))
+  done;
+  for gid = 0 to Prog.n_stmts t.prog - 1 do
+    let r = racy_objs t gid in
+    if not (Iset.is_empty r) then
+      Buffer.add_string buf
+        (Printf.sprintf "r%d=%s;" gid
+           (String.concat "," (List.map string_of_int (Iset.elements r))))
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_stats ppf t =
   Format.fprintf ppf "svfg: %d nodes, %d edges (%d thread-aware)" (n_nodes t) (n_edges t)
     t.thread_edges

@@ -75,6 +75,13 @@ val n_thread_aware_edges : t -> int
 val racy_objs : t -> int -> Fsam_dsa.Iset.t
 val prog : t -> Prog.t
 
+val digest : t -> string
+(** Hex digest of the graph's canonical structural fingerprint (edge
+    counts, sorted per-node successor lists, racy-object sets). Equal
+    digests ⟺ same graph; used by the jobs-invariance tests and the serve
+    differential mode to compare an incremental rebuild against a cold
+    run. *)
+
 (* Provenance (populated only when [build ~prov] was given) --------------- *)
 
 (** Edge kinds for {!edge_kind}: how a def-use edge came to exist. *)

@@ -10,13 +10,20 @@ type t = {
 
 type frame = {
   f_name : string;
-  f_start : float; (* wall clock: absolute instant for trace alignment *)
   f_mono : float; (* monotonic: the duration base, NTP-step immune *)
   f_cpu : float;
   f_minor : float;
   f_major : float;
   mutable f_children_rev : t list;
 }
+
+(* One wall-clock epoch paired with a monotonic reading taken at the same
+   instant. Every span start is [epoch_wall + (mono - epoch_mono)]: absolute
+   enough to align traces across processes, yet immune to NTP steps between
+   spans — two spans can never appear to start out of order. *)
+let epoch_wall = Unix.gettimeofday ()
+let epoch_mono = Monotonic.now_s ()
+let wall_of_mono m = epoch_wall +. (m -. epoch_mono)
 
 let stack : frame list ref = ref []
 let roots_rev : t list ref = ref []
@@ -32,7 +39,6 @@ let with_timed ~name f =
   let fr =
     {
       f_name = name;
-      f_start = Unix.gettimeofday ();
       f_mono = Monotonic.now_s ();
       f_cpu = Sys.time ();
       f_minor = Gc.minor_words ();
@@ -54,9 +60,9 @@ let with_timed ~name f =
     let sp =
       {
         name = fr.f_name;
-        start_s = fr.f_start;
+        start_s = wall_of_mono fr.f_mono;
         dur_s = Monotonic.elapsed_s ~since_s:fr.f_mono;
-        cpu_s = Float.max 0. (Sys.time () -. fr.f_cpu);
+        cpu_s = Sys.time () -. fr.f_cpu;
         minor_words = Gc.minor_words () -. fr.f_minor;
         major_words = gc1.Gc.major_words -. fr.f_major;
         children = List.rev fr.f_children_rev;
@@ -92,9 +98,9 @@ let snapshot () =
           [
             {
               name = fr.f_name;
-              start_s = fr.f_start;
-              dur_s = Float.max 0. (now_mono -. fr.f_mono);
-              cpu_s = Float.max 0. (cpu -. fr.f_cpu);
+              start_s = wall_of_mono fr.f_mono;
+              dur_s = now_mono -. fr.f_mono;
+              cpu_s = cpu -. fr.f_cpu;
               minor_words = minor -. fr.f_minor;
               major_words = major -. fr.f_major;
               children = List.rev fr.f_children_rev @ inner;

@@ -14,7 +14,10 @@
 
 type t = {
   name : string;
-  start_s : float;  (** [Unix.gettimeofday] at entry *)
+  start_s : float;
+      (** wall-clock instant at entry, derived as a fixed process-wide wall
+          epoch plus a monotonic offset — NTP steps between spans cannot
+          reorder or skew starts *)
   dur_s : float;  (** wall-clock duration, seconds *)
   cpu_s : float;  (** [Sys.time] delta, seconds *)
   minor_words : float;  (** words allocated in the minor heap during the span *)

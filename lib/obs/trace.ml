@@ -199,3 +199,4 @@ let flush_at_exit path =
   end
 
 let mark_flushed () = pending := None
+let armed () = Option.is_some !pending

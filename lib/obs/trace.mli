@@ -33,3 +33,8 @@ val mark_flushed : unit -> unit
 val flush_now : unit -> unit
 (** Run the armed flush immediately and disarm it (no-op when disarmed).
     Exposed for tests; this is exactly what the [at_exit] hook runs. *)
+
+val armed : unit -> bool
+(** Whether a crash flush is currently armed. A resident server arms around
+    each analysis request and must observe [false] between requests, so a
+    later crash cannot flush stale state from a request that completed. *)

@@ -1,0 +1,210 @@
+open Fsam_ir
+module Ast = Fsam_frontend.Ast
+
+type t = {
+  fid_map : int array;
+  fid_inv : int array;
+  clean_new_fid : bool array;
+  var_map : int array;
+  obj_map : int array;
+  gid_map : int array;
+  gid_inv : int array;
+  fork_map : int array;
+  n_changed : int;
+}
+
+let is_fun = function Ast.Dfun _ -> true | _ -> false
+let funs_of ast = List.filter_map (function Ast.Dfun f -> Some f | _ -> None) ast
+let nonfuns_of ast = List.filter (fun d -> not (is_fun d)) ast
+
+(* Positional pairing of the two lowerings of one structurally-identical
+   function: same statement array (up to the ids being renumbered), same
+   local CFG. Collects (old, new) id pairs; any shape mismatch aborts the
+   pairing and the function is treated as changed (all of it dirty) — never
+   wrong, only less incremental. *)
+exception Mismatch
+
+let lockstep ~fid_map (of_ : Func.t) (nf : Func.t) =
+  let vp = ref [] and op = ref [] and kp = ref [] in
+  let pair_var a b = vp := (a, b) :: !vp in
+  let pair_obj a b = op := (a, b) :: !op in
+  let pair_vl la lb =
+    if List.length la <> List.length lb then raise Mismatch;
+    List.iter2 pair_var la lb
+  in
+  let pair_opt p a b =
+    match (a, b) with
+    | Some a, Some b -> p a b
+    | None, None -> ()
+    | _ -> raise Mismatch
+  in
+  let pair_target a b =
+    match (a, b) with
+    | Stmt.Direct f1, Stmt.Direct f2 ->
+      if not (f1 >= 0 && f1 < Array.length fid_map && fid_map.(f1) = f2) then
+        raise Mismatch
+    | Stmt.Indirect v1, Stmt.Indirect v2 -> pair_var v1 v2
+    | _ -> raise Mismatch
+  in
+  if
+    Array.length of_.Func.stmts <> Array.length nf.Func.stmts
+    || of_.Func.succ <> nf.Func.succ
+    || of_.Func.pred <> nf.Func.pred
+    || of_.Func.exits <> nf.Func.exits
+  then None
+  else
+    try
+      pair_vl of_.Func.params nf.Func.params;
+      Array.iteri
+        (fun i so ->
+          match (so, nf.Func.stmts.(i)) with
+          | Stmt.Addr_of { dst = d1; obj = o1 }, Stmt.Addr_of { dst = d2; obj = o2 } ->
+            pair_var d1 d2;
+            pair_obj o1 o2
+          | Stmt.Copy { dst = d1; src = s1 }, Stmt.Copy { dst = d2; src = s2 }
+          | Stmt.Load { dst = d1; src = s1 }, Stmt.Load { dst = d2; src = s2 }
+          | Stmt.Store { dst = d1; src = s1 }, Stmt.Store { dst = d2; src = s2 } ->
+            pair_var d1 d2;
+            pair_var s1 s2
+          | Stmt.Phi { dst = d1; srcs = l1 }, Stmt.Phi { dst = d2; srcs = l2 } ->
+            pair_var d1 d2;
+            pair_vl l1 l2
+          | ( Stmt.Gep { dst = d1; src = s1; field = f1 },
+              Stmt.Gep { dst = d2; src = s2; field = f2 } ) ->
+            if f1 <> f2 then raise Mismatch;
+            pair_var d1 d2;
+            pair_var s1 s2
+          | ( Stmt.Call { target = t1; args = a1; ret = r1 },
+              Stmt.Call { target = t2; args = a2; ret = r2 } ) ->
+            pair_target t1 t2;
+            pair_vl a1 a2;
+            pair_opt pair_var r1 r2
+          | Stmt.Return r1, Stmt.Return r2 -> pair_opt pair_var r1 r2
+          | ( Stmt.Fork { handle = h1; target = t1; args = a1; fork_id = k1 },
+              Stmt.Fork { handle = h2; target = t2; args = a2; fork_id = k2 } ) ->
+            pair_opt pair_var h1 h2;
+            pair_target t1 t2;
+            pair_vl a1 a2;
+            kp := (k1, k2) :: !kp
+          | Stmt.Join { handle = h1 }, Stmt.Join { handle = h2 } -> pair_var h1 h2
+          | Stmt.Lock v1, Stmt.Lock v2 | Stmt.Unlock v1, Stmt.Unlock v2 ->
+            pair_var v1 v2
+          | Stmt.Nop s1, Stmt.Nop s2 -> if s1 <> s2 then raise Mismatch
+          | _ -> raise Mismatch)
+        of_.Func.stmts;
+      Some (!vp, !op, !kp)
+    with Mismatch -> None
+
+let compute ~old_ast ~old_prog ~new_ast ~new_prog =
+  if nonfuns_of old_ast <> nonfuns_of new_ast then
+    Error "global, struct or array declarations changed"
+  else begin
+    let old_funs = funs_of old_ast and new_funs = funs_of new_ast in
+    let old_by_name = Hashtbl.create 64 in
+    List.iter (fun (f : Ast.fundef) -> Hashtbl.replace old_by_name f.Ast.fname f) old_funs;
+    let dup l =
+      let seen = Hashtbl.create 64 in
+      List.exists
+        (fun (f : Ast.fundef) ->
+          if Hashtbl.mem seen f.Ast.fname then true
+          else (Hashtbl.add seen f.Ast.fname (); false))
+        l
+    in
+    if dup old_funs || dup new_funs then Error "duplicate function names"
+    else begin
+      let n_old_f = Prog.n_funcs old_prog and n_new_f = Prog.n_funcs new_prog in
+      let fid_map = Array.make n_old_f (-1) in
+      let fid_inv = Array.make n_new_f (-1) in
+      Prog.iter_funcs old_prog (fun f ->
+          match Prog.find_func new_prog f.Func.fname with
+          | Some nfid ->
+            fid_map.(f.Func.fid) <- nfid;
+            fid_inv.(nfid) <- f.Func.fid
+          | None -> ());
+      let var_map = Array.make (Prog.n_vars old_prog) (-1) in
+      let obj_map = Array.make (Prog.n_objs old_prog) (-1) in
+      let gid_map = Array.make (Prog.n_stmts old_prog) (-1) in
+      let gid_inv = Array.make (Prog.n_stmts new_prog) (-1) in
+      let fork_map = Array.make (max 1 (Prog.n_forks old_prog)) (-1) in
+      let clean_new_fid = Array.make n_new_f false in
+      let conflict = ref None in
+      let commit_pair what arr a b =
+        if a < 0 || a >= Array.length arr then conflict := Some what
+        else if arr.(a) = -1 then arr.(a) <- b
+        else if arr.(a) <> b then conflict := Some what
+      in
+      (* kind-keyed object pairs first: globals by name, function objects by
+         mapped fid — these exist even when every reference sits inside a
+         changed function. Heap and stack objects pair positionally below;
+         thread objects follow the fork pairing; field objects are resolved
+         lazily by the incremental planner via [Prog.find_field_obj]. *)
+      let new_global = Hashtbl.create 64 and new_funobj = Hashtbl.create 64 in
+      Prog.iter_objs new_prog (fun o ->
+          match o.Memobj.kind with
+          | Memobj.Global -> Hashtbl.replace new_global o.Memobj.name o.Memobj.id
+          | Memobj.Func fid -> Hashtbl.replace new_funobj fid o.Memobj.id
+          | _ -> ());
+      Prog.iter_objs old_prog (fun o ->
+          match o.Memobj.kind with
+          | Memobj.Global -> (
+            match Hashtbl.find_opt new_global o.Memobj.name with
+            | Some n -> commit_pair "object" obj_map o.Memobj.id n
+            | None -> ())
+          | Memobj.Func fid when fid >= 0 && fid < n_old_f && fid_map.(fid) >= 0 -> (
+            match Hashtbl.find_opt new_funobj fid_map.(fid) with
+            | Some n -> commit_pair "object" obj_map o.Memobj.id n
+            | None -> ())
+          | _ -> ());
+      (* per-function structural diff + lockstep pairing *)
+      List.iter
+        (fun (nfd : Ast.fundef) ->
+          match
+            ( Hashtbl.find_opt old_by_name nfd.Ast.fname,
+              Prog.find_func new_prog nfd.Ast.fname )
+          with
+          | Some ofd, Some nfid when ofd = nfd -> (
+            let ofid = fid_inv.(nfid) in
+            let of_ = Prog.func old_prog ofid and nf = Prog.func new_prog nfid in
+            match lockstep ~fid_map of_ nf with
+            | None -> ()
+            | Some (vps, ops, kps) ->
+              clean_new_fid.(nfid) <- true;
+              List.iter (fun (a, b) -> commit_pair "variable" var_map a b) vps;
+              List.iter (fun (a, b) -> commit_pair "object" obj_map a b) ops;
+              List.iter (fun (a, b) -> commit_pair "fork" fork_map a b) kps;
+              for i = 0 to Func.n_stmts of_ - 1 do
+                let og = Prog.gid old_prog ~fid:ofid ~idx:i in
+                let ng = Prog.gid new_prog ~fid:nfid ~idx:i in
+                gid_map.(og) <- ng;
+                gid_inv.(ng) <- og
+              done)
+          | _ -> ())
+        new_funs;
+      (* thread objects ride on the fork pairing *)
+      Array.iteri
+        (fun ok nk ->
+          if nk >= 0 && ok < Prog.n_forks old_prog then
+            commit_pair "object" obj_map
+              (Prog.thread_obj_of_fork old_prog ok)
+              (Prog.thread_obj_of_fork new_prog nk))
+        fork_map;
+      match !conflict with
+      | Some what -> Error (Printf.sprintf "inconsistent %s pairing" what)
+      | None ->
+        let n_changed =
+          Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 clean_new_fid
+        in
+        Ok
+          {
+            fid_map;
+            fid_inv;
+            clean_new_fid;
+            var_map;
+            obj_map;
+            gid_map;
+            gid_inv;
+            fork_map;
+            n_changed;
+          }
+    end
+  end

@@ -1,0 +1,38 @@
+open Fsam_ir
+
+(** Structural diff between two program versions, as id maps between their
+    (independently, deterministically) lowered IRs.
+
+    The diff is per-function: a function whose AST is unchanged — and whose
+    lowered body pairs up in lockstep — is {e clean}; everything else is
+    changed. Only function bodies may differ: if the global / struct / array
+    declarations differ, or any pairing is inconsistent, [compute] returns
+    [Error] and the caller falls back to a cold run. *)
+
+type t = {
+  fid_map : int array;  (** old fid → new fid, [-1] = deleted *)
+  fid_inv : int array;  (** new fid → old fid, [-1] = added *)
+  clean_new_fid : bool array;
+      (** by new fid: AST-equal to its old namesake and paired in lockstep *)
+  var_map : int array;
+      (** old var → new var ([-1] = unmapped); populated from clean
+          functions only *)
+  obj_map : int array;
+      (** old obj → new obj; globals by name, function objects via
+          [fid_map], allocation-site objects by lockstep position, thread
+          objects via [fork_map]. Field objects are deliberately left
+          unmapped here — resolve them lazily with [Prog.find_field_obj]
+          so mapping can never materialise an object the cold run
+          wouldn't. *)
+  gid_map : int array;  (** old gid → new gid, clean functions only *)
+  gid_inv : int array;  (** new gid → old gid *)
+  fork_map : int array;  (** old fork id → new fork id *)
+  n_changed : int;  (** number of new functions that are not clean *)
+}
+
+val compute :
+  old_ast:Fsam_frontend.Ast.program ->
+  old_prog:Prog.t ->
+  new_ast:Fsam_frontend.Ast.program ->
+  new_prog:Prog.t ->
+  (t, string) result

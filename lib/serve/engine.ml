@@ -1,0 +1,385 @@
+(* The resident analysis engine behind [fsam serve]: one loaded program
+   generation (source text, frontend AST, full pipeline results, the
+   singleton predicate captured from the solve), plus the edit / snapshot /
+   restore lifecycle around it. Protocol concerns live in [Protocol]. *)
+
+module Ast = Fsam_frontend.Ast
+module Parser = Fsam_frontend.Parser
+module Lexer = Fsam_frontend.Lexer
+module Lower = Fsam_frontend.Lower
+module Pretty = Fsam_frontend.Pretty
+module Prog = Fsam_ir.Prog
+module D = Fsam_core.Driver
+module Sparse = Fsam_core.Sparse
+module Races = Fsam_core.Races
+module Svfg = Fsam_memssa.Svfg
+module Iset = Fsam_dsa.Iset
+
+type gen = {
+  g_source : string;
+  g_ast : Ast.program;
+  g_d : D.t;
+  g_singleton : int -> bool;
+}
+
+type t = {
+  mutable gen : gen option;
+  config : D.config;
+  differential : bool;
+}
+
+type load_info = {
+  l_funcs : int;
+  l_stmts : int;
+  l_vars : int;
+  l_objs : int;
+  l_races : int;
+  l_propagations : int;
+  l_digest : string;
+}
+
+type edit_info = {
+  e_mode : [ `Incremental | `Cold ];
+  e_reason : string option;  (** why the engine fell back, when it did *)
+  e_propagations : int;
+  e_stats : Incremental.stats option;
+  e_cold_propagations : int option;  (** differential mode only *)
+  e_identical : bool option;  (** differential mode only *)
+}
+
+let create ?(jobs = 1) ?(provenance = false) ?(differential = false) () =
+  { gen = None; config = { D.default_config with D.jobs; provenance }; differential }
+
+let loaded t = t.gen <> None
+
+let gen_exn t =
+  match t.gen with Some g -> g | None -> invalid_arg "Engine: no program loaded"
+
+let driver t = (gen_exn t).g_d
+let source t = (gen_exn t).g_source
+
+let parse source =
+  match Parser.parse_string source with
+  | ast -> Ok ast
+  | exception Lexer.Error e | exception Parser.Error e -> Error e
+
+(* Every run goes through [run_with_solve] so the singleton predicate of the
+   solve — an input to the next edit's incremental plan — can be captured. *)
+let run_cold t ~source ~ast =
+  let prog = Lower.lower ast in
+  let captured = ref (fun _ -> false) in
+  let d =
+    D.run_with_solve ~config:t.config
+      ~solve:(fun ~prog ~ast ~svfg ~singleton ~prov ~scheduler ->
+        captured := singleton;
+        Sparse.solve ~scheduler ?prov prog ast svfg ~singleton)
+      prog
+  in
+  { g_source = source; g_ast = ast; g_d = d; g_singleton = !captured }
+
+let info_of ?(races = true) t g =
+  let d = g.g_d in
+  {
+    l_funcs = Prog.n_funcs d.D.prog;
+    l_stmts = Prog.n_stmts d.D.prog;
+    l_vars = Prog.n_vars d.D.prog;
+    l_objs = Prog.n_objs d.D.prog;
+    l_races = (if races then List.length (Races.detect ~jobs:t.config.D.jobs d) else 0);
+    l_propagations = Sparse.n_iterations d.D.sparse;
+    l_digest = Svfg.digest d.D.svfg;
+  }
+
+let load t source =
+  match parse source with
+  | Error e -> Error e
+  | Ok ast -> (
+    match run_cold t ~source ~ast with
+    | g ->
+      t.gen <- Some g;
+      Ok (info_of t g)
+    | exception Lower.Error e -> Error e)
+
+(* -- edit ------------------------------------------------------------------ *)
+
+(* Splice one replacement function definition into the resident AST. The
+   fragment must contain exactly one definition, of the named function; all
+   other declarations stay physically identical, so the structural diff sees
+   exactly one changed function. *)
+let splice_fn ast ~fn ~code =
+  match parse code with
+  | Error e -> Error ("in replacement code: " ^ e)
+  | Ok frag -> (
+    match List.filter_map (function Ast.Dfun f -> Some f | _ -> None) frag with
+    | [ nf ] when nf.Ast.fname = fn ->
+      if List.exists (function Ast.Dfun _ -> false | _ -> true) frag then
+        Error "replacement code must contain only the function definition"
+      else begin
+        let found = ref false in
+        let ast' =
+          List.map
+            (function
+              | Ast.Dfun f when f.Ast.fname = fn ->
+                found := true;
+                Ast.Dfun nf
+              | d -> d)
+            ast
+        in
+        if !found then Ok ast' else Error (Printf.sprintf "no function %S in program" fn)
+      end
+    | [ nf ] ->
+      Error
+        (Printf.sprintf "replacement defines %S, expected %S" nf.Ast.fname fn)
+    | _ -> Error "replacement code must contain exactly one function definition")
+
+exception Need_cold of string
+
+(* Byte-identity check of two completed runs over the same (deterministically
+   lowered) program: top-level sets, memory facts, SVFG fingerprint, races. *)
+let same_results ~jobs a b =
+  let n = Prog.n_vars a.D.prog in
+  let ptv_ok = ref (n = Prog.n_vars b.D.prog) in
+  if !ptv_ok then
+    for v = 0 to n - 1 do
+      if not (Iset.equal (Sparse.pt_top a.D.sparse v) (Sparse.pt_top b.D.sparse v))
+      then ptv_ok := false
+    done;
+  let pto_ok = ref true in
+  if !ptv_ok then begin
+    let tbl = Hashtbl.create 1024 in
+    Sparse.iter_pto a.D.sparse (fun ~node ~obj s ->
+        if not (Iset.is_empty s) then Hashtbl.replace tbl (node, obj) s);
+    let matched = ref 0 in
+    Sparse.iter_pto b.D.sparse (fun ~node ~obj s ->
+        if not (Iset.is_empty s) then
+          match Hashtbl.find_opt tbl (node, obj) with
+          | Some s' when Iset.equal s s' -> incr matched
+          | _ -> pto_ok := false);
+    if !matched <> Hashtbl.length tbl then pto_ok := false
+  end;
+  !ptv_ok && !pto_ok
+  && String.equal (Svfg.digest a.D.svfg) (Svfg.digest b.D.svfg)
+  && List.sort compare (Races.detect ~jobs a) = List.sort compare (Races.detect ~jobs b)
+
+let edit_ast t new_ast =
+  let old = gen_exn t in
+  let new_source = Pretty.to_string new_ast in
+  let reason = ref None in
+  let stats = ref None in
+  let run_incremental () =
+    match Lower.lower new_ast with
+    | exception Lower.Error e -> Error e
+    | new_prog -> (
+      match
+        Diff.compute ~old_ast:old.g_ast ~old_prog:old.g_d.D.prog ~new_ast
+          ~new_prog
+      with
+      | Error msg ->
+        reason := Some msg;
+        Ok (run_cold t ~source:new_source ~ast:new_ast)
+      | Ok diff -> (
+        let captured = ref (fun _ -> false) in
+        let warm_used = ref false in
+        match
+          D.run_with_solve ~config:t.config
+            ~solve:(fun ~prog ~ast ~svfg ~singleton ~prov ~scheduler ->
+              captured := singleton;
+              let n_objs0 = Prog.n_objs prog in
+              match
+                Incremental.plan ~diff ~old_prog:old.g_d.D.prog
+                  ~old_and:old.g_d.D.ast ~old_svfg:old.g_d.D.svfg
+                  ~old_sparse:old.g_d.D.sparse ~old_singleton:old.g_singleton
+                  ~new_prog:prog ~new_and:ast ~new_svfg:svfg
+                  ~new_singleton:singleton
+              with
+              | Error msg ->
+                reason := Some msg;
+                Sparse.solve ~scheduler ?prov prog ast svfg ~singleton
+              | Ok (warm, st) ->
+                let sp = Sparse.solve ~scheduler ~warm ?prov prog ast svfg ~singleton in
+                (* the warm drain skipped clean units; had it materialised a
+                   field object the cold reference run wouldn't have (or in a
+                   different order), every object id after it would drift.
+                   Andersen (always cold) over-approximates the sparse solve,
+                   so this must not happen — but it is cheap to verify. *)
+                if Prog.n_objs prog <> n_objs0 then
+                  raise (Need_cold "warm solve materialised objects");
+                warm_used := true;
+                stats := Some st;
+                sp)
+            new_prog
+        with
+        | d ->
+          Ok { g_source = new_source; g_ast = new_ast; g_d = d; g_singleton = !captured }
+        | exception Need_cold msg ->
+          (* the tainted [new_prog] is discarded: re-lower from the AST so the
+             cold run sees the pristine object table *)
+          reason := Some msg;
+          warm_used := false;
+          stats := None;
+          Ok (run_cold t ~source:new_source ~ast:new_ast)))
+  in
+  match run_incremental () with
+  | Error e -> Error e
+  | Ok g ->
+    let mode = if !stats = None then `Cold else `Incremental in
+    let cold_propagations, identical =
+      if t.differential && mode = `Incremental then begin
+        let cold = run_cold t ~source:new_source ~ast:new_ast in
+        ( Some (Sparse.n_iterations cold.g_d.D.sparse),
+          Some (same_results ~jobs:t.config.D.jobs g.g_d cold.g_d) )
+      end
+      else (None, None)
+    in
+    t.gen <- Some g;
+    Ok
+      {
+        e_mode = mode;
+        e_reason = !reason;
+        e_propagations = Sparse.n_iterations g.g_d.D.sparse;
+        e_stats = !stats;
+        e_cold_propagations = cold_propagations;
+        e_identical = identical;
+      }
+
+let edit_fn t ~fn ~code =
+  let old = gen_exn t in
+  match splice_fn old.g_ast ~fn ~code with
+  | Error e -> Error e
+  | Ok ast -> edit_ast t ast
+
+let edit_source t source =
+  let _ = gen_exn t in
+  match parse source with Error e -> Error e | Ok ast -> edit_ast t ast
+
+(* -- snapshot / restore ---------------------------------------------------- *)
+
+(* [Iset] values are hash-consed (physical equality, process-local tags), so
+   marshalling them directly would be unsound; snapshots store portable
+   element lists and re-intern on restore. The AST is plain data. *)
+type payload = {
+  sp_source : string;
+  sp_ast : Ast.program;
+  sp_ptv : (int * int list) list;
+  sp_pto : ((int * int) * int list) list;
+  sp_digest : string;
+}
+
+let magic = "FSAMSNAP1\n"
+
+let snapshot t path =
+  match t.gen with
+  | None -> Error "no program loaded"
+  | Some g -> (
+    let sp = g.g_d.D.sparse in
+    let ptv = ref [] in
+    for v = Prog.n_vars g.g_d.D.prog - 1 downto 0 do
+      let s = Sparse.pt_top sp v in
+      if not (Iset.is_empty s) then ptv := (v, Iset.elements s) :: !ptv
+    done;
+    let pto = ref [] in
+    Sparse.iter_pto sp (fun ~node ~obj s ->
+        if not (Iset.is_empty s) then pto := ((node, obj), Iset.elements s) :: !pto);
+    let payload =
+      {
+        sp_source = g.g_source;
+        sp_ast = g.g_ast;
+        sp_ptv = !ptv;
+        sp_pto = List.sort compare !pto;
+        sp_digest = Svfg.digest g.g_d.D.svfg;
+      }
+    in
+    try
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc magic;
+          Marshal.to_channel oc payload []);
+      Ok ()
+    with Sys_error e -> Error e)
+
+exception Bad_snapshot of string
+
+let restore t path =
+  try
+    let payload =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m =
+            try really_input_string ic (String.length magic)
+            with End_of_file -> raise (Bad_snapshot "truncated file")
+          in
+          if m <> magic then raise (Bad_snapshot "not an fsam snapshot");
+          match (Marshal.from_channel ic : payload) with
+          | p -> p
+          | exception (Failure _ | End_of_file) ->
+            raise (Bad_snapshot "corrupt payload"))
+    in
+    let ast = payload.sp_ast in
+    let prog = Lower.lower ast in
+    let captured = ref (fun _ -> false) in
+    let d =
+      D.run_with_solve ~config:t.config
+        ~solve:(fun ~prog ~ast:and_ ~svfg ~singleton ~prov ~scheduler ->
+          captured := singleton;
+          let n_vars = Prog.n_vars prog in
+          let n_objs = Prog.n_objs prog in
+          let n_nodes = Svfg.n_nodes svfg in
+          let w_ptv = Array.make (max 1 n_vars) Iset.empty in
+          List.iter
+            (fun (v, elts) ->
+              if v < 0 || v >= n_vars then
+                raise (Bad_snapshot "variable id out of range");
+              w_ptv.(v) <- Iset.of_list elts)
+            payload.sp_ptv;
+          let w_pto =
+            List.map
+              (fun ((node, obj), elts) ->
+                if node < 0 || node >= n_nodes || obj < 0 || obj >= n_objs then
+                  raise (Bad_snapshot "fact id out of range");
+                ((node, obj), Iset.of_list elts))
+              payload.sp_pto
+          in
+          (* verification sweep: seed EVERY unit — each statement gid plus
+             each non-statement SVFG node (statement nodes share their gid's
+             unit). With the snapshot pre-loaded this is ~one pass over the
+             program; any fact the snapshot is missing would register as
+             growth, which we reject below. *)
+          let w_units = ref [] in
+          for n = n_nodes - 1 downto 0 do
+            match Svfg.node svfg n with
+            | Svfg.Stmt_node _ -> ()
+            | _ -> w_units := Sparse.unit_of_svfg_node prog svfg n :: !w_units
+          done;
+          for g = Prog.n_stmts prog - 1 downto 0 do
+            w_units := g :: !w_units
+          done;
+          let w_units = !w_units in
+          let sp =
+            Sparse.solve ~scheduler ~warm:{ Sparse.w_ptv; w_pto; w_units } ?prov prog
+              and_ svfg ~singleton
+          in
+          if Sparse.n_growth sp <> 0 then
+            raise
+              (Bad_snapshot
+                 (Printf.sprintf
+                    "stale snapshot: verification sweep grew %d facts"
+                    (Sparse.n_growth sp)));
+          sp)
+        prog
+    in
+    if not (String.equal (Svfg.digest d.D.svfg) payload.sp_digest) then
+      Error "stale snapshot: SVFG fingerprint mismatch"
+    else begin
+      let g =
+        { g_source = payload.sp_source; g_ast = ast; g_d = d; g_singleton = !captured }
+      in
+      t.gen <- Some g;
+      Ok (info_of t g)
+    end
+  with
+  | Bad_snapshot e -> Error e
+  | Sys_error e -> Error e
+  | Lower.Error e -> Error ("snapshot program no longer lowers: " ^ e)

@@ -1,0 +1,66 @@
+(** The resident analysis engine behind [fsam serve]: holds one loaded
+    program generation (source, AST, full {!Fsam_core.Driver} results and
+    the captured singleton predicate) and implements the lifecycle around
+    it — cold load, incremental edit (with optional differential
+    cross-check), snapshot and restore. *)
+
+type t
+
+type load_info = {
+  l_funcs : int;
+  l_stmts : int;
+  l_vars : int;
+  l_objs : int;
+  l_races : int;
+  l_propagations : int;
+  l_digest : string;  (** {!Fsam_memssa.Svfg.digest} of the resident run *)
+}
+
+type edit_info = {
+  e_mode : [ `Incremental | `Cold ];
+  e_reason : string option;
+      (** why the engine fell back to a cold run, when it did *)
+  e_propagations : int;  (** solver propagations of the accepted run *)
+  e_stats : Incremental.stats option;  (** incremental mode only *)
+  e_cold_propagations : int option;
+      (** differential mode: propagations of the reference cold run *)
+  e_identical : bool option;
+      (** differential mode: incremental ≡ cold (points-to, memory facts,
+          SVFG fingerprint, races) *)
+}
+
+val create : ?jobs:int -> ?provenance:bool -> ?differential:bool -> unit -> t
+val loaded : t -> bool
+
+val driver : t -> Fsam_core.Driver.t
+(** Raises [Invalid_argument] when nothing is loaded. *)
+
+val source : t -> string
+(** Current source text (pretty-printed after function-level edits). *)
+
+val load : t -> string -> (load_info, string) result
+(** Parse, lower and run the full pipeline cold; becomes the resident
+    generation on success. *)
+
+val edit_fn : t -> fn:string -> code:string -> (edit_info, string) result
+(** Replace one function definition ([code] must contain exactly one
+    definition of [fn]) and re-analyse: pre-phases run cold, the sparse
+    solve warm-starts from the old generation's clean slice. Falls back to
+    a fully cold solve when the diff is incompatible or the plan cannot
+    translate a clean fact — [e_reason] says why. *)
+
+val edit_source : t -> string -> (edit_info, string) result
+(** Replace the whole source; same incremental machinery (a program must
+    already be loaded — use {!load} otherwise). *)
+
+val snapshot : t -> string -> (unit, string) result
+(** Serialize the resident generation (source, AST, points-to facts as
+    portable element lists — [Iset] hash-consing does not survive
+    marshalling) to the given path. *)
+
+val restore : t -> string -> (load_info, string) result
+(** Load a snapshot: re-lower (deterministic, so ids match), re-run the
+    cold pre-phases, then warm-start the solve from the stored facts with
+    {e every} unit seeded — a verification sweep. Rejects the snapshot if
+    the sweep grows any fact ([Sparse.n_growth] ≠ 0) or the SVFG
+    fingerprint drifted. *)

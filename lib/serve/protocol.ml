@@ -1,0 +1,428 @@
+(* NDJSON request/reply protocol of [fsam serve]: one JSON object per line
+   on stdin/stdout (or a Unix socket, or a batch file). Every reply carries
+   the request id, an "ok" flag, the per-request wall time in microseconds,
+   and either the result fields or a structured {code, message} error. *)
+
+module J = Fsam_obs.Json
+module Mono = Fsam_obs.Monotonic
+module T = Fsam_core.Telemetry
+module D = Fsam_core.Driver
+module Prog = Fsam_ir.Prog
+module Races = Fsam_core.Races
+module Ex = Fsam_core.Explain
+module Iset = Fsam_dsa.Iset
+
+type op_stat = { mutable os_count : int; mutable os_us : int }
+
+type t = {
+  eng : Engine.t;
+  crash_telemetry : string option;
+      (** armed around each request so a crash mid-analysis still flushes a
+          partial telemetry document; disarmed (idempotently) on reply *)
+  op_stats : (string, op_stat) Hashtbl.t;
+      (** per-op request counts and wall time — kept here because the
+          pipeline resets the global metrics registry on every run *)
+  mutable requests : int;
+  mutable shutdown : bool;
+}
+
+let create ?crash_telemetry eng =
+  { eng; crash_telemetry; op_stats = Hashtbl.create 16; requests = 0; shutdown = false }
+
+(* -- request plumbing ------------------------------------------------------ *)
+
+exception Err of string * string  (** (code, message) *)
+
+let bad msg = raise (Err ("bad_request", msg))
+
+let field req name = J.member name req
+
+let str_field req name =
+  match field req name with Some (J.String s) -> Some s | _ -> None
+
+let int_field req name =
+  match field req name with Some (J.Int i) -> Some i | _ -> None
+
+let require_str req name =
+  match str_field req name with
+  | Some s -> s
+  | None -> bad (Printf.sprintf "missing string field %S" name)
+
+let require_int req name =
+  match int_field req name with
+  | Some i -> i
+  | None -> bad (Printf.sprintf "missing integer field %S" name)
+
+let driver srv =
+  if Engine.loaded srv.eng then Engine.driver srv.eng
+  else raise (Err ("no_program", "no program loaded — send a \"load\" request first"))
+
+(* name-or-id resolution, as in the CLI but returning protocol errors *)
+let resolve ~what n name_of s =
+  match int_of_string_opt s with
+  | Some i when i >= 0 && i < n -> i
+  | Some i -> raise (Err ("bad_request", Printf.sprintf "%s id %d out of range" what i))
+  | None ->
+    let rec scan i =
+      if i >= n then raise (Err ("bad_request", Printf.sprintf "unknown %s %S" what s))
+      else if String.equal (name_of i) s then i
+      else scan (i + 1)
+    in
+    scan 0
+
+(* Variables resolve by name to the latest SSA version: lowering leaves the
+   pre-SSA entry ("q") dead in the table next to the live versions ("q#7"),
+   so an exact-name lookup would answer from a variable no statement
+   defines. Among all vars whose name or base name (the part before '#')
+   equals the query, the highest id is the final SSA version. *)
+let var_of srv s =
+  let d = driver srv in
+  let n = Prog.n_vars d.D.prog in
+  match int_of_string_opt s with
+  | Some i when i >= 0 && i < n -> i
+  | Some i -> raise (Err ("bad_request", Printf.sprintf "variable id %d out of range" i))
+  | None ->
+    let base name =
+      match String.index_opt name '#' with
+      | Some k -> String.sub name 0 k
+      | None -> name
+    in
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      let name = Prog.var_name d.D.prog v in
+      if String.equal name s || String.equal (base name) s then best := v
+    done;
+    if !best < 0 then raise (Err ("bad_request", Printf.sprintf "unknown variable %S" s));
+    !best
+
+let obj_of srv s =
+  let d = driver srv in
+  resolve ~what:"object" (Prog.n_objs d.D.prog) (Prog.obj_name d.D.prog) s
+
+let gid_of srv req name =
+  let d = driver srv in
+  let g = require_int req name in
+  if g < 0 || g >= Prog.n_stmts d.D.prog then
+    bad (Printf.sprintf "%s: gid %d out of range (0..%d)" name g (Prog.n_stmts d.D.prog - 1));
+  g
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error e -> raise (Err ("io_error", e))
+
+(* -- result rendering ------------------------------------------------------ *)
+
+let obj_json prog o = J.Obj [ ("id", J.Int o); ("name", J.String (Prog.obj_name prog o)) ]
+
+let load_info_json (i : Engine.load_info) =
+  [
+    ("funcs", J.Int i.Engine.l_funcs);
+    ("stmts", J.Int i.Engine.l_stmts);
+    ("vars", J.Int i.Engine.l_vars);
+    ("objs", J.Int i.Engine.l_objs);
+    ("races", J.Int i.Engine.l_races);
+    ("propagations", J.Int i.Engine.l_propagations);
+    ("svfg_digest", J.String i.Engine.l_digest);
+  ]
+
+let edit_info_json (e : Engine.edit_info) =
+  [
+    ("mode", J.String (match e.Engine.e_mode with `Incremental -> "incremental" | `Cold -> "cold"));
+    ("propagations", J.Int e.Engine.e_propagations);
+  ]
+  @ (match e.Engine.e_reason with
+    | Some r -> [ ("fallback_reason", J.String r) ]
+    | None -> [])
+  @ (match e.Engine.e_stats with
+    | Some s ->
+      [
+        ( "incremental",
+          J.Obj
+            [
+              ("units", J.Int s.Incremental.s_units);
+              ("dirty_units", J.Int s.Incremental.s_dirty);
+              ("seeds", J.Int s.Incremental.s_seeds);
+              ("cascade_rounds", J.Int s.Incremental.s_cascades);
+              ("copied_vars", J.Int s.Incremental.s_copied_vars);
+              ("copied_facts", J.Int s.Incremental.s_copied_facts);
+              ("changed_funcs", J.Int s.Incremental.s_changed_funcs);
+            ] );
+      ]
+    | None -> [])
+  @ (match e.Engine.e_cold_propagations with
+    | Some p -> [ ("cold_propagations", J.Int p) ]
+    | None -> [])
+  @
+  match e.Engine.e_identical with
+  | Some b -> [ ("identical", J.Bool b) ]
+  | None -> []
+
+let race_json prog (r : Races.race) =
+  J.Obj
+    [
+      ("store", J.Int r.Races.store_gid);
+      ("access", J.Int r.Races.access_gid);
+      ("obj", J.Int r.Races.obj);
+      ("obj_name", J.String (Prog.obj_name prog r.Races.obj));
+      ("both_writes", J.Bool r.Races.both_writes);
+    ]
+
+(* -- op handlers (each returns the reply's result fields) ------------------- *)
+
+let op_load srv req =
+  let source =
+    match (str_field req "source", str_field req "path", str_field req "synth") with
+    | Some s, None, None -> s
+    | None, Some p, None -> read_file p
+    | None, None, Some preset ->
+      let params =
+        match preset with
+        | "quick" -> Fsam_workloads.Minic_synth.quick
+        | "large" -> Fsam_workloads.Minic_synth.large
+        | p -> bad (Printf.sprintf "unknown synth preset %S (quick, large)" p)
+      in
+      Fsam_workloads.Minic_synth.generate params
+    | _ -> bad "load takes exactly one of \"source\", \"path\", \"synth\""
+  in
+  match Engine.load srv.eng source with
+  | Ok info -> load_info_json info
+  | Error e -> raise (Err ("parse_error", e))
+
+let op_points_to srv req =
+  let d = driver srv in
+  let v = var_of srv (require_str req "var") in
+  let pts = D.pt d v in
+  [
+    ("var", J.String (Prog.var_name d.D.prog v));
+    ("var_id", J.Int v);
+    ("objects", J.List (List.map (obj_json d.D.prog) (Iset.elements pts)));
+  ]
+
+let op_alias srv req =
+  let d = driver srv in
+  let a = var_of srv (require_str req "a") in
+  let b = var_of srv (require_str req "b") in
+  [ ("alias", J.Bool (D.alias d a b)) ]
+
+let op_mhp srv req =
+  let d = driver srv in
+  let g1 = gid_of srv req "g1" and g2 = gid_of srv req "g2" in
+  [ ("mhp", J.Bool (Fsam_mta.Mhp.mhp_stmt d.D.mhp g1 g2)) ]
+
+let op_races srv =
+  let d = driver srv in
+  let rs = Races.detect d in
+  [ ("count", J.Int (List.length rs)); ("races", J.List (List.map (race_json d.D.prog) rs)) ]
+
+let op_explain srv req =
+  let d = driver srv in
+  if d.D.prov = None then
+    raise
+      (Err
+         ( "provenance_disabled",
+           "explain needs recorded provenance — start the server with --provenance" ));
+  let kind = require_str req "query" in
+  let result =
+    match kind with
+    | "why-pt" ->
+      let v = var_of srv (require_str req "var") in
+      let o = obj_of srv (require_str req "obj") in
+      (match Ex.why_pt d v o with
+      | Some chain -> Ex.chain_json d chain
+      | None -> J.Null)
+    | "why-mhp" ->
+      let g1 = gid_of srv req "g1" and g2 = gid_of srv req "g2" in
+      (match Ex.why_mhp d g1 g2 with Some j -> Ex.mhp_json d j | None -> J.Null)
+    | "why-edge" ->
+      let store = gid_of srv req "store" and access = gid_of srv req "access" in
+      let o = obj_of srv (require_str req "obj") in
+      Ex.edge_verdict_json d (Ex.why_edge d ~store ~obj:o ~access)
+    | "why-race" ->
+      let idx = require_int req "index" in
+      let rs = Races.detect d in
+      if idx < 0 || idx >= List.length rs then
+        bad (Printf.sprintf "race index %d out of range (%d found)" idx (List.length rs));
+      (match Ex.witness d (List.nth rs idx) with
+      | Some w -> Ex.witness_json d w
+      | None -> J.Null)
+    | k -> bad (Printf.sprintf "unknown explain query %S" k)
+  in
+  [ ("query", J.String kind); ("result", result) ]
+
+let op_edit srv req =
+  if not (Engine.loaded srv.eng) then
+    raise (Err ("no_program", "no program loaded — send a \"load\" request first"));
+  let r =
+    match (str_field req "fn", str_field req "code", str_field req "source") with
+    | Some fn, Some code, None -> Engine.edit_fn srv.eng ~fn ~code
+    | None, None, Some source -> Engine.edit_source srv.eng source
+    | _ -> bad "edit takes either \"fn\" + \"code\" or \"source\""
+  in
+  match r with Ok info -> edit_info_json info | Error e -> raise (Err ("parse_error", e))
+
+let op_snapshot srv req =
+  if not (Engine.loaded srv.eng) then
+    raise (Err ("no_program", "no program loaded — nothing to snapshot"));
+  match Engine.snapshot srv.eng (require_str req "path") with
+  | Ok () -> [ ("saved", J.Bool true) ]
+  | Error e -> raise (Err ("snapshot_error", e))
+
+let op_restore srv req =
+  match Engine.restore srv.eng (require_str req "path") with
+  | Ok info -> load_info_json info
+  | Error e -> raise (Err ("snapshot_error", e))
+
+let op_status srv =
+  let ops =
+    Hashtbl.fold (fun op s acc -> (op, s) :: acc) srv.op_stats []
+    |> List.sort compare
+    |> List.map (fun (op, s) ->
+           (op, J.Obj [ ("count", J.Int s.os_count); ("us", J.Int s.os_us) ]))
+  in
+  [ ("loaded", J.Bool (Engine.loaded srv.eng)); ("requests", J.Int srv.requests) ]
+  @ (if Engine.loaded srv.eng then begin
+       let d = Engine.driver srv.eng in
+       [
+         ("funcs", J.Int (Prog.n_funcs d.D.prog));
+         ("stmts", J.Int (Prog.n_stmts d.D.prog));
+         ("vars", J.Int (Prog.n_vars d.D.prog));
+         ("objs", J.Int (Prog.n_objs d.D.prog));
+       ]
+     end
+     else [])
+  @ [ ("ops", J.Obj ops) ]
+
+let op_metrics () = [ ("metrics", Fsam_obs.Metrics.to_json ()) ]
+
+(* -- dispatch -------------------------------------------------------------- *)
+
+let ok_reply ~id ~us fields =
+  J.Obj (("id", id) :: ("ok", J.Bool true) :: ("us", J.Int us) :: fields)
+
+let err_reply ~id ~us code msg =
+  J.Obj
+    [
+      ("id", id);
+      ("ok", J.Bool false);
+      ("us", J.Int us);
+      ("error", J.Obj [ ("code", J.String code); ("message", J.String msg) ]);
+    ]
+
+let note_op srv op us =
+  let s =
+    match Hashtbl.find_opt srv.op_stats op with
+    | Some s -> s
+    | None ->
+      let s = { os_count = 0; os_us = 0 } in
+      Hashtbl.add srv.op_stats op s;
+      s
+  in
+  s.os_count <- s.os_count + 1;
+  s.os_us <- s.os_us + us
+
+let rec handle_request ?(depth = 0) srv req =
+  let id = Option.value ~default:J.Null (field req "id") in
+  let t0 = Mono.now_us () in
+  srv.requests <- srv.requests + 1;
+  (* arm the crash flush for the duration of the request: if the pipeline
+     dies mid-edit the partial telemetry still lands on disk. Arming is
+     idempotent; the disarm below must leave [T.armed () = false] between
+     requests (asserted by the test suite). *)
+  (match srv.crash_telemetry with Some p -> T.flush_at_exit p | None -> ());
+  let finish fields_or_err =
+    let us = Mono.elapsed_us ~since_us:t0 in
+    (match srv.crash_telemetry with Some _ -> T.mark_flushed () | None -> ());
+    match fields_or_err with
+    | Ok (op, fields) ->
+      note_op srv op us;
+      ok_reply ~id ~us fields
+    | Error (op, code, msg) ->
+      note_op srv op us;
+      err_reply ~id ~us code msg
+  in
+  let op = match str_field req "op" with Some op -> op | None -> "" in
+  finish
+    (try
+       match op with
+       | "" -> Error ("?", "bad_request", "missing \"op\" field")
+       | "load" -> Ok (op, op_load srv req)
+       | "points-to" -> Ok (op, op_points_to srv req)
+       | "alias" -> Ok (op, op_alias srv req)
+       | "mhp" -> Ok (op, op_mhp srv req)
+       | "races" -> Ok (op, op_races srv)
+       | "explain" -> Ok (op, op_explain srv req)
+       | "edit" -> Ok (op, op_edit srv req)
+       | "snapshot" -> Ok (op, op_snapshot srv req)
+       | "restore" -> Ok (op, op_restore srv req)
+       | "status" -> Ok (op, op_status srv)
+       | "metrics" -> Ok (op, op_metrics ())
+       | "batch" ->
+         if depth > 0 then Error (op, "bad_request", "nested batch requests")
+         else (
+           match field req "requests" with
+           | Some (J.List reqs) ->
+             Ok
+               ( op,
+                 [
+                   ( "replies",
+                     J.List (List.map (handle_request ~depth:1 srv) reqs) );
+                 ] )
+           | _ -> Error (op, "bad_request", "batch needs a \"requests\" list"))
+       | "shutdown" ->
+         srv.shutdown <- true;
+         Ok (op, [ ("bye", J.Bool true) ])
+       | op -> Error (op, "unknown_op", Printf.sprintf "unknown op %S" op)
+     with
+    | Err (code, msg) -> Error (op, code, msg)
+    | e -> Error (op, "internal", Printexc.to_string e))
+
+let handle_line srv line =
+  match J.of_string line with
+  | Ok req -> handle_request srv req
+  | Error e -> err_reply ~id:J.Null ~us:0 "bad_request" ("invalid JSON: " ^ e)
+
+(* -- server loops ---------------------------------------------------------- *)
+
+let serve_channels srv ic oc =
+  (try
+     while not srv.shutdown do
+       match input_line ic with
+       | line ->
+         if String.trim line <> "" then begin
+           output_string oc (J.to_string ~minify:true (handle_line srv line));
+           output_char oc '\n';
+           flush oc
+         end
+       | exception End_of_file -> raise Exit
+     done
+   with Exit | Sys_error _ -> ());
+  flush oc
+
+let serve_stdio srv = serve_channels srv stdin stdout
+
+let serve_batch srv path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> serve_channels srv ic stdout)
+
+let serve_socket srv path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 1;
+      while not srv.shutdown do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> serve_channels srv ic oc)
+      done)

@@ -1,0 +1,27 @@
+(** The NDJSON request/reply protocol of [fsam serve]. One JSON object per
+    line; replies echo the request ["id"] and carry ["ok"], the per-request
+    wall time ["us"], and either result fields or a structured
+    [{"code", "message"}] error. Ops: [load], [points-to], [alias], [mhp],
+    [races], [explain], [edit], [snapshot], [restore], [status], [metrics],
+    [batch], [shutdown]. See docs/GUIDE.md for the full protocol. *)
+
+type t
+
+val create : ?crash_telemetry:string -> Engine.t -> t
+(** [crash_telemetry], when given, is armed as a crash-flush target around
+    each request and idempotently disarmed on reply
+    ([Fsam_core.Telemetry.armed] is [false] between requests). *)
+
+val handle_line : t -> string -> Fsam_obs.Json.t
+(** Process one request line and return the reply document (exposed for the
+    test suite; the serve loops below write it as minified NDJSON). *)
+
+val serve_stdio : t -> unit
+(** Serve requests from stdin to stdout until [shutdown] or EOF. *)
+
+val serve_batch : t -> string -> unit
+(** Serve the NDJSON requests in the given file, replies to stdout. *)
+
+val serve_socket : t -> string -> unit
+(** Listen on a Unix-domain socket at the given path, one client at a
+    time, until a [shutdown] request. *)

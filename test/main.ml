@@ -28,4 +28,5 @@ let () =
       ("query-index", Test_query_index.suite);
       ("prov", Test_prov.suite);
       ("profile", Test_profile.suite);
+      ("serve", Test_serve.suite);
     ]

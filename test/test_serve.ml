@@ -1,0 +1,322 @@
+(* The serve layer: incremental edits must be byte-identical to cold runs
+   (differential property over random programs and random single-function
+   edits, across --jobs values), snapshots must round-trip, the NDJSON
+   protocol must answer and fail structurally, and the telemetry crash-flush
+   arming around requests must be idempotent and disarmed between requests. *)
+
+open Fsam_ir
+module D = Fsam_core.Driver
+module Sparse = Fsam_core.Sparse
+module Races = Fsam_core.Races
+module Svfg = Fsam_memssa.Svfg
+module Iset = Fsam_dsa.Iset
+module J = Fsam_obs.Json
+module Ast = Fsam_frontend.Ast
+module Engine = Fsam_serve.Engine
+module Protocol = Fsam_serve.Protocol
+
+(* -- random single-function AST edits ------------------------------------- *)
+
+(* deterministic mutations: duplicate / drop / swap a statement inside one
+   function, or append a self-assignment. Some mutations won't lower
+   (dropped declarations); the caller skips those. *)
+let mutate ~k source =
+  let ast = Fsam_frontend.Parser.parse_string source in
+  let fns = List.filter_map (function Ast.Dfun f -> Some f.Ast.fname | _ -> None) ast in
+  let fn = List.nth fns (k mod List.length fns) in
+  let tweak (f : Ast.fundef) =
+    let body = Array.of_list f.Ast.body in
+    let n = Array.length body in
+    if n = 0 then f
+    else begin
+      let i = (k * 7) mod n in
+      let body =
+        match (k / 3) mod 4 with
+        | 0 -> Array.to_list body @ [ body.(i) ] (* duplicate at the end *)
+        | 1 -> List.filteri (fun j _ -> j <> i) (Array.to_list body) (* drop *)
+        | 2 when n >= 2 ->
+          let j = (i + 1) mod n in
+          let t = body.(i) in
+          body.(i) <- body.(j);
+          body.(j) <- t;
+          Array.to_list body (* swap *)
+        | _ -> body.(i) :: Array.to_list body (* duplicate at the front *)
+      in
+      { f with Ast.body = body }
+    end
+  in
+  let ast' =
+    List.map
+      (function Ast.Dfun f when f.Ast.fname = fn -> Ast.Dfun (tweak f) | d -> d)
+      ast
+  in
+  Fsam_frontend.Pretty.to_string ast'
+
+let all_pt d =
+  List.init (Prog.n_vars d.D.prog) (fun v -> Sparse.pt_top d.D.sparse v)
+
+let same_driver_results a b =
+  List.for_all2 Iset.equal (all_pt a) (all_pt b)
+  && String.equal (Svfg.digest a.D.svfg) (Svfg.digest b.D.svfg)
+  && List.sort compare (Races.detect a) = List.sort compare (Races.detect b)
+
+(* Random programs, random edits, differential mode on: every edit that runs
+   incrementally must be certified identical to the cold re-run. *)
+let test_edit_differential () =
+  let incremental = ref 0 and cold = ref 0 and skipped = ref 0 in
+  for seed = 0 to 17 do
+    let source =
+      Fsam_workloads.Rand_minic.generate ~seed ~size:(20 + ((seed mod 3) * 15))
+    in
+    let eng = Engine.create ~differential:true () in
+    (match Engine.load eng source with
+    | Error e -> Alcotest.failf "seed %d: load failed: %s" seed e
+    | Ok _ ->
+      for k = 0 to 3 do
+        let edited = mutate ~k:((seed * 5) + k) source in
+        match Engine.edit_source eng edited with
+        | Error _ -> incr skipped (* mutation didn't lower; fine *)
+        | Ok info -> (
+          match info.Engine.e_mode with
+          | `Cold -> incr cold
+          | `Incremental ->
+            incr incremental;
+            if info.Engine.e_identical <> Some true then
+              Alcotest.failf
+                "seed %d edit %d: incremental result differs from cold re-run" seed k)
+      done)
+  done;
+  (* the property is vacuous if nothing ever runs incrementally *)
+  if !incremental < 10 then
+    Alcotest.failf "only %d incremental edits across the sweep (%d cold, %d skipped)"
+      !incremental !cold !skipped
+
+(* The same program + edit sequence through engines at --jobs 1/2/4 must
+   land on identical resident state. *)
+let test_edit_jobs_invariant () =
+  for seed = 0 to 3 do
+    let source = Fsam_workloads.Rand_minic.generate ~seed ~size:40 in
+    let edited = mutate ~k:(seed + 1) source in
+    let run jobs =
+      let eng = Engine.create ~jobs () in
+      match Engine.load eng source with
+      | Error e -> Alcotest.failf "seed %d jobs %d: load failed: %s" seed jobs e
+      | Ok _ -> (
+        match Engine.edit_source eng edited with
+        | Error _ -> None
+        | Ok _ -> Some (Engine.driver eng))
+    in
+    match (run 1, run 2, run 4) with
+    | Some d1, Some d2, Some d4 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: jobs 1 vs 2" seed)
+        true (same_driver_results d1 d2);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: jobs 1 vs 4" seed)
+        true (same_driver_results d1 d4)
+    | None, None, None -> () (* mutation didn't lower under any engine *)
+    | _ -> Alcotest.failf "seed %d: edit viability differed across jobs" seed
+  done
+
+(* -- snapshot / restore ---------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  for seed = 0 to 5 do
+    let source = Fsam_workloads.Rand_minic.generate ~seed ~size:50 in
+    let eng = Engine.create () in
+    (match Engine.load eng source with
+    | Error e -> Alcotest.failf "seed %d: load failed: %s" seed e
+    | Ok _ -> ());
+    let path = Filename.temp_file "fsam_test" ".snap" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        (match Engine.snapshot eng path with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d: snapshot failed: %s" seed e);
+        let eng2 = Engine.create () in
+        match Engine.restore eng2 path with
+        | Error e -> Alcotest.failf "seed %d: restore failed: %s" seed e
+        | Ok _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: restored state identical" seed)
+            true
+            (same_driver_results (Engine.driver eng) (Engine.driver eng2));
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: source survives" seed)
+            (Engine.source eng) (Engine.source eng2))
+  done
+
+let test_snapshot_rejects_garbage () =
+  let path = Filename.temp_file "fsam_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "definitely not a snapshot";
+      close_out oc;
+      let eng = Engine.create () in
+      match Engine.restore eng path with
+      | Ok _ -> Alcotest.fail "garbage accepted as a snapshot"
+      | Error _ -> Alcotest.(check bool) "engine still empty" false (Engine.loaded eng))
+
+(* -- protocol -------------------------------------------------------------- *)
+
+let tiny_source =
+  "int g;\nvoid writer(int *p) { *p = 1; }\nint main() { int *q; q = &g; writer(q); \
+   *q = 2; return 0; }\n"
+
+let req srv fields = Protocol.handle_line srv (J.to_string ~minify:true (J.Obj fields))
+let is_ok r = J.member "ok" r = Some (J.Bool true)
+
+let err_code r =
+  match J.member "error" r with
+  | Some e -> (match J.member "code" e with Some (J.String c) -> Some c | _ -> None)
+  | None -> None
+
+let test_protocol_basics () =
+  let eng = Engine.create () in
+  let srv = Protocol.create eng in
+  let r = req srv [ ("id", J.Int 1); ("op", J.String "points-to"); ("var", J.String "q") ] in
+  Alcotest.(check (option string)) "query before load" (Some "no_program") (err_code r);
+  let r = req srv [ ("id", J.Int 2); ("op", J.String "load"); ("source", J.String tiny_source) ] in
+  Alcotest.(check bool) "load ok" true (is_ok r);
+  let r = req srv [ ("id", J.Int 3); ("op", J.String "points-to"); ("var", J.String "q") ] in
+  Alcotest.(check bool) "points-to ok" true (is_ok r);
+  (match J.member "objects" r with
+  | Some (J.List [ o ]) ->
+    Alcotest.(check bool) "points at g" true (J.member "name" o = Some (J.String "g"))
+  | _ -> Alcotest.fail "expected exactly one points-to target");
+  let r = req srv [ ("id", J.Int 4); ("op", J.String "frobnicate") ] in
+  Alcotest.(check (option string)) "unknown op" (Some "unknown_op") (err_code r);
+  let r = Protocol.handle_line srv "{nonsense" in
+  Alcotest.(check (option string)) "bad json" (Some "bad_request") (err_code r);
+  let r = req srv [ ("id", J.Int 5); ("op", J.String "load"); ("source", J.String "int main( {") ] in
+  Alcotest.(check (option string)) "parse error" (Some "parse_error") (err_code r);
+  let r =
+    req srv
+      [
+        ("id", J.Int 6);
+        ("op", J.String "batch");
+        ( "requests",
+          J.List
+            [
+              J.Obj [ ("id", J.Int 7); ("op", J.String "status") ];
+              J.Obj [ ("id", J.Int 8); ("op", J.String "races") ];
+            ] );
+      ]
+  in
+  Alcotest.(check bool) "batch ok" true (is_ok r);
+  (match J.member "replies" r with
+  | Some (J.List [ a; b ]) ->
+    Alcotest.(check bool) "batch replies ok" true (is_ok a && is_ok b)
+  | _ -> Alcotest.fail "expected two batch replies");
+  let r =
+    req srv
+      [ ("id", J.Int 9); ("op", J.String "explain"); ("query", J.String "why-pt") ]
+  in
+  Alcotest.(check (option string))
+    "explain without provenance" (Some "provenance_disabled") (err_code r)
+
+let test_protocol_edit_and_ids () =
+  let eng = Engine.create ~differential:true () in
+  let srv = Protocol.create eng in
+  let r = req srv [ ("id", J.String "a"); ("op", J.String "load"); ("source", J.String tiny_source) ] in
+  Alcotest.(check bool) "load ok" true (is_ok r);
+  Alcotest.(check bool) "id echoed" true (J.member "id" r = Some (J.String "a"));
+  let r =
+    req srv
+      [
+        ("id", J.Int 2);
+        ("op", J.String "edit");
+        ("fn", J.String "writer");
+        ("code", J.String "void writer(int *p) { *p = 1; *p = 2; }");
+      ]
+  in
+  Alcotest.(check bool) "edit ok" true (is_ok r);
+  Alcotest.(check bool) "edit certified identical" true
+    (J.member "identical" r = Some (J.Bool true));
+  let r =
+    req srv
+      [
+        ("id", J.Int 3);
+        ("op", J.String "edit");
+        ("fn", J.String "nope");
+        ("code", J.String "void nope() { return; }");
+      ]
+  in
+  Alcotest.(check (option string)) "edit unknown fn" (Some "parse_error") (err_code r)
+
+(* The crash-flush must be armed during a request, idempotently re-armable,
+   and observably disarmed between requests. *)
+let test_telemetry_arming () =
+  let module T = Fsam_core.Telemetry in
+  let path = Filename.temp_file "fsam_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      T.mark_flushed ();
+      Alcotest.(check bool) "disarmed at start" false (T.armed ());
+      T.flush_at_exit path;
+      T.flush_at_exit path;
+      (* idempotent re-arm *)
+      Alcotest.(check bool) "armed" true (T.armed ());
+      T.mark_flushed ();
+      Alcotest.(check bool) "disarmed" false (T.armed ());
+      let eng = Engine.create () in
+      let srv = Protocol.create ~crash_telemetry:path eng in
+      let r = req srv [ ("id", J.Int 1); ("op", J.String "load"); ("source", J.String tiny_source) ] in
+      Alcotest.(check bool) "request ok" true (is_ok r);
+      Alcotest.(check bool) "disarmed between requests" false (T.armed ());
+      let r = req srv [ ("id", J.Int 2); ("op", J.String "races") ] in
+      Alcotest.(check bool) "second request ok" true (is_ok r);
+      Alcotest.(check bool) "still disarmed" false (T.armed ()))
+
+(* -- determinism sweep ----------------------------------------------------- *)
+
+(* Two identical runs must produce identical solver counters and SVFG
+   fingerprints — guards the Hashtbl-iteration-order class of bugs. *)
+let test_run_determinism () =
+  let prog () = Fsam_frontend.Lower.compile_string tiny_source in
+  let capture () =
+    let d = D.run (prog ()) in
+    let counter n = Option.value ~default:(-1) (Fsam_obs.Metrics.find_counter n) in
+    ( Svfg.digest d.D.svfg,
+      counter "sparse.propagations",
+      counter "sparse.strong_updates",
+      counter "sparse.weak_updates",
+      List.length (Races.detect d) )
+  in
+  Alcotest.(check bool) "two runs identical" true (capture () = capture ())
+
+(* fields_of is documented to return ids sorted ascending regardless of the
+   order fields were materialised in, and find_field_obj must never create. *)
+let test_fields_of_sorted () =
+  let b = Builder.create () in
+  let main = Builder.declare b "main" ~params:[] in
+  let x = Builder.stack_obj b ~owner:main "x" in
+  Builder.define b main (fun _ -> ());
+  let p = Builder.finish b in
+  List.iter
+    (fun field -> ignore (Prog.field_obj p ~base:x ~field))
+    [ "zeta"; "alpha"; "mid"; "beta"; "omega" ];
+  let fs = Prog.fields_of p x in
+  Alcotest.(check bool) "sorted by id" true (fs = List.sort compare fs);
+  Alcotest.(check int) "all five present" 5 (List.length fs);
+  let n0 = Prog.n_objs p in
+  Alcotest.(check (option int)) "find_field_obj misses without creating" None
+    (Prog.find_field_obj p ~base:x ~field:"never");
+  Alcotest.(check int) "no object materialised" n0 (Prog.n_objs p)
+
+let suite =
+  [
+    Alcotest.test_case "edit-differential" `Slow test_edit_differential;
+    Alcotest.test_case "edit-jobs-invariant" `Slow test_edit_jobs_invariant;
+    Alcotest.test_case "snapshot-roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot-rejects-garbage" `Quick test_snapshot_rejects_garbage;
+    Alcotest.test_case "protocol-basics" `Quick test_protocol_basics;
+    Alcotest.test_case "protocol-edit" `Quick test_protocol_edit_and_ids;
+    Alcotest.test_case "telemetry-arming" `Quick test_telemetry_arming;
+    Alcotest.test_case "run-determinism" `Quick test_run_determinism;
+    Alcotest.test_case "fields-of-sorted" `Quick test_fields_of_sorted;
+  ]

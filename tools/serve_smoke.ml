@@ -1,0 +1,156 @@
+(* End-to-end smoke test of [fsam serve], used by CI: drives a real daemon
+   subprocess over its NDJSON protocol through the full lifecycle — load the
+   paper-scale synth workload, query, apply a single-function edit, snapshot,
+   restart, restore, re-query — and gates on the incremental contract: the
+   edit must be byte-identical to a cold run with >= 5x fewer solver
+   propagations. Prints the warm-vs-cold latency table quoted in
+   EXPERIMENTS.md. Exit status 0 iff every check passes.
+
+   FSAM_BIN overrides the daemon binary (default: the dune build output). *)
+
+module J = Fsam_obs.Json
+module Ast = Fsam_frontend.Ast
+
+let bin =
+  match Sys.getenv_opt "FSAM_BIN" with
+  | Some b -> b
+  | None -> "_build/default/bin/fsam_cli.exe"
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok    %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL  %s\n%!" name
+  end
+
+type daemon = { ic : in_channel; oc : out_channel }
+
+let start args =
+  let argv = Array.of_list (bin :: "serve" :: args) in
+  let ic, oc = Unix.open_process_args bin argv in
+  { ic; oc }
+
+let stop d = ignore (Unix.close_process (d.ic, d.oc))
+
+let request d obj =
+  output_string d.oc (J.to_string ~minify:true (J.Obj obj));
+  output_char d.oc '\n';
+  flush d.oc;
+  match input_line d.ic with
+  | line -> (
+    match J.of_string line with
+    | Ok reply -> reply
+    | Error e -> failwith (Printf.sprintf "unparsable reply %S: %s" line e))
+  | exception End_of_file -> failwith "daemon closed the connection"
+
+let is_ok reply = J.member "ok" reply = Some (J.Bool true)
+let int_field reply name = match J.member name reply with Some (J.Int i) -> Some i | _ -> None
+let us_of reply = Option.value ~default:0 (int_field reply "us")
+let str_field reply name =
+  match J.member name reply with Some (J.String s) -> Some s | _ -> None
+
+(* the edit: append one genuine statement (a global publish of the local
+   heap handle) to a single mid-chain function of the synth workload *)
+let edited_source source ~fn =
+  let ast = Fsam_frontend.Parser.parse_string source in
+  let found = ref false in
+  let ast' =
+    List.map
+      (function
+        | Ast.Dfun f when f.Ast.fname = fn ->
+          found := true;
+          Ast.Dfun { f with Ast.body = f.Ast.body @ [ Ast.Sassign (Ast.Eid "g1_0", Ast.Eid "bh") ] }
+        | d -> d)
+      ast
+  in
+  if not !found then failwith (Printf.sprintf "no %s in synth source" fn);
+  Fsam_frontend.Pretty.to_string ast'
+
+let () =
+  let snap = Filename.temp_file "fsam_smoke" ".snap" in
+  let source = Fsam_workloads.Minic_synth.generate Fsam_workloads.Minic_synth.quick in
+
+  (* -- daemon #1: load, query, incremental edit (differential), snapshot -- *)
+  let d1 = start [ "--differential" ] in
+  let r = request d1 [ ("id", J.Int 1); ("op", J.String "load"); ("source", J.String source) ] in
+  check "load synth quick" (is_ok r);
+  let load_us = us_of r in
+  let races0 = int_field r "races" in
+
+  let r = request d1 [ ("id", J.Int 2); ("op", J.String "points-to"); ("var", J.String "out") ] in
+  check "points-to query" (is_ok r);
+  let query_us = us_of r in
+  let pt_out_before = J.member "objects" r in
+
+  let edited = edited_source source ~fn:"f1_1" in
+  let r = request d1 [ ("id", J.Int 3); ("op", J.String "edit"); ("source", J.String edited) ] in
+  check "edit request ok" (is_ok r);
+  let edit_us = us_of r in
+  check "edit ran incrementally" (str_field r "mode" = Some "incremental");
+  check "incremental result identical to cold re-run"
+    (J.member "identical" r = Some (J.Bool true));
+  let warm_prop = Option.value ~default:max_int (int_field r "propagations") in
+  let cold_prop = Option.value ~default:0 (int_field r "cold_propagations") in
+  Printf.printf "      propagations: warm %d vs cold %d (%.1fx)\n%!" warm_prop cold_prop
+    (float_of_int cold_prop /. float_of_int (max 1 warm_prop));
+  check "incremental edit >= 5x fewer propagations" (warm_prop * 5 <= cold_prop);
+
+  let r = request d1 [ ("id", J.Int 4); ("op", J.String "races") ] in
+  check "races after edit" (is_ok r);
+  let races_after_edit = int_field r "count" in
+  let races_us = us_of r in
+
+  let r = request d1 [ ("id", J.Int 5); ("op", J.String "snapshot"); ("path", J.String snap) ] in
+  check "snapshot saved" (is_ok r);
+  let r = request d1 [ ("id", J.Int 6); ("op", J.String "shutdown") ] in
+  check "daemon 1 shutdown" (is_ok r);
+  stop d1;
+
+  (* -- daemon #2: restart cold, restore the snapshot, re-query ------------- *)
+  let d2 = start [] in
+  let r = request d2 [ ("id", J.Int 7); ("op", J.String "races") ] in
+  check "fresh daemon has no program" (J.member "ok" r = Some (J.Bool false));
+
+  let r = request d2 [ ("id", J.Int 8); ("op", J.String "restore"); ("path", J.String snap) ] in
+  check "restore from snapshot" (is_ok r);
+  let restore_us = us_of r in
+
+  let r = request d2 [ ("id", J.Int 9); ("op", J.String "races") ] in
+  check "races identical across snapshot/restore"
+    (is_ok r && int_field r "count" = races_after_edit);
+
+  (* a second single-function edit on the restored state, without the
+     differential cross-check: the honest warm-edit latency *)
+  let edited2 = edited_source edited ~fn:"f2_1" in
+  let r = request d2 [ ("id", J.Int 10); ("op", J.String "edit"); ("source", J.String edited2) ] in
+  check "edit after restore is incremental" (is_ok r && str_field r "mode" = Some "incremental");
+  let warm_edit_us = us_of r in
+
+  let r = request d2 [ ("id", J.Int 11); ("op", J.String "shutdown") ] in
+  check "daemon 2 shutdown" (is_ok r);
+  stop d2;
+  Sys.remove snap;
+
+  ignore races0;
+  ignore pt_out_before;
+  Printf.printf "\nwarm-vs-cold latency (synth quick, single-function edit):\n";
+  Printf.printf "  %-34s %10s\n" "operation" "wall";
+  Printf.printf "  %-34s %7.1f ms\n" "cold load (parse + full pipeline)"
+    (float_of_int load_us /. 1000.);
+  Printf.printf "  %-34s %7.1f ms\n" "warm edit (incremental solve)"
+    (float_of_int warm_edit_us /. 1000.);
+  Printf.printf "  %-34s %7.1f ms\n" "edit w/ differential cross-check"
+    (float_of_int edit_us /. 1000.);
+  Printf.printf "  %-34s %7.1f ms\n" "restore (load snapshot + verify)"
+    (float_of_int restore_us /. 1000.);
+  Printf.printf "  %-34s %7.1f ms\n" "resident points-to query"
+    (float_of_int query_us /. 1000.);
+  Printf.printf "  %-34s %7.1f ms\n" "resident race scan" (float_of_int races_us /. 1000.);
+  Printf.printf "  propagations: warm %d, cold %d\n" warm_prop cold_prop;
+  if !failures > 0 then begin
+    Printf.printf "\n%d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  Printf.printf "\nall serve smoke checks passed\n"
