@@ -849,6 +849,302 @@ let prov_bench () =
   end
 
 (* ------------------------------------------------------------------------- *)
+(* serve — incremental edit+query stream against the resident engine.        *)
+(* ------------------------------------------------------------------------- *)
+
+module Eng = Fsam_serve.Engine
+module FAst = Fsam_frontend.Ast
+
+(* the shape-preserving edit (same statement template, so every pre-phase
+   reuse guard holds): retarget the first "g... = p..." global publish in
+   [fn] to the module heap handle *)
+let serve_replace_edit source ~fn =
+  let ast = Fsam_frontend.Parser.parse_string source in
+  let found = ref false in
+  let fix_stmt = function
+    | FAst.Sassign (FAst.Eid g, FAst.Eid p)
+      when (not !found)
+           && String.length g > 0
+           && g.[0] = 'g'
+           && String.length p > 0
+           && p.[0] = 'p' ->
+      found := true;
+      FAst.Sassign (FAst.Eid g, FAst.Eid "bh")
+    | s -> s
+  in
+  let ast' =
+    List.map
+      (function
+        | FAst.Dfun f when f.FAst.fname = fn ->
+          FAst.Dfun { f with FAst.body = List.map fix_stmt f.FAst.body }
+        | d -> d)
+      ast
+  in
+  if not !found then failwith (Printf.sprintf "no global publish to retarget in %s" fn);
+  Fsam_frontend.Pretty.to_string ast'
+
+(* the shape-changing edit: append one statement, so statement counts drift
+   and the pre-phases must fall back (the sparse solve stays warm) *)
+let serve_append_edit source ~fn =
+  let ast = Fsam_frontend.Parser.parse_string source in
+  let found = ref false in
+  let ast' =
+    List.map
+      (function
+        | FAst.Dfun f when f.FAst.fname = fn ->
+          found := true;
+          FAst.Dfun
+            { f with FAst.body = f.FAst.body @ [ FAst.Sassign (FAst.Eid "g1_0", FAst.Eid "bh") ] }
+        | d -> d)
+      ast
+  in
+  if not !found then failwith (Printf.sprintf "no %s in synth source" fn);
+  Fsam_frontend.Pretty.to_string ast'
+
+let pre_work_of (w : Eng.work) =
+  w.Eng.wk_andersen_props + w.Eng.wk_mhp_summaries + w.Eng.wk_svfg_pairs
+
+(* Replays a scripted edit+query stream against the resident engine and
+   persists the exact warm/cold work counters per edit — the deterministic
+   trajectory of the incremental pre-phases. The small tier (synth quick)
+   runs every edit in differential mode, so each row carries the matching
+   cold run's counters and a byte-identity verdict; CI gates it exactly.
+   --size large replays on the 100+ KLOC synth program without the
+   differential cross-check (a cold reference run costs minutes there) —
+   its cold work reference is the cold load of the same program. *)
+let serve_bench () =
+  let large = !size = "large" in
+  let name = if large then "synth_large" else "synth_quick" in
+  let params =
+    if large then Fsam_workloads.Minic_synth.large else Fsam_workloads.Minic_synth.quick
+  in
+  let source = Fsam_workloads.Minic_synth.generate params in
+  Printf.printf
+    "Serve tier: scripted edit+query stream on %s (differential %s).\n" name
+    (if large then "off — cold reference is the load" else "on");
+  let eng = Eng.create ~differential:(not large) () in
+  let t0 = Unix.gettimeofday () in
+  let li =
+    match Eng.load eng source with
+    | Ok li -> li
+    | Error e ->
+      Printf.eprintf "error: serve load failed: %s\n" e;
+      exit 1
+  in
+  let load_wall = Unix.gettimeofday () -. t0 in
+  let load_pre_work = pre_work_of li.Eng.l_work in
+  Printf.printf "  cold load: %.2fs (pre-phase work %d, races %d)\n%!" load_wall
+    load_pre_work li.Eng.l_races;
+  let query_us = ref [] in
+  let run_queries () =
+    (* a resident points-to probe per edit, on a spread of variables *)
+    let d = Eng.driver eng in
+    let n = Prog.n_vars d.D.prog in
+    List.iter
+      (fun v ->
+        let q0 = Unix.gettimeofday () in
+        ignore (D.pt d v);
+        query_us := ((Unix.gettimeofday () -. q0) *. 1e6) :: !query_us)
+      [ 0; n / 2; n - 1 ]
+  in
+  let script =
+    [ ("replace", "f1_1", serve_replace_edit); ("replace", "f2_2", serve_replace_edit) ]
+    @ (if large then [] else [ ("append", "f1_0", serve_append_edit) ])
+  in
+  let cur = ref source in
+  let replace_walls = ref [] in
+  let digests = ref [] in
+  let edit_rows =
+    List.map
+      (fun (kind, fn, mk) ->
+        cur := mk !cur ~fn;
+        let t0 = Unix.gettimeofday () in
+        let info =
+          match Eng.edit_source eng !cur with
+          | Ok i -> i
+          | Error e ->
+            Printf.eprintf "error: serve edit %s %s failed: %s\n" kind fn e;
+            exit 1
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        if kind = "replace" then replace_walls := wall :: !replace_walls;
+        digests := Fsam_memssa.Svfg.digest (Eng.driver eng).D.svfg :: !digests;
+        run_queries ();
+        let warm_pre = pre_work_of info.Eng.e_work in
+        let cold_pre =
+          match info.Eng.e_cold_work with
+          | Some w -> pre_work_of w
+          | None -> load_pre_work
+        in
+        let phases_reused =
+          match info.Eng.e_phases with
+          | Some p ->
+            [
+              ("andersen_warm", J.Bool p.Eng.ph_andersen_warm);
+              ("tm_reused", J.Bool p.Eng.ph_tm_reused);
+              ("mhp_reused", J.Bool p.Eng.ph_mhp_reused);
+              ("locks_reused", J.Bool p.Eng.ph_locks_reused);
+              ("svfg_patched", J.Bool p.Eng.ph_svfg_patched);
+            ]
+          | None -> []
+        in
+        (* per-phase walls of the accepted warm run; whatever the edit wall
+           doesn't cover here is parse/lower/diff overhead outside the
+           driver's six phases *)
+        let phase_walls =
+          match info.Eng.e_phases with
+          | Some p ->
+            [
+              ("andersen_wall_s", J.Float p.Eng.ph_pre_s);
+              ("threads_wall_s", J.Float p.Eng.ph_threads_s);
+              ("mhp_wall_s", J.Float p.Eng.ph_mhp_s);
+              ("locks_wall_s", J.Float p.Eng.ph_locks_s);
+              ("svfg_wall_s", J.Float p.Eng.ph_svfg_s);
+              ("solve_wall_s", J.Float p.Eng.ph_solve_s);
+            ]
+          | None -> []
+        in
+        Printf.printf
+          "  %-8s %-6s | mode %-11s | pre-work warm %7d cold %7d (%.1fx) | %6.2fs\n%!"
+          kind fn
+          (match info.Eng.e_mode with `Incremental -> "incremental" | `Cold -> "cold")
+          warm_pre cold_pre
+          (float_of_int cold_pre /. float_of_int (max 1 warm_pre))
+          wall;
+        J.Obj
+          ([
+             ("kind", J.String kind);
+             ("fn", J.String fn);
+             ( "mode",
+               J.String
+                 (match info.Eng.e_mode with `Incremental -> "incremental" | `Cold -> "cold")
+             );
+             ("warm_pre_work", J.Int warm_pre);
+             ("cold_pre_work", J.Int cold_pre);
+             ( "pre_work_ratio",
+               J.Float (float_of_int cold_pre /. float_of_int (max 1 warm_pre)) );
+             ("warm_propagations", J.Int info.Eng.e_propagations);
+             ("fallbacks", J.List (List.map (fun k -> J.String k) info.Eng.e_fallbacks));
+             ("wall_s", J.Float wall);
+           ]
+          @ (match info.Eng.e_cold_propagations with
+            | Some p -> [ ("cold_propagations", J.Int p) ]
+            | None -> [])
+          @ (match info.Eng.e_identical with
+            | Some b -> [ ("identical", J.Bool b) ]
+            | None -> [])
+          @ (if phases_reused = [] then [] else [ ("phases_reused", J.Obj phases_reused) ])
+          @ phase_walls))
+      script
+  in
+  (* jobs invariance (quick tier): the same edit stream through engines at
+     --jobs 2 and 4 must land on the same SVFG fingerprint after every
+     edit, with each edit still differential-certified at that jobs value *)
+  let jobs_invariant =
+    if large then None
+    else
+      Some
+        (List.for_all
+           (fun jobs ->
+             let eng = Eng.create ~jobs ~differential:true () in
+             (match Eng.load eng source with
+             | Ok _ -> ()
+             | Error e ->
+               Printf.eprintf "error: serve jobs %d load failed: %s\n" jobs e;
+               exit 1);
+             let cur = ref source in
+             let ds =
+               List.map
+                 (fun (kind, fn, mk) ->
+                   cur := mk !cur ~fn;
+                   match Eng.edit_source eng !cur with
+                   | Ok i when i.Eng.e_identical = Some true ->
+                     Fsam_memssa.Svfg.digest (Eng.driver eng).D.svfg
+                   | Ok _ ->
+                     Printf.eprintf "error: serve jobs %d edit %s %s not identical\n"
+                       jobs kind fn;
+                     exit 1
+                   | Error e ->
+                     Printf.eprintf "error: serve jobs %d edit failed: %s\n" jobs e;
+                     exit 1)
+                 script
+             in
+             ds = List.rev !digests)
+           [ 2; 4 ])
+  in
+  (match jobs_invariant with
+  | Some ok ->
+    Printf.printf "  jobs 1/2/4 digests after every edit: %s\n%!"
+      (if ok then "identical" else "DIVERGED")
+  | None -> ());
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+  (* Wall-clock speedup: in the differential (quick) tier every edit above
+     also ran the cold reference pipeline, so its wall is not the warm
+     latency a client would see. Re-measure on a second, non-differential
+     engine replaying the same replace edits. *)
+  let load_ref_wall, warm_edit_wall =
+    if large then (load_wall, mean !replace_walls)
+    else begin
+      let eng2 = Eng.create ~differential:false () in
+      let t0 = Unix.gettimeofday () in
+      (match Eng.load eng2 source with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "error: serve timing load failed: %s\n" e;
+        exit 1);
+      let lw = Unix.gettimeofday () -. t0 in
+      let cur = ref source in
+      let walls =
+        List.map
+          (fun fn ->
+            cur := serve_replace_edit !cur ~fn;
+            let t0 = Unix.gettimeofday () in
+            (match Eng.edit_source eng2 !cur with
+            | Ok _ -> ()
+            | Error e ->
+              Printf.eprintf "error: serve timing edit failed: %s\n" e;
+              exit 1);
+            Unix.gettimeofday () -. t0)
+          [ "f1_1"; "f2_2" ]
+      in
+      (lw, mean walls)
+    end
+  in
+  let warm_speedup = load_ref_wall /. Float.max 1e-9 warm_edit_wall in
+  Printf.printf
+    "  mean warm (replace) edit: %.3fs vs cold load %.3fs — %.1fx; query mean %.0fus\n\n%!"
+    warm_edit_wall load_ref_wall warm_speedup (mean !query_us);
+  write_bench
+    (if large then "BENCH_serve_large.json" else "BENCH_serve.json")
+    (J.Obj
+       [
+         ( "schema",
+           J.String (if large then "fsam.bench.serve_large/1" else "fsam.bench.serve/1") );
+         ("quick", J.Bool !quick);
+         ( "rows",
+           J.List
+             [
+               J.Obj
+                 [
+                   ("program", J.String name);
+                   ("differential", J.Bool (not large));
+                   ("races", J.Int li.Eng.l_races);
+                   ("cold_load_pre_work", J.Int load_pre_work);
+                   ("cold_load_wall_s", J.Float load_wall);
+                   ("edits", J.List edit_rows);
+                   ("fallback_cold", J.Int (Eng.fallback_total eng));
+                   ( "digests_identical_jobs124",
+                     match jobs_invariant with
+                     | Some ok -> J.Bool ok
+                     | None -> J.String "not_run" );
+                   ("mean_query_us", J.Float (mean !query_us));
+                   ("warm_edit_wall_s", J.Float warm_edit_wall);
+                   ("warm_speedup", J.Float warm_speedup);
+                 ];
+             ] );
+       ])
+
+(* ------------------------------------------------------------------------- *)
 (* Micro-benchmarks (bechamel): core kernels.                                 *)
 (* ------------------------------------------------------------------------- *)
 
@@ -967,6 +1263,7 @@ let () =
       | "par" -> if !size = "large" then par_large () else par ()
       | "vf" -> vf ()
       | "prov" -> prov_bench ()
+      | "serve" -> serve_bench ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
@@ -976,10 +1273,11 @@ let () =
         par ();
         vf ();
         prov_bench ();
+        serve_bench ();
         micro ()
       | other ->
         Printf.eprintf
-          "unknown command %S (table1|table2|figure12|sched|par|vf|prov|micro|all)\n"
+          "unknown command %S (table1|table2|figure12|sched|par|vf|prov|serve|micro|all)\n"
           other;
         exit 1)
     cmds

@@ -278,8 +278,7 @@ let total_pts_size t =
     t.pts;
   !total
 
-let run ?prov prog =
-  let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
+let mk_state ?prov prog =
   let nvars = Prog.n_vars prog in
   let size = nvars + Prog.n_objs prog + 64 in
   let ret_tbl = Array.make (Prog.n_funcs prog) [] in
@@ -319,8 +318,15 @@ let run ?prov prog =
   in
   Fsam_graph.Digraph.ensure_node t.cg (Prog.n_funcs prog - 1);
   Fsam_graph.Digraph.ensure_node t.cg_nf (Prog.n_funcs prog - 1);
-  (* Initial constraints. *)
-  Obs.Span.with_ ~name:"andersen.constraints" (fun () ->
+  t
+
+(* Register every statement's constraints. On a warm start the simple
+   constraints are no-ops for clean nodes (their preloaded pts already
+   contain the seeds, so no push happens), and the complex-constraint tables
+   are rebuilt from scratch — retraction of a dirty function's constraints
+   is implicit in re-deriving the tables from the *new* program. *)
+let add_constraints t prog =
+  let prov = t.prov in
   Prog.iter_funcs prog (fun f ->
       let fid = f.Func.fid in
       Func.iter_stmts f (fun idx s ->
@@ -352,9 +358,12 @@ let run ?prov prog =
             match target with
             | Stmt.Direct f -> fork_of_stmt t cs fork_id f
             | Stmt.Indirect v -> tbl_add t.icalls (node_of_var t v) cs)
-          | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ())));
-  (* Fixpoint: waves of difference propagation punctuated by PWC/cycle
-     collapsing passes whenever enough new copy edges accumulated. *)
+          | Stmt.Return _ | Stmt.Join _ | Stmt.Lock _ | Stmt.Unlock _ | Stmt.Nop _ -> ()))
+
+(* Fixpoint: waves of difference propagation punctuated by PWC/cycle
+   collapsing passes whenever enough new copy edges accumulated. *)
+let fixpoint t =
+  let size = Array.length t.pts in
   let collapse_threshold = max 512 (size / 2) in
   Obs.Span.with_ ~name:"andersen.fixpoint" (fun () ->
       while not (Queue.is_empty t.queue) do
@@ -363,7 +372,9 @@ let run ?prov prog =
         process t n;
         if t.edges_since_collapse > collapse_threshold then
           Obs.Span.with_ ~name:"andersen.collapse" (fun () -> collapse t)
-      done);
+      done)
+
+let flush_metrics t ~memo_hits0 ~memo_misses0 =
   Obs.Metrics.(add (counter "andersen.iterations") t.iterations);
   Obs.Metrics.(add (counter "andersen.copy_edges") t.copy_edges);
   Obs.Metrics.(add (counter "andersen.collapses") t.collapses);
@@ -372,8 +383,289 @@ let run ?prov prog =
   Obs.Metrics.(add (counter "iset.union_memo_hits") (memo_hits1 - memo_hits0));
   Obs.Metrics.(add (counter "iset.union_memo_misses") (memo_misses1 - memo_misses0));
   Obs.Metrics.(set (gauge "andersen.pts_entries") (total_pts_size t));
-  Obs.Metrics.(set (gauge "andersen.objects") (Prog.n_objs prog));
+  Obs.Metrics.(set (gauge "andersen.objects") (Prog.n_objs t.prog))
+
+let run ?prov prog =
+  let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
+  let t = mk_state ?prov prog in
+  Obs.Span.with_ ~name:"andersen.constraints" (fun () -> add_constraints t prog);
+  fixpoint t;
+  flush_metrics t ~memo_hits0 ~memo_misses0;
   t
+
+(* Warm start ------------------------------------------------------------- *)
+
+type warm_spec = {
+  ws_old : t;  (** the previous generation's solved state *)
+  ws_var_map : int array;  (** old var -> new var, [-1] when unmapped *)
+  ws_dirty_fids : int list;  (** functions whose statements changed (fid-identical) *)
+}
+
+(* Re-solve the edited program starting from the previous fixpoint.
+
+   The algorithm works by *affected closure* over the old solved state: a
+   node is affected when some fact about it could have been derived through
+   a constraint owned by a dirty function (so retraction may shrink it) or
+   when new constraints can grow it through a complex-constraint trigger.
+   Everything outside the closure keeps its old points-to set verbatim — the
+   old fixpoint value is provably the new fixpoint value there — and only
+   the closure is re-solved from bottom by the ordinary worklist.
+
+   Closure roots (old space): every old variable with no counterpart in the
+   new program, every variable referenced by a dirty function's old
+   statements (plus its params), and the params of direct call/fork targets
+   of dirty statements (their argument bindings are retracted). The closure
+   then follows, over the *old* state: copy edges (which include derived
+   load/store edges), load targets, stored-into / forked-into objects in the
+   node's old pts, and the params/returns of indirect callees.
+
+   Soundness of the preload: a clean node's old value can only be wrong if
+   one of its (transitive) old derivations went through a retracted
+   constraint — but every retracted constraint's node is a root, and every
+   derivation step is covered by a closure rule, so the node would have been
+   marked. Completeness: all constraints of the new program are re-added;
+   clean-to-clean derived edges are replayed so later growth still flows;
+   clean complex nodes with an affected output are re-enqueued ("frontier")
+   so they re-derive edges into re-solved nodes. Affected nodes start empty
+   and their full in-flows are regenerated, so the worklist reaches the
+   least fixpoint of the new constraint system — byte-identical to cold
+   (the serve differential mode certifies this on every edit).
+
+   Returns [Error reason] when a precondition fails; the caller falls back
+   to a cold run and counts the reason. *)
+let run_warm prog ~warm =
+  let old = warm.ws_old in
+  let oldp = old.prog in
+  if old.prov <> None then Error "andersen_provenance"
+  else if Prog.n_funcs prog <> Prog.n_funcs oldp then Error "andersen_fn_count"
+  else if Prog.n_vars oldp <> Array.length warm.ws_var_map then Error "andersen_var_map"
+  else if Prog.n_objs prog <> Prog.n_objs oldp then
+    (* also excludes old materialised field objects: a fresh lowering never
+       has any, so differing counts mean the old run grew the object table
+       in a way a cold run of the new program may renumber *)
+    Error "andersen_obj_drift"
+  else begin
+    let objs_equal = ref true in
+    Prog.iter_objs oldp (fun (o : Memobj.t) ->
+        let o' = Prog.obj prog o.Memobj.id in
+        if o <> o' then objs_equal := false);
+    let forks_equal =
+      Prog.n_forks prog = Prog.n_forks oldp
+      && (let ok = ref true in
+          for k = 0 to Prog.n_forks prog - 1 do
+            if
+              Prog.fork_site prog k <> Prog.fork_site oldp k
+              || Prog.thread_obj_of_fork prog k <> Prog.thread_obj_of_fork oldp k
+            then ok := false
+          done;
+          !ok)
+    in
+    if not !objs_equal then Error "andersen_obj_drift"
+    else if not forks_equal then Error "andersen_fork_drift"
+    else begin
+      let memo_hits0, memo_misses0 = Iset.union_memo_stats () in
+      let old_size = Array.length old.pts in
+      let old_rep n = Uf.find old.uf n in
+      (* -- affected closure over the old state -- *)
+      let marked = Bitvec.create ~capacity:old_size () in
+      let cq = Queue.create () in
+      let mark n =
+        if n >= 0 && n < old_size then begin
+          let r = old_rep n in
+          if Bitvec.set_if_unset marked r then Queue.add r cq
+        end
+      in
+      let mark_var v = mark v in
+      let mark_obj o = mark (old.nvars + o) in
+      (* roots *)
+      Array.iteri (fun v nv -> if nv = -1 then mark_var v) warm.ws_var_map;
+      List.iter
+        (fun fid ->
+          let f = Prog.func oldp fid in
+          List.iter mark_var f.Func.params;
+          Func.iter_stmts f (fun _ s ->
+              (match Stmt.def s with Some v -> mark_var v | None -> ());
+              List.iter mark_var (Stmt.uses s);
+              match s with
+              | Stmt.Call { target = Stmt.Direct g; _ }
+              | Stmt.Fork { target = Stmt.Direct g; _ } ->
+                List.iter mark_var (Prog.func oldp g).Func.params
+              | _ -> ()))
+        warm.ws_dirty_fids;
+      (* closure rules *)
+      while not (Queue.is_empty cq) do
+        let r = Queue.pop cq in
+        Iset.iter mark old.succs.(r);
+        (match Hashtbl.find_opt old.loads r with
+        | Some dsts -> List.iter mark_var dsts
+        | None -> ());
+        (match Hashtbl.find_opt old.stores r with
+        | Some _ -> Iset.iter mark_obj old.pts.(r)
+        | None -> ());
+        (match Hashtbl.find_opt old.geps r with
+        | Some gs -> List.iter (fun (p, _) -> mark_var p) gs
+        | None -> ());
+        (match Hashtbl.find_opt old.forks r with
+        | Some _ -> Iset.iter mark_obj old.pts.(r)
+        | None -> ());
+        match Hashtbl.find_opt old.icalls r with
+        | Some css ->
+          Iset.iter
+            (fun o ->
+              match (Prog.obj oldp o).Memobj.kind with
+              | Memobj.Func fid ->
+                List.iter mark_var (Prog.func oldp fid).Func.params;
+                List.iter mark_var old.ret_tbl.(fid)
+              | _ -> ())
+            old.pts.(r);
+          List.iter (fun cs -> match cs.cs_ret with Some v -> mark_var v | None -> ()) css
+        | None -> ()
+      done;
+      let aff_old n = Bitvec.get marked (old_rep n) in
+      (* -- build the new state -- *)
+      let t = mk_state prog in
+      let nvars_new = t.nvars in
+      let n_objs = Prog.n_objs prog in
+      let img n = if n < old.nvars then warm.ws_var_map.(n) else nvars_new + (n - old.nvars) in
+      (* pre-union surviving merged classes so their shared value is
+         preloaded once at the surviving representative *)
+      for n = 0 to old.nvars + n_objs - 1 do
+        let r = old_rep n in
+        if r <> n && not (Bitvec.get marked r) then begin
+          let ik = img r and ia = img n in
+          if ik >= 0 && ia >= 0 then ignore (Uf.union_to t.uf ~keep:ik ~absorb:ia)
+        end
+      done;
+      (* preload clean values (object ids are identical across generations,
+         so the old hash-consed sets are reused verbatim) *)
+      let preloaded = ref 0 in
+      let preload_new x px =
+        if not (aff_old px) then begin
+          let x' = Uf.find t.uf x in
+          if Iset.is_empty t.pts.(x') then begin
+            let v = old.pts.(old_rep px) in
+            t.pts.(x') <- v;
+            t.prop.(x') <- v;
+            incr preloaded
+          end
+        end
+      in
+      let var_inv = Array.make nvars_new (-1) in
+      Array.iteri
+        (fun ov nv -> if nv >= 0 && nv < nvars_new then var_inv.(nv) <- ov)
+        warm.ws_var_map;
+      for x = 0 to nvars_new - 1 do
+        let ov = var_inv.(x) in
+        if ov >= 0 then preload_new x ov
+      done;
+      for o = 0 to n_objs - 1 do
+        preload_new (nvars_new + o) (old.nvars + o)
+      done;
+      (* replay clean-to-clean copy edges (including derived load/store
+         edges — a clean trigger justifies them in the new program too) *)
+      for u = 0 to old_size - 1 do
+        if old_rep u = u && not (Bitvec.get marked u) then
+          Iset.iter
+            (fun v ->
+              if not (aff_old v) then begin
+                let iu = img u and iv = img v in
+                if iu >= 0 && iv >= 0 then begin
+                  let iu = Uf.find t.uf iu and iv = Uf.find t.uf iv in
+                  if iu <> iv then t.succs.(iu) <- Iset.add iv t.succs.(iu)
+                end
+              end)
+            old.succs.(u)
+      done;
+      (* all new-program constraints; no-op pushes on clean nodes *)
+      Obs.Span.with_ ~name:"andersen.constraints" (fun () -> add_constraints t prog);
+      (* clean indirect call/fork sites: either preseed their resolved
+         bindings' bookkeeping, or — if any binding target was re-solved —
+         re-enqueue the site so [process] re-derives the bindings *)
+      let frontier = ref [] in
+      let enqueue_frontier n =
+        let x = img n in
+        if x >= 0 then frontier := x :: !frontier
+      in
+      Hashtbl.iter
+        (fun n css ->
+          if not (Bitvec.get marked (old_rep n)) then begin
+            let bind_targets_clean =
+              (not
+                 (Iset.exists
+                    (fun o ->
+                      match (Prog.obj oldp o).Memobj.kind with
+                      | Memobj.Func fid ->
+                        List.exists aff_old (Prog.func oldp fid).Func.params
+                        || List.exists aff_old old.ret_tbl.(fid)
+                      | _ -> false)
+                    old.pts.(old_rep n)))
+              && not
+                   (List.exists
+                      (fun cs ->
+                        match cs.cs_ret with Some v -> aff_old v | None -> false)
+                      css)
+            in
+            if not bind_targets_clean then enqueue_frontier n
+            else
+              Iset.iter
+                (fun o ->
+                  match (Prog.obj oldp o).Memobj.kind with
+                  | Memobj.Func fid ->
+                    List.iter
+                      (fun cs ->
+                        let key = (cs.cs_fid, cs.cs_idx, fid) in
+                        if not (Hashtbl.mem t.connected key) then begin
+                          Hashtbl.replace t.connected key ();
+                          (match Hashtbl.find_opt t.callee_tbl (cs.cs_fid, cs.cs_idx) with
+                          | Some l -> l := fid :: !l
+                          | None ->
+                            Hashtbl.replace t.callee_tbl (cs.cs_fid, cs.cs_idx)
+                              (ref [ fid ]));
+                          Fsam_graph.Digraph.add_edge t.cg cs.cs_fid fid;
+                          if not cs.cs_fork then
+                            Fsam_graph.Digraph.add_edge t.cg_nf cs.cs_fid fid;
+                          if cs.cs_fork then begin
+                            match Func.stmt (Prog.func prog cs.cs_fid) cs.cs_idx with
+                            | Stmt.Fork { fork_id; _ } ->
+                              let l = t.fork_tgts.(fork_id) in
+                              if not (List.mem fid !l) then l := fid :: !l
+                            | _ -> ()
+                          end
+                        end)
+                      css
+                  | _ -> ())
+                old.pts.(old_rep n)
+          end)
+        old.icalls;
+      (* clean complex nodes whose outputs were re-solved must re-derive
+         the edges into them *)
+      let check_outputs tbl outputs_affected =
+        Hashtbl.iter
+          (fun n x ->
+            if not (Bitvec.get marked (old_rep n)) && outputs_affected n x then
+              enqueue_frontier n)
+          tbl
+      in
+      check_outputs old.loads (fun _ dsts -> List.exists aff_old dsts);
+      check_outputs old.stores (fun n _ ->
+          Iset.exists (fun o -> aff_old (old.nvars + o)) old.pts.(old_rep n));
+      check_outputs old.geps (fun _ gs -> List.exists (fun (p, _) -> aff_old p) gs);
+      check_outputs old.forks (fun n _ ->
+          Iset.exists (fun o -> aff_old (old.nvars + o)) old.pts.(old_rep n));
+      List.iter
+        (fun x ->
+          let x = rep t x in
+          t.prop.(x) <- Iset.empty;
+          push t x)
+        !frontier;
+      fixpoint t;
+      Obs.Metrics.(add (counter "andersen.warm_runs") 1);
+      Obs.Metrics.(set (gauge "andersen.warm_preloaded") !preloaded);
+      Obs.Metrics.(set (gauge "andersen.warm_affected") (Bitvec.cardinal marked));
+      flush_metrics t ~memo_hits0 ~memo_misses0;
+      Ok t
+    end
+  end
 
 (* Queries ----------------------------------------------------------------- *)
 
@@ -381,12 +673,18 @@ let pt_var t v = t.pts.(rep t (node_of_var t v))
 let pt_obj t o = t.pts.(rep t (node_of_obj t o))
 let alias_targets t p q = Iset.inter (pt_var t p) (pt_var t q)
 
+(* [callees]/[fork_targets] sort so the answer is canonical: a warm start
+   reseeds the callee bookkeeping in a different order than cold on-the-fly
+   discovery, and downstream consumers (thread discovery, SVFG call linking)
+   must not observe the difference. *)
 let callees t ~fid ~idx =
-  match Hashtbl.find_opt t.callee_tbl (fid, idx) with Some l -> !l | None -> []
+  match Hashtbl.find_opt t.callee_tbl (fid, idx) with
+  | Some l -> List.sort_uniq compare !l
+  | None -> []
 
 let call_graph t = t.cg
 let call_graph_no_fork t = t.cg_nf
-let fork_targets t k = !(t.fork_tgts.(k))
+let fork_targets t k = List.sort_uniq compare !(t.fork_tgts.(k))
 
 let join_threads t ~fid ~idx =
   match Func.stmt (Prog.func t.prog fid) idx with

@@ -22,6 +22,27 @@ val run : ?prov:Fsam_prov.t -> Prog.t -> t
     cycle merge first introduced each target. Recording never changes
     results; without it the solver allocates nothing extra. *)
 
+(* Warm start ------------------------------------------------------------- *)
+
+type warm_spec = {
+  ws_old : t;  (** the previous generation's solved state *)
+  ws_var_map : int array;
+      (** old var -> new var ([Serve.Diff]'s pairing), [-1] when unmapped *)
+  ws_dirty_fids : int list;
+      (** functions whose statements changed; fids must be identical across
+          the two programs *)
+}
+
+val run_warm : Prog.t -> warm:warm_spec -> (t, string) result
+(** Re-solve the edited program starting from the previous fixpoint:
+    constraints owned by dirty functions are retracted (the constraint
+    tables are rebuilt from the new program), the affected closure of the
+    edit is re-solved from bottom, and every node outside it keeps its old
+    points-to set verbatim. The result is byte-identical to [run] on the
+    new program. [Error reason] when a precondition fails (provenance
+    enabled, object-table or fork-site drift, materialised field objects);
+    the caller falls back to a cold run and counts the reason. *)
+
 (* Points-to queries ------------------------------------------------------ *)
 
 val pt_var : t -> Stmt.var -> Fsam_dsa.Iset.t

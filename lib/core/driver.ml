@@ -43,6 +43,30 @@ type phase_times = {
   t_solve : float;
 }
 
+(* Per-phase warm-start hooks (the fsam serve engine's incremental edit
+   path). Each hook may produce the phase's result from the previous
+   generation — [None] falls back to the normal cold computation. Hooks run
+   inside the phase spans, so the phase walls reflect whatever path was
+   taken. modref, pcg and the singleton analysis are always recomputed:
+   they are cheap, and recomputing them keeps the reuse guards (which
+   compare old-vs-new summaries) honest. *)
+type warm_hooks = {
+  wh_andersen : Prog.t -> A.t option;
+  wh_thread_model : Prog.t -> A.t -> (Mta.Icfg.t * Mta.Threads.t) option;
+  wh_mhp : Mta.Threads.t -> Mta.Mhp.t option;
+  wh_locks : Prog.t -> A.t -> Mta.Threads.t -> Mta.Locks.t option;
+  wh_svfg :
+    Prog.t ->
+    A.t ->
+    Modref.t ->
+    Mta.Icfg.t ->
+    Mta.Threads.t ->
+    Mta.Mhp.t ->
+    Mta.Locks.t ->
+    Mta.Pcg.t ->
+    Svfg.t option;
+}
+
 type t = {
   prog : Prog.t;
   ast : A.t;
@@ -61,17 +85,22 @@ type t = {
 (* Each [run] owns the process-global observability buffers: spans and
    metrics are reset at entry, so after [run] returns they describe exactly
    that pipeline execution (exported by [Telemetry]). *)
-let run_with_solve ?(config = default_config) ~solve prog =
+let run_with_solve ?(config = default_config) ?warm ~solve prog =
   Validate.check_exn prog;
   Obs.Span.reset ();
   Obs.Metrics.reset ();
   Obs.Profile.set_enabled config.profile;
   Obs.Profile.reset ();
   let prov = if config.provenance then Some (Fsam_prov.create ()) else None in
+  let try_warm get compute =
+    match warm with
+    | None -> compute ()
+    | Some h -> ( match get h with Some v -> v | None -> compute ())
+  in
   Obs.Span.with_ ~name:"fsam.run" (fun () ->
       let (ast, modref), sp_pre =
         Obs.Span.with_timed ~name:"phase.pre" (fun () ->
-            let ast = A.run ?prov prog in
+            let ast = try_warm (fun h -> h.wh_andersen prog) (fun () -> A.run ?prov prog) in
             let modref =
               Obs.Span.with_ ~name:"modref.compute" (fun () -> Modref.compute prog ast)
             in
@@ -79,25 +108,36 @@ let run_with_solve ?(config = default_config) ~solve prog =
       in
       let (icfg, tm), sp_threads =
         Obs.Span.with_timed ~name:"phase.threads" (fun () ->
-            let icfg = Obs.Span.with_ ~name:"icfg.build" (fun () -> Mta.Icfg.build prog ast) in
-            let tm =
-              Obs.Span.with_ ~name:"threads.build" (fun () ->
-                  Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg)
-            in
-            (icfg, tm))
+            try_warm
+              (fun h -> h.wh_thread_model prog ast)
+              (fun () ->
+                let icfg =
+                  Obs.Span.with_ ~name:"icfg.build" (fun () -> Mta.Icfg.build prog ast)
+                in
+                let tm =
+                  Obs.Span.with_ ~name:"threads.build" (fun () ->
+                      Mta.Threads.build ~max_ctx_depth:config.max_ctx_depth prog ast icfg)
+                in
+                (icfg, tm)))
       in
       let mhp, sp_mhp =
         Obs.Span.with_timed ~name:"phase.mhp" (fun () ->
-            Mta.Mhp.compute ~jobs:config.jobs tm)
+            try_warm (fun h -> h.wh_mhp tm) (fun () -> Mta.Mhp.compute ~jobs:config.jobs tm))
       in
       let locks, sp_lock =
-        Obs.Span.with_timed ~name:"phase.locks" (fun () -> Mta.Locks.compute prog ast tm)
+        Obs.Span.with_timed ~name:"phase.locks" (fun () ->
+            try_warm
+              (fun h -> h.wh_locks prog ast tm)
+              (fun () -> Mta.Locks.compute prog ast tm))
       in
       let pcg = Obs.Span.with_ ~name:"pcg.compute" (fun () -> Mta.Pcg.compute tm icfg) in
       let svfg, sp_svfg =
         Obs.Span.with_timed ~name:"phase.svfg" (fun () ->
-            Svfg.build ~config:config.svfg ~jobs:config.jobs ?prov prog ast modref icfg tm mhp
-              locks pcg)
+            try_warm
+              (fun h -> h.wh_svfg prog ast modref icfg tm mhp locks pcg)
+              (fun () ->
+                Svfg.build ~config:config.svfg ~jobs:config.jobs ?prov prog ast modref icfg tm
+                  mhp locks pcg))
       in
       let sparse, sp_solve =
         Obs.Span.with_timed ~name:"phase.solve" (fun () ->

@@ -74,8 +74,34 @@ val run : ?config:config -> Prog.t -> t
     (checked). Resets [Fsam_obs] (spans and metrics) at entry; after it
     returns, the global span tree and metrics registry describe this run. *)
 
+(** Per-phase warm-start hooks for the serve engine's incremental edit
+    path: each hook may produce its phase's result from the previous
+    generation ([None] = run the phase cold). Hooks execute inside the
+    phase spans, so phase walls reflect the path actually taken. modref,
+    pcg and singleton detection always recompute (cheap; and the reuse
+    guards compare their old-vs-new summaries). *)
+type warm_hooks = {
+  wh_andersen : Prog.t -> Fsam_andersen.Solver.t option;
+  wh_thread_model :
+    Prog.t -> Fsam_andersen.Solver.t -> (Fsam_mta.Icfg.t * Fsam_mta.Threads.t) option;
+  wh_mhp : Fsam_mta.Threads.t -> Fsam_mta.Mhp.t option;
+  wh_locks :
+    Prog.t -> Fsam_andersen.Solver.t -> Fsam_mta.Threads.t -> Fsam_mta.Locks.t option;
+  wh_svfg :
+    Prog.t ->
+    Fsam_andersen.Solver.t ->
+    Fsam_andersen.Modref.t ->
+    Fsam_mta.Icfg.t ->
+    Fsam_mta.Threads.t ->
+    Fsam_mta.Mhp.t ->
+    Fsam_mta.Locks.t ->
+    Fsam_mta.Pcg.t ->
+    Fsam_memssa.Svfg.t option;
+}
+
 val run_with_solve :
   ?config:config ->
+  ?warm:warm_hooks ->
   solve:
     (prog:Prog.t ->
     ast:Fsam_andersen.Solver.t ->
@@ -86,8 +112,9 @@ val run_with_solve :
     Sparse.t) ->
   Prog.t ->
   t
-(** [run] with the final sparse solve replaced by a caller-supplied hook.
-    All pre-phases (Andersen, thread model, MHP, locks, SVFG, singleton
+(** [run] with the final sparse solve replaced by a caller-supplied hook,
+    and optional warm-start hooks for the pre-phases. Without [?warm], all
+    pre-phases (Andersen, thread model, MHP, locks, SVFG, singleton
     detection) run exactly as in [run]; the hook decides how to produce the
     [Sparse.t] — the incremental engine uses this to warm-start the solve
     from a previous generation's clean slice, and to retain the [singleton]

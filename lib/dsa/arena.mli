@@ -25,6 +25,7 @@ module Buf : sig
   val get : t -> int -> int
   val set : t -> int -> int -> unit
   val to_array : t -> int array
+  val copy : t -> t
 end
 
 (** Open-addressing int→int hash map over two flat arrays (linear probing,
@@ -46,6 +47,40 @@ module Intmap : sig
   val iter : t -> (key:int -> int -> unit) -> unit
   (** Iteration order is unspecified (it follows the probe layout); use only
       for order-insensitive folds. *)
+
+  val copy : t -> t
+end
+
+(** Dynamic keyed rows: like {!Csr} but mutable after construction — rows
+    grow by appended insertion and shrink by tombstoned deletion, with live
+    cells never moving. This is the store the incremental SVFG patcher
+    splices: deletions leave a [-1] tombstone that every reader skips, and
+    insertions append at the row tail so surviving iteration order stays the
+    original insertion order. Values must be [>= 0]. *)
+module Dyn : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val live : t -> int
+  (** Number of live (non-tombstoned) cells across all rows. *)
+
+  val tombstones : t -> int
+
+  val add : t -> key:int -> int -> unit
+  (** Append a value at the tail of [key]'s row. *)
+
+  val remove : t -> key:int -> int -> bool
+  (** Tombstone the first live cell of [key]'s row equal to the value;
+      returns whether one was found. *)
+
+  val iter_row : t -> int -> (int -> unit) -> unit
+  val exists_row : t -> int -> (int -> bool) -> bool
+
+  val row_list : t -> int -> int list
+  (** Live values of one row in insertion order. *)
+
+  val copy : t -> t
 end
 
 (** Compressed sparse rows: per-row int adjacency in two flat arrays

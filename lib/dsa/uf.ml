@@ -62,3 +62,6 @@ let union_to t ~keep ~absorb =
 
 let same t a b = find t a = find t b
 let n_classes t = t.classes
+
+let copy t =
+  { parent = Array.copy t.parent; rank = Array.copy t.rank; classes = t.classes }

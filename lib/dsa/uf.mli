@@ -19,3 +19,7 @@ val union_to : t -> keep:int -> absorb:int -> int
 
 val same : t -> int -> int -> bool
 val n_classes : t -> int
+
+val copy : t -> t
+(** Independent structural copy: subsequent unions or path compression on
+    either side do not affect the other. *)

@@ -28,7 +28,7 @@ let k_join = 2
 let k_thread_vf = 3
 
 type t = {
-  prog : Prog.t;
+  mutable prog : Prog.t;
   nodes : node Vec.t;
   index : (node, int) Hashtbl.t;
   preds : (int * int) list Vec.t;
@@ -38,6 +38,22 @@ type t = {
   racy : (int, Iset.t) Hashtbl.t; (* store gid -> objects with interfering MHP pairs *)
   ekind : (int * int * int, int) Hashtbl.t; (* non-oblivious kinds, prov only *)
   mutable record_prov : Fsam_prov.t option;
+  (* -- incremental-patch bookkeeping (see [patch]) -- *)
+  owners : (int * int * int, int) Hashtbl.t;
+      (* oblivious edge -> the function whose per-fn dataflow first derived
+         it; only [Formal_out -> Formal_in] triples can have further adders
+         (handled by the patcher's dirty closure) *)
+  tvf : (int * int * int, unit) Hashtbl.t; (* edges added by [THREAD-VF] discovery *)
+  mutable cur_owner : int; (* function being rebuilt by [build_oblivious], or -1 *)
+  mutable log_adds : bool; (* patch mode: log every new edge *)
+  mutable add_log : (int * int * int) list;
+  (* persistent per-(object, gid) index of the thread-oblivious stmt-to-stmt
+     def-use snapshot, in tombstoned arena rows so the patcher can splice it
+     in place. pred rows are keyed (o, head gid) holding tail gids; succ
+     rows keyed (o, tail gid) holding head gids. Built only when the
+     thread-aware stage runs. *)
+  mutable obl_pred : Arena.Dyn.t option;
+  mutable obl_succ : Arena.Dyn.t option;
 }
 
 let n_nodes t = Vec.length t.nodes
@@ -61,13 +77,30 @@ let intern t n =
     i
 
 let add_edge ?(kind = 0) t src obj dst =
-  if not (Hashtbl.mem t.edge_set (src, obj, dst)) then begin
-    Hashtbl.replace t.edge_set (src, obj, dst) ();
+  let key = (src, obj, dst) in
+  if not (Hashtbl.mem t.edge_set key) then begin
+    Hashtbl.replace t.edge_set key ();
     (match t.record_prov with
-    | Some _ -> if kind <> k_oblivious then Hashtbl.replace t.ekind (src, obj, dst) kind
+    | Some _ -> if kind <> k_oblivious then Hashtbl.replace t.ekind key kind
     | None -> ());
+    if t.cur_owner >= 0 then Hashtbl.replace t.owners key t.cur_owner;
+    if kind = k_thread_vf then Hashtbl.replace t.tvf key ();
+    if t.log_adds then t.add_log <- key :: t.add_log;
     Vec.set t.preds dst ((obj, src) :: Vec.get t.preds dst);
     Vec.set t.succs src ((obj, dst) :: Vec.get t.succs src)
+  end
+  else if t.log_adds && t.cur_owner >= 0 && Hashtbl.mem t.tvf key then begin
+    (* promotion: a patched per-fn dataflow re-derives an edge that the old
+       generation carried only as a [THREAD-VF] edge. A cold build would
+       have added it in the oblivious stage, so reclassify it — it gains an
+       owner, leaves the thread-vf registry, and counts as an oblivious
+       addition (the add log feeds the spliced def-use index and the
+       dirty-object computation). *)
+    Hashtbl.remove t.tvf key;
+    Hashtbl.remove t.ekind key;
+    t.thread_edges <- t.thread_edges - 1;
+    Hashtbl.replace t.owners key t.cur_owner;
+    t.add_log <- key :: t.add_log
   end
 
 let has_edge t src obj dst = Hashtbl.mem t.edge_set (src, obj, dst)
@@ -119,7 +152,7 @@ let join_info_tbl tm mr =
    the join edge s4 ↪ s3 of Figure 6 {e and} the strong-update-through-join
    precision of Figure 1(c), while defs between fork and join still flow
    past the join (s2 ↪ s3). *)
-let build_oblivious t ast mr icfg join_info =
+let build_oblivious ?only t ast mr icfg join_info =
   let prog = t.prog in
   ignore icfg;
   let record = t.record_prov <> None in
@@ -128,6 +161,10 @@ let build_oblivious t ast mr icfg join_info =
   let join_src : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun f ->
       let fid = f.Func.fid in
+      if (match only with Some p -> p fid | None -> true) then begin
+      (* every edge this per-fn dataflow derives is owned by [fid]; the
+         incremental patcher retracts a function's edges by owner *)
+      t.cur_owner <- fid;
       let objs = Iset.union (Modref.mod_of mr fid) (Modref.ref_of mr fid) in
       let n = Func.n_stmts f in
       (* channels: 0 = ordinary defs, 1 + k = bypass of the k-th local fork *)
@@ -281,7 +318,9 @@ let build_oblivious t ast mr icfg join_info =
               List.iter push f.Func.succ.(i)
             end
           done)
-        objs)
+        objs
+      end);
+  t.cur_owner <- -1
 
 (* ------------------------------------------------------------------------ *)
 (* Thread-aware edges: [THREAD-VF] with the lock filter.
@@ -314,7 +353,43 @@ type chunk_res = {
   c_prov : Fsam_prov.t option;
 }
 
-let build_thread_aware t config ~jobs ast tm mhp lk pcg =
+(* Gid-level per-object index of the thread-oblivious def-use snapshot.
+   Definitions 4/5 refer to the def-use chains available when the lock
+   analysis runs — edges added by [THREAD-VF] itself must not influence the
+   heads/tails — so the index is taken before any thread-aware edge lands;
+   the head/tail tests then walk short adjacency lists instead of probing
+   the whole edge set per candidate.
+
+   The index lives in tombstoned arena rows ({!Arena.Dyn}) keyed
+   [(o * n_stmts) + gid] and persists on [t]: the incremental patcher
+   splices it in place (tombstoned deletion of retracted edges, appended
+   insertion of re-derived ones) so a patched generation probes exactly the
+   snapshot a cold rebuild would. Row membership, never order, is queried.
+   pred rows are keyed by the edge head (o, use gid) holding def gids; succ
+   rows by the def (o, def gid) holding use gids. *)
+let build_obl_index t =
+  let stride = Prog.n_stmts t.prog in
+  let pred = Arena.Dyn.create ~capacity:4096 () in
+  let succ = Arena.Dyn.create ~capacity:4096 () in
+  let gid_of i = match Vec.get t.nodes i with Stmt_node g -> g | _ -> -1 in
+  Hashtbl.iter
+    (fun (src, o, dst) () ->
+      let gs = gid_of src and gd = gid_of dst in
+      if gs >= 0 && gd >= 0 then begin
+        Arena.Dyn.add pred ~key:((o * stride) + gd) gs;
+        Arena.Dyn.add succ ~key:((o * stride) + gs) gd
+      end)
+    t.edge_set;
+  t.obl_pred <- Some pred;
+  t.obl_succ <- Some succ
+
+(* [THREAD-VF] pair discovery and application, restricted to the objects
+   accepted by [obj_filter] — the full sorted store-object list on a cold
+   build, the dirty objects on a patch. Per-object work is independent (all
+   edges, racy marks and dedup checks are keyed by the object), so a
+   filtered run produces, for each accepted object, exactly the edges,
+   racy marks and work counters of the cold run. *)
+let discover_objects t config ~jobs ast tm mhp lk pcg ~obj_filter =
   let prog = t.prog in
   let record = t.record_prov <> None in
   let tbl_add tbl k v =
@@ -344,62 +419,14 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
           pts
       | _ -> ());
   let pts_at gid = Option.value ~default:Iset.empty (Hashtbl.find_opt pts_of_gid gid) in
-  (* Gid-level per-object index of the thread-oblivious def-use snapshot.
-     Definitions 4/5 refer to the def-use chains available when the lock
-     analysis runs — edges added by [THREAD-VF] itself must not influence
-     the heads/tails — so the index is taken before any thread-aware edge
-     lands; the head/tail tests then walk short adjacency lists instead of
-     probing the whole edge set per candidate. *)
-  let stmt_gid = Array.make (n_nodes t) (-1) in
-  Vec.iteri (fun i n -> match n with Stmt_node g -> stmt_gid.(i) <- g | _ -> ()) t.nodes;
-  (* The per-(object, gid) index of that snapshot lives in flat arena
-     structures (packed-int-keyed open-addressing map + CSR rows) rather
-     than a boxed-tuple Hashtbl of int lists: the span head/tail tests
-     probe it once per candidate access, and the flat form is probed
-     without tuple hashing or list chasing and is shared across the chunk
-     domains as a contiguous read-only snapshot. Row-id assignment order is
-     irrelevant — only row membership is ever queried. *)
+  (* the persistent snapshot index (see [build_obl_index]); read-only for
+     the duration of the fan-out, so the chunk domains share it directly *)
   let obl_stride = Prog.n_stmts prog in
-  let obl_edges = Arena.Buf.create ~capacity:4096 () in
-  Hashtbl.iter
-    (fun (src, o, dst) () ->
-      let gs = stmt_gid.(src) and gd = stmt_gid.(dst) in
-      if gs >= 0 && gd >= 0 then begin
-        ignore (Arena.Buf.push obl_edges o);
-        ignore (Arena.Buf.push obl_edges gs);
-        ignore (Arena.Buf.push obl_edges gd)
-      end)
-    t.edge_set;
-  let n_obl = Arena.Buf.length obl_edges / 3 in
-  let obl_index ~key_gid ~val_gid =
-    let rows = Arena.Intmap.create ~capacity:(max 16 n_obl) () in
-    let next = ref 0 in
-    let key_of e =
-      (Arena.Buf.get obl_edges (3 * e) * obl_stride) + Arena.Buf.get obl_edges ((3 * e) + key_gid)
-    in
-    for e = 0 to n_obl - 1 do
-      ignore
-        (Arena.Intmap.find_or_add rows ~key:(key_of e) (fun () ->
-             let r = !next in
-             incr next;
-             r))
-    done;
-    let csr =
-      Arena.Csr.build ~n_rows:!next (fun emit ->
-          for e = 0 to n_obl - 1 do
-            emit
-              ~row:(Arena.Intmap.find rows ~key:(key_of e) ~default:(-1))
-              ~value:(Arena.Buf.get obl_edges ((3 * e) + val_gid))
-          done)
-    in
-    (rows, csr)
-  in
-  (* pred rows are keyed by the edge head (o, gd) holding tails gs;
-     succ rows by the tail (o, gs) holding heads gd *)
-  let obl_pred = obl_index ~key_gid:2 ~val_gid:1 in
-  let obl_succ = obl_index ~key_gid:1 ~val_gid:2 in
+  let obl_pred = Option.get t.obl_pred and obl_succ = Option.get t.obl_succ in
   let objs =
-    Array.of_list (List.sort compare (Hashtbl.fold (fun o _ acc -> o :: acc) stores_of []))
+    Array.of_list
+      (List.sort compare
+         (Hashtbl.fold (fun o _ acc -> if obj_filter o then o :: acc else acc) stores_of []))
   in
   (* Pure per-object discovery: runs in a chunk, touches only read-only
      shared state plus its own [res] and memo tables. *)
@@ -460,13 +487,13 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
             bump acc_cnt g;
             if is_store then bump st_cnt g)
           accs;
-        let blocked (rows, csr) cnt g =
-          let row = Arena.Intmap.find rows ~key:((o * obl_stride) + g) ~default:(-1) in
-          row >= 0
-          && Arena.Csr.exists_row csr row (fun g' ->
-                 match Hashtbl.find_opt cnt g' with
-                 | None -> false
-                 | Some c -> g' <> g || c >= 2)
+        let blocked dyn cnt g =
+          Arena.Dyn.exists_row dyn
+            ((o * obl_stride) + g)
+            (fun g' ->
+              match Hashtbl.find_opt cnt g' with
+              | None -> false
+              | Some c -> g' <> g || c >= 2)
         in
         let hd = Hashtbl.create 8 and tl = Hashtbl.create 8 in
         List.iter
@@ -704,6 +731,10 @@ let build_thread_aware t config ~jobs ast tm mhp lk pcg =
       (counter "locks.naive_span_checks")
       (sum (fun r -> Mta.Locks.cache_naive_checks r.lk_cache)))
 
+let build_thread_aware t config ~jobs ast tm mhp lk pcg =
+  build_obl_index t;
+  discover_objects t config ~jobs ast tm mhp lk pcg ~obj_filter:(fun _ -> true)
+
 let build ?(config = default_config) ?(jobs = 1) ?prov prog ast mr icfg tm mhp lk pcg =
   let t =
     {
@@ -717,6 +748,13 @@ let build ?(config = default_config) ?(jobs = 1) ?prov prog ast mr icfg tm mhp l
       racy = Hashtbl.create 64;
       ekind = Hashtbl.create 64;
       record_prov = prov;
+      owners = Hashtbl.create 1024;
+      tvf = Hashtbl.create 256;
+      cur_owner = -1;
+      log_adds = false;
+      add_log = [];
+      obl_pred = None;
+      obl_succ = None;
     }
   in
   (* mu/chi annotation material (what each join makes visible) *)
@@ -735,19 +773,34 @@ let build ?(config = default_config) ?(jobs = 1) ?prov prog ast mr icfg tm mhp l
 
 let racy_objs t gid = Option.value ~default:Iset.empty (Hashtbl.find_opt t.racy gid)
 
-(* Canonical structural fingerprint: edge counts, every node's sorted
-   outgoing (obj, dst) list, and the racy-object sets per store. Two builds
-   of the same program digest equally iff they produced the same graph —
-   the identity the jobs-invariance tests and the incremental engine's
+(* Stable textual key of a node's structure — gids and object ids, never
+   the intern-order index, so fingerprints compare across graphs that
+   interned their nodes in different orders. *)
+let node_key t i =
+  match Vec.get t.nodes i with
+  | Stmt_node g -> "s" ^ string_of_int g
+  | Formal_in (f, o) -> Printf.sprintf "i%d.%d" f o
+  | Formal_out (f, o) -> Printf.sprintf "o%d.%d" f o
+  | Call_chi (g, o) -> Printf.sprintf "c%d.%d" g o
+
+(* Canonical structural fingerprint: edge counts, the sorted structural
+   edge triples, and the racy-object sets per store. Keys are structural
+   (gids / fids / object ids), not intern-order node indices, and nodes
+   that carry no edges contribute nothing — so a patched generation (which
+   keeps the old generation's node numbering and may retain orphaned
+   interns) digests equal to a cold rebuild iff they denote the same graph.
+   This is the identity the jobs-invariance tests and the serve
    differential mode both check. *)
 let digest t =
+  let edges =
+    Hashtbl.fold
+      (fun (s, o, d) () acc ->
+        Printf.sprintf "%s:%d>%s;" (node_key t s) o (node_key t d) :: acc)
+      t.edge_set []
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "e=%d t=%d;" (n_edges t) t.thread_edges);
-  for v = 0 to n_nodes t - 1 do
-    List.iter
-      (fun (o, s) -> Buffer.add_string buf (Printf.sprintf "%d:%d>%d;" v o s))
-      (List.sort compare (o_succs t v))
-  done;
+  List.iter (Buffer.add_string buf) (List.sort compare edges);
   for gid = 0 to Prog.n_stmts t.prog - 1 do
     let r = racy_objs t gid in
     if not (Iset.is_empty r) then
@@ -756,6 +809,316 @@ let digest t =
            (String.concat "," (List.map string_of_int (Iset.elements r))))
   done;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------------ *)
+(* In-place incremental patching (fsam serve warm edits).
+
+   [patch old ...] produces a new generation's SVFG from the previous one
+   without rebuilding the clean regions:
+
+   1. {b dirty functions} — a function's per-fn oblivious dataflow is a
+      pure function of its statements, the points-to sets at its loads /
+      stores / fork handles, its own and its callees' mod/ref summaries,
+      and the join rows at its gids. A function any of whose inputs drifted
+      (plus the edited functions themselves) is dirty; everything else
+      reproduces its old edges verbatim in a cold build, so they are kept.
+      One closure step: a [Formal_out -> Formal_in] edge can be derived by
+      several functions but records only its first owner, so when that
+      owner is dirty every potential adder (any function with a new join
+      row exposing the source thread's mods on that object) is made dirty
+      too — after which retract-and-recompute is exact for this shape as
+      well.
+   2. {b retract} every oblivious edge owned by a dirty function
+      (tombstoning its rows in the spliced def-use index), then re-run the
+      per-fn oblivious construction for dirty functions only, appending
+      re-derived rows.
+   3. {b dirty objects} — [THREAD-VF] discovery is independent per object
+      (edges, dedup checks and racy marks are all keyed by the object), and
+      per object it is a pure function of the object's oblivious rows, its
+      access lists with their points-to sets, and the reused mta indexes.
+      An object whose oblivious row multiset changed, or that entered/left
+      an access's points-to set, is dirty; its old thread-vf edges and racy
+      marks are discarded and discovery re-runs for exactly the dirty
+      objects over the parallel fan-out. Clean objects keep their edges and
+      marks, which a cold build would reproduce identically.
+
+   The result is byte-identical (structural digest, racy sets, counters of
+   retained work excluded) to a cold [build] of the new program — the serve
+   engine's differential mode re-certifies this on every edit.
+
+   Preconditions the caller (the serve engine) must establish: statement
+   gids identical across generations (same functions, same per-function
+   statement counts), identical object tables, the thread model / MHP /
+   lock analysis reused from the previous generation (which itself implies
+   unchanged call, fork and join resolution), provenance off, and a
+   previous graph built with the thread-aware stage on. Violations the
+   patcher can detect cheaply return [Error reason] and the engine falls
+   back to a cold rebuild, counting the reason. *)
+(* ------------------------------------------------------------------------ *)
+
+type patch_stats = {
+  ps_dirty_fns : int;
+  ps_dirty_objs : int;
+  ps_removed : int;  (** oblivious edges retracted *)
+  ps_added : int;  (** oblivious edges re-derived (including promotions) *)
+}
+
+let vec_copy v = Vec.of_list (Vec.to_list v)
+
+let clone t =
+  {
+    prog = t.prog;
+    nodes = vec_copy t.nodes;
+    index = Hashtbl.copy t.index;
+    preds = vec_copy t.preds;
+    succs = vec_copy t.succs;
+    edge_set = Hashtbl.copy t.edge_set;
+    thread_edges = t.thread_edges;
+    racy = Hashtbl.copy t.racy;
+    ekind = Hashtbl.copy t.ekind;
+    record_prov = t.record_prov;
+    owners = Hashtbl.copy t.owners;
+    tvf = Hashtbl.copy t.tvf;
+    cur_owner = -1;
+    log_adds = false;
+    add_log = [];
+    obl_pred = Option.map Arena.Dyn.copy t.obl_pred;
+    obl_succ = Option.map Arena.Dyn.copy t.obl_succ;
+  }
+
+let patch old ?(config = default_config) ?(jobs = 1) ~prog ~old_ast ~ast ~old_mr ~mr ~icfg ~tm
+    ~mhp ~lk ~pcg ~edited_fids () =
+  let old_prog = old.prog in
+  let shape_ok =
+    Prog.n_funcs prog = Prog.n_funcs old_prog
+    && Prog.n_stmts prog = Prog.n_stmts old_prog
+    &&
+    let ok = ref true in
+    Prog.iter_funcs prog (fun f ->
+        if Func.n_stmts f <> Func.n_stmts (Prog.func old_prog f.Func.fid) then ok := false);
+    !ok
+  in
+  if old.record_prov <> None then Error "svfg_provenance"
+  else if (not config.thread_aware) || old.obl_pred = None then Error "svfg_no_index"
+  else if not shape_ok then Error "svfg_shape"
+  else if Hashtbl.length old.owners <> n_edges old - Hashtbl.length old.tvf then
+    Error "svfg_untracked"
+  else begin
+    let t = clone old in
+    t.prog <- prog;
+    let nf = Prog.n_funcs prog in
+    let dirty = Array.make nf false in
+    List.iter (fun f -> if f >= 0 && f < nf then dirty.(f) <- true) edited_fids;
+    (* -- step 1: dirty functions ---------------------------------------- *)
+    let old_ji = join_info_tbl tm old_mr in
+    let new_ji = join_info_tbl tm mr in
+    let mr_drift = Array.make nf false in
+    for fid = 0 to nf - 1 do
+      if
+        (not (Iset.equal (Modref.mod_of old_mr fid) (Modref.mod_of mr fid)))
+        || not (Iset.equal (Modref.ref_of old_mr fid) (Modref.ref_of mr fid))
+      then begin
+        mr_drift.(fid) <- true;
+        dirty.(fid) <- true
+      end
+    done;
+    let dirty_objs = ref Iset.empty in
+    let ji_rows tbl gid = Option.value ~default:[] (Hashtbl.find_opt tbl gid) in
+    let ji_rows_equal a b =
+      List.length a = List.length b
+      && List.for_all2
+           (fun (fg, sf, m) (fg', sf', m') -> fg = fg' && sf = sf' && Iset.equal m m')
+           a b
+    in
+    (* the points-to set an access statement indexes the SVFG by *)
+    let acc_pts solver s =
+      match s with
+      | Stmt.Load { src; _ } -> A.pt_var solver src
+      | Stmt.Store { dst; _ } -> A.pt_var solver dst
+      | Stmt.Fork { handle = Some h; _ } -> A.pt_var solver h
+      | _ -> Iset.empty
+    in
+    Prog.iter_funcs prog (fun f ->
+        let fid = f.Func.fid in
+        Func.iter_stmts f (fun i sn ->
+            let gid = Prog.gid prog ~fid ~idx:i in
+            let so = Prog.stmt_at old_prog gid in
+            (* join rows at this gid drifted (e.g. a joined thread's start
+               function now mods a different object set) *)
+            if not (ji_rows_equal (ji_rows old_ji gid) (ji_rows new_ji gid)) then
+              dirty.(fid) <- true;
+            (* callee mod/ref summaries feed the caller's channels *)
+            (match sn with
+            | Stmt.Call _ | Stmt.Fork _ ->
+              if List.exists (fun g -> mr_drift.(g)) (A.callees ast ~fid ~idx:i) then
+                dirty.(fid) <- true
+            | _ -> ());
+            let po = acc_pts old_ast so and pn = acc_pts ast sn in
+            if so <> sn then
+              (* an edited statement: every object either side touches must
+                 re-discover its pair space *)
+              dirty_objs := Iset.union !dirty_objs (Iset.union po pn)
+            else if not (Iset.equal po pn) then begin
+              dirty.(fid) <- true;
+              dirty_objs :=
+                Iset.union !dirty_objs (Iset.union (Iset.diff po pn) (Iset.diff pn po))
+            end));
+    (* Formal_out -> Formal_in adder closure: potential adders of a
+       [Formal_out (sf, o)] def are the functions with a new join row
+       exposing sf's mods on o *)
+    let adders : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun gid rows ->
+        let fid = Prog.func_of_gid prog gid in
+        List.iter
+          (fun (_, sf, mods) ->
+            Iset.iter
+              (fun o ->
+                let r =
+                  match Hashtbl.find_opt adders (sf, o) with
+                  | Some r -> r
+                  | None ->
+                    let r = ref [] in
+                    Hashtbl.replace adders (sf, o) r;
+                    r
+                in
+                if not (List.mem fid !r) then r := fid :: !r)
+              mods)
+          rows)
+      new_ji;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Hashtbl.iter
+        (fun ((src, o, dst) as k) () ->
+          if not (Hashtbl.mem t.tvf k) then
+            match (Vec.get t.nodes src, Vec.get t.nodes dst) with
+            | Formal_out (sf, _), Formal_in _ -> (
+              match Hashtbl.find_opt t.owners k with
+              | Some ow when dirty.(ow) -> (
+                match Hashtbl.find_opt adders (sf, o) with
+                | Some r ->
+                  List.iter
+                    (fun f ->
+                      if not dirty.(f) then begin
+                        dirty.(f) <- true;
+                        changed := true
+                      end)
+                    !r
+                | None -> ())
+              | _ -> ())
+            | _ -> ())
+        t.edge_set
+    done;
+    (* -- step 2: retract and recompute the dirty oblivious regions ------- *)
+    let obl_pred = Option.get t.obl_pred and obl_succ = Option.get t.obl_succ in
+    let stride = Prog.n_stmts prog in
+    let gid_of i = match Vec.get t.nodes i with Stmt_node g -> g | _ -> -1 in
+    let obl_removed : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+    let obl_added : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+    let log_pair tbl o p =
+      match Hashtbl.find_opt tbl o with
+      | Some r -> r := p :: !r
+      | None -> Hashtbl.replace tbl o (ref [ p ])
+    in
+    let removed = Hashtbl.create 256 in
+    let touched = Hashtbl.create 256 in
+    let drop_edge ((src, o, dst) as k) =
+      Hashtbl.remove t.edge_set k;
+      Hashtbl.remove t.owners k;
+      Hashtbl.replace removed k ();
+      Hashtbl.replace touched src ();
+      Hashtbl.replace touched dst ();
+      let gs = gid_of src and gd = gid_of dst in
+      if gs >= 0 && gd >= 0 then begin
+        ignore (Arena.Dyn.remove obl_pred ~key:((o * stride) + gd) gs);
+        ignore (Arena.Dyn.remove obl_succ ~key:((o * stride) + gs) gd);
+        log_pair obl_removed o (gs, gd)
+      end
+    in
+    Hashtbl.fold (fun k () acc -> k :: acc) t.edge_set []
+    |> List.iter (fun k ->
+           if not (Hashtbl.mem t.tvf k) then
+             match Hashtbl.find_opt t.owners k with
+             | Some ow when dirty.(ow) -> drop_edge k
+             | _ -> ());
+    let prune tbl =
+      Hashtbl.iter
+        (fun v () ->
+          Vec.set t.preds v
+            (List.filter (fun (o, s) -> not (Hashtbl.mem tbl (s, o, v))) (Vec.get t.preds v));
+          Vec.set t.succs v
+            (List.filter (fun (o, d) -> not (Hashtbl.mem tbl (v, o, d))) (Vec.get t.succs v)))
+        touched
+    in
+    prune removed;
+    let n_removed = Hashtbl.length removed in
+    t.log_adds <- true;
+    build_oblivious ~only:(fun fid -> dirty.(fid)) t ast mr icfg new_ji;
+    t.log_adds <- false;
+    let n_added = List.length t.add_log in
+    List.iter
+      (fun (src, o, dst) ->
+        let gs = gid_of src and gd = gid_of dst in
+        if gs >= 0 && gd >= 0 then begin
+          Arena.Dyn.add obl_pred ~key:((o * stride) + gd) gs;
+          Arena.Dyn.add obl_succ ~key:((o * stride) + gs) gd;
+          log_pair obl_added o (gs, gd)
+        end)
+      t.add_log;
+    t.add_log <- [];
+    (* -- step 3: dirty objects, thread-vf retraction, re-discovery ------- *)
+    let keys tbl = Hashtbl.fold (fun o _ acc -> o :: acc) tbl [] in
+    List.iter
+      (fun o ->
+        if not (Iset.mem o !dirty_objs) then begin
+          let l tbl =
+            match Hashtbl.find_opt tbl o with
+            | Some r -> List.sort compare !r
+            | None -> []
+          in
+          if l obl_removed <> l obl_added then dirty_objs := Iset.add o !dirty_objs
+        end)
+      (List.sort_uniq compare (keys obl_removed @ keys obl_added));
+    let dobjs = !dirty_objs in
+    Hashtbl.reset touched;
+    let removed_tvf = Hashtbl.create 64 in
+    Hashtbl.fold (fun k () acc -> k :: acc) t.tvf []
+    |> List.iter (fun ((src, o, dst) as k) ->
+           if Iset.mem o dobjs then begin
+             Hashtbl.remove t.tvf k;
+             t.thread_edges <- t.thread_edges - 1;
+             Hashtbl.remove t.edge_set k;
+             Hashtbl.replace removed_tvf k ();
+             Hashtbl.replace touched src ();
+             Hashtbl.replace touched dst ()
+           end);
+    prune removed_tvf;
+    Hashtbl.fold (fun g r acc -> (g, r) :: acc) t.racy []
+    |> List.iter (fun (g, r) ->
+           let r' = Iset.diff r dobjs in
+           if Iset.is_empty r' then Hashtbl.remove t.racy g
+           else if not (Iset.equal r r') then Hashtbl.replace t.racy g r');
+    discover_objects t config ~jobs ast tm mhp lk pcg ~obj_filter:(fun o -> Iset.mem o dobjs);
+    Obs.Metrics.(set (gauge "svfg.nodes") (n_nodes t));
+    Obs.Metrics.(set (gauge "svfg.edges") (n_edges t));
+    Obs.Metrics.(set (gauge "svfg.thread_aware_edges") t.thread_edges);
+    Obs.Metrics.(set (gauge "svfg.racy_stores") (Hashtbl.length t.racy));
+    let n_dirty = Array.fold_left (fun n b -> if b then n + 1 else n) 0 dirty in
+    Obs.Metrics.(add (counter "svfg.patch_runs") 1);
+    Obs.Metrics.(add (counter "svfg.patch_dirty_fns") n_dirty);
+    Obs.Metrics.(add (counter "svfg.patch_dirty_objs") (Iset.cardinal dobjs));
+    Obs.Metrics.(add (counter "svfg.patch_removed_edges") n_removed);
+    Obs.Metrics.(add (counter "svfg.patch_added_edges") n_added);
+    Ok
+      ( t,
+        {
+          ps_dirty_fns = n_dirty;
+          ps_dirty_objs = Iset.cardinal dobjs;
+          ps_removed = n_removed;
+          ps_added = n_added;
+        } )
+  end
 
 let pp_stats ppf t =
   Format.fprintf ppf "svfg: %d nodes, %d edges (%d thread-aware)" (n_nodes t) (n_edges t)

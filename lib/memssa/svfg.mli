@@ -77,10 +77,56 @@ val prog : t -> Prog.t
 
 val digest : t -> string
 (** Hex digest of the graph's canonical structural fingerprint (edge
-    counts, sorted per-node successor lists, racy-object sets). Equal
-    digests ⟺ same graph; used by the jobs-invariance tests and the serve
-    differential mode to compare an incremental rebuild against a cold
-    run. *)
+    counts, sorted structural edge triples, racy-object sets). Keys are
+    structural — gids, fids and object ids, never intern-order node
+    indices — so an incrementally patched graph digests equal to a cold
+    rebuild iff they denote the same graph. Used by the jobs-invariance
+    tests and the serve differential mode. *)
+
+val node_key : t -> int -> string
+(** Stable textual key of a node's structure (gid / fid / object id, never
+    the intern-order index) — the key the serve engine uses to compare and
+    serialize per-node results across generations whose graphs interned
+    nodes in different orders. *)
+
+(* Incremental patching (fsam serve warm edits) --------------------------- *)
+
+type patch_stats = {
+  ps_dirty_fns : int;  (** functions whose oblivious dataflow was re-run *)
+  ps_dirty_objs : int;  (** objects whose [THREAD-VF] pair space was re-run *)
+  ps_removed : int;  (** oblivious edges retracted *)
+  ps_added : int;  (** oblivious edges re-derived (including promotions) *)
+}
+
+val patch :
+  t ->
+  ?config:config ->
+  ?jobs:int ->
+  prog:Prog.t ->
+  old_ast:Fsam_andersen.Solver.t ->
+  ast:Fsam_andersen.Solver.t ->
+  old_mr:Fsam_andersen.Modref.t ->
+  mr:Fsam_andersen.Modref.t ->
+  icfg:Fsam_mta.Icfg.t ->
+  tm:Fsam_mta.Threads.t ->
+  mhp:Fsam_mta.Mhp.t ->
+  lk:Fsam_mta.Locks.t ->
+  pcg:Fsam_mta.Pcg.t ->
+  edited_fids:int list ->
+  unit ->
+  (t * patch_stats, string) result
+(** Splice the previous generation's SVFG into the new generation's in
+    place of a cold rebuild: retract the oblivious edges owned by dirty
+    functions (edited, or with drifted points-to / mod-ref / join-row
+    inputs), re-run the per-fn oblivious construction for those functions
+    only, then re-run [THREAD-VF] discovery for exactly the objects whose
+    oblivious rows or access lists changed. The input graph is not
+    mutated; the result's structural digest is byte-identical to a cold
+    [build] of the new program. Preconditions (established by the serve
+    engine): identical statement gids and object tables across the
+    generations and a reused thread model / MHP / lock analysis. [Error
+    reason] when a detectable precondition fails — the caller falls back
+    to a cold rebuild and counts the reason. *)
 
 (* Provenance (populated only when [build ~prov] was given) --------------- *)
 

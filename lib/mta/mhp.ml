@@ -70,6 +70,9 @@ let build_summaries tm facts =
         { sm_own = own; sm_own_multi = own_multi; sm_groups = groups; sm_size = List.length insts }
     end
   done;
+  (* counts the summaries actually (re)computed: the serve warm path reuses
+     the whole summary index verbatim and adds zero here *)
+  Obs.Metrics.(add (counter "mhp.summaries_computed") (Hashtbl.length tbl));
   tbl
 
 let compute ?(jobs = 1) tm =

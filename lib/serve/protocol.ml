@@ -23,11 +23,21 @@ type t = {
       (** per-op request counts and wall time — kept here because the
           pipeline resets the global metrics registry on every run *)
   mutable requests : int;
+  mutable last_edit : Engine.edit_info option;
+      (** most recent completed edit — its per-phase breakdown is echoed in
+          [status] replies *)
   mutable shutdown : bool;
 }
 
 let create ?crash_telemetry eng =
-  { eng; crash_telemetry; op_stats = Hashtbl.create 16; requests = 0; shutdown = false }
+  {
+    eng;
+    crash_telemetry;
+    op_stats = Hashtbl.create 16;
+    requests = 0;
+    last_edit = None;
+    shutdown = false;
+  }
 
 (* -- request plumbing ------------------------------------------------------ *)
 
@@ -43,6 +53,9 @@ let str_field req name =
 let int_field req name =
   match field req name with Some (J.Int i) -> Some i | _ -> None
 
+let bool_field req name =
+  match field req name with Some (J.Bool b) -> Some b | _ -> None
+
 let require_str req name =
   match str_field req name with
   | Some s -> s
@@ -56,6 +69,19 @@ let require_int req name =
 let driver srv =
   if Engine.loaded srv.eng then Engine.driver srv.eng
   else raise (Err ("no_program", "no program loaded — send a \"load\" request first"))
+
+(* Generation-pinned concurrency policy: while an asynchronous edit is in
+   flight, pure reads (points-to, alias, mhp, status, cached races) keep
+   answering from the resident — immutable — generation. Anything that
+   would replace the generation or touch the process-global metrics /
+   span registries (which the edit's pipeline run owns) must wait. *)
+let require_not_busy srv what =
+  if Engine.busy srv.eng then
+    raise
+      (Err
+         ( "edit_in_flight",
+           Printf.sprintf
+             "%s must wait for the in-flight edit — send \"edit-wait\" first" what ))
 
 (* name-or-id resolution, as in the CLI but returning protocol errors *)
 let resolve ~what n name_of s =
@@ -118,6 +144,46 @@ let read_file path =
 
 let obj_json prog o = J.Obj [ ("id", J.Int o); ("name", J.String (Prog.obj_name prog o)) ]
 
+let work_json (w : Engine.work) =
+  J.Obj
+    [
+      ("andersen_propagations", J.Int w.Engine.wk_andersen_props);
+      ("mhp_summaries", J.Int w.Engine.wk_mhp_summaries);
+      ("svfg_pairs", J.Int w.Engine.wk_svfg_pairs);
+      ("sparse_propagations", J.Int w.Engine.wk_sparse_props);
+    ]
+
+let phases_json (p : Engine.phase_summary) =
+  J.Obj
+    ([
+       ("andersen_warm", J.Bool p.Engine.ph_andersen_warm);
+       ("tm_reused", J.Bool p.Engine.ph_tm_reused);
+       ("mhp_reused", J.Bool p.Engine.ph_mhp_reused);
+       ("locks_reused", J.Bool p.Engine.ph_locks_reused);
+       ("svfg_patched", J.Bool p.Engine.ph_svfg_patched);
+     ]
+    @ (match p.Engine.ph_svfg_stats with
+      | Some s ->
+        [
+          ( "svfg_patch",
+            J.Obj
+              [
+                ("dirty_fns", J.Int s.Fsam_memssa.Svfg.ps_dirty_fns);
+                ("dirty_objs", J.Int s.Fsam_memssa.Svfg.ps_dirty_objs);
+                ("removed_edges", J.Int s.Fsam_memssa.Svfg.ps_removed);
+                ("added_edges", J.Int s.Fsam_memssa.Svfg.ps_added);
+              ] );
+        ]
+      | None -> [])
+    @ [
+        ("andersen_s", J.Float p.Engine.ph_pre_s);
+        ("threads_s", J.Float p.Engine.ph_threads_s);
+        ("mhp_s", J.Float p.Engine.ph_mhp_s);
+        ("locks_s", J.Float p.Engine.ph_locks_s);
+        ("svfg_s", J.Float p.Engine.ph_svfg_s);
+        ("sparse_s", J.Float p.Engine.ph_solve_s);
+      ])
+
 let load_info_json (i : Engine.load_info) =
   [
     ("funcs", J.Int i.Engine.l_funcs);
@@ -127,15 +193,23 @@ let load_info_json (i : Engine.load_info) =
     ("races", J.Int i.Engine.l_races);
     ("propagations", J.Int i.Engine.l_propagations);
     ("svfg_digest", J.String i.Engine.l_digest);
+    ("work", work_json i.Engine.l_work);
   ]
 
 let edit_info_json (e : Engine.edit_info) =
   [
     ("mode", J.String (match e.Engine.e_mode with `Incremental -> "incremental" | `Cold -> "cold"));
     ("propagations", J.Int e.Engine.e_propagations);
+    ("work", work_json e.Engine.e_work);
   ]
   @ (match e.Engine.e_reason with
     | Some r -> [ ("fallback_reason", J.String r) ]
+    | None -> [])
+  @ (match e.Engine.e_fallbacks with
+    | [] -> []
+    | keys -> [ ("fallbacks", J.List (List.map (fun k -> J.String k) keys)) ])
+  @ (match e.Engine.e_phases with
+    | Some p -> [ ("phases", phases_json p) ]
     | None -> [])
   @ (match e.Engine.e_stats with
     | Some s ->
@@ -156,6 +230,9 @@ let edit_info_json (e : Engine.edit_info) =
   @ (match e.Engine.e_cold_propagations with
     | Some p -> [ ("cold_propagations", J.Int p) ]
     | None -> [])
+  @ (match e.Engine.e_cold_work with
+    | Some w -> [ ("cold_work", work_json w) ]
+    | None -> [])
   @
   match e.Engine.e_identical with
   | Some b -> [ ("identical", J.Bool b) ]
@@ -174,6 +251,7 @@ let race_json prog (r : Races.race) =
 (* -- op handlers (each returns the reply's result fields) ------------------- *)
 
 let op_load srv req =
+  require_not_busy srv "load";
   let source =
     match (str_field req "source", str_field req "path", str_field req "synth") with
     | Some s, None, None -> s
@@ -215,11 +293,16 @@ let op_mhp srv req =
 
 let op_races srv =
   let d = driver srv in
-  let rs = Races.detect d in
+  (* computing races touches the process-global metrics registry the
+     in-flight edit's pipeline owns; a report already cached on this
+     generation is a pure read *)
+  if not (Engine.races_cached srv.eng) then require_not_busy srv "race detection";
+  let rs = Engine.races srv.eng in
   [ ("count", J.Int (List.length rs)); ("races", J.List (List.map (race_json d.D.prog) rs)) ]
 
 let op_explain srv req =
   let d = driver srv in
+  require_not_busy srv "explain";
   if d.D.prov = None then
     raise
       (Err
@@ -243,7 +326,7 @@ let op_explain srv req =
       Ex.edge_verdict_json d (Ex.why_edge d ~store ~obj:o ~access)
     | "why-race" ->
       let idx = require_int req "index" in
-      let rs = Races.detect d in
+      let rs = Engine.races srv.eng in
       if idx < 0 || idx >= List.length rs then
         bad (Printf.sprintf "race index %d out of range (%d found)" idx (List.length rs));
       (match Ex.witness d (List.nth rs idx) with
@@ -256,25 +339,65 @@ let op_explain srv req =
 let op_edit srv req =
   if not (Engine.loaded srv.eng) then
     raise (Err ("no_program", "no program loaded — send a \"load\" request first"));
-  let r =
+  require_not_busy srv "edit";
+  let async = bool_field req "async" = Some true in
+  let args =
     match (str_field req "fn", str_field req "code", str_field req "source") with
-    | Some fn, Some code, None -> Engine.edit_fn srv.eng ~fn ~code
-    | None, None, Some source -> Engine.edit_source srv.eng source
+    | Some fn, Some code, None -> `Fn (fn, code)
+    | None, None, Some source -> `Source source
     | _ -> bad "edit takes either \"fn\" + \"code\" or \"source\""
   in
-  match r with Ok info -> edit_info_json info | Error e -> raise (Err ("parse_error", e))
+  if async then begin
+    let r =
+      match args with
+      | `Fn (fn, code) -> Engine.edit_fn_async srv.eng ~fn ~code
+      | `Source source -> Engine.edit_source_async srv.eng source
+    in
+    match r with
+    | Ok () -> [ ("started", J.Bool true); ("async", J.Bool true) ]
+    | Error e -> raise (Err ("parse_error", e))
+  end
+  else begin
+    let r =
+      match args with
+      | `Fn (fn, code) -> Engine.edit_fn srv.eng ~fn ~code
+      | `Source source -> Engine.edit_source srv.eng source
+    in
+    match r with
+    | Ok info ->
+      srv.last_edit <- Some info;
+      edit_info_json info
+    | Error e -> raise (Err ("parse_error", e))
+  end
+
+let op_edit_wait srv =
+  match Engine.edit_wait srv.eng with
+  | Ok info ->
+    srv.last_edit <- Some info;
+    edit_info_json info
+  | Error "no edit in flight" -> raise (Err ("bad_request", "no edit in flight"))
+  | Error e -> raise (Err ("parse_error", e))
 
 let op_snapshot srv req =
   if not (Engine.loaded srv.eng) then
     raise (Err ("no_program", "no program loaded — nothing to snapshot"));
+  require_not_busy srv "snapshot";
   match Engine.snapshot srv.eng (require_str req "path") with
   | Ok () -> [ ("saved", J.Bool true) ]
   | Error e -> raise (Err ("snapshot_error", e))
 
 let op_restore srv req =
+  require_not_busy srv "restore";
   match Engine.restore srv.eng (require_str req "path") with
   | Ok info -> load_info_json info
   | Error e -> raise (Err ("snapshot_error", e))
+
+let serve_fallback_json srv =
+  [
+    ("serve.fallback_cold", J.Int (Engine.fallback_total srv.eng));
+    ( "serve.fallback_reasons",
+      J.Obj (List.map (fun (k, n) -> (k, J.Int n)) (Engine.fallback_counts srv.eng)) );
+  ]
 
 let op_status srv =
   let ops =
@@ -283,7 +406,11 @@ let op_status srv =
     |> List.map (fun (op, s) ->
            (op, J.Obj [ ("count", J.Int s.os_count); ("us", J.Int s.os_us) ]))
   in
-  [ ("loaded", J.Bool (Engine.loaded srv.eng)); ("requests", J.Int srv.requests) ]
+  [
+    ("loaded", J.Bool (Engine.loaded srv.eng));
+    ("busy", J.Bool (Engine.busy srv.eng));
+    ("requests", J.Int srv.requests);
+  ]
   @ (if Engine.loaded srv.eng then begin
        let d = Engine.driver srv.eng in
        [
@@ -294,9 +421,17 @@ let op_status srv =
        ]
      end
      else [])
+  @ serve_fallback_json srv
+  @ (match srv.last_edit with
+    | Some e -> [ ("last_edit", J.Obj (edit_info_json e)) ]
+    | None -> [])
   @ [ ("ops", J.Obj ops) ]
 
-let op_metrics () = [ ("metrics", Fsam_obs.Metrics.to_json ()) ]
+(* the global registry describes the resident generation's last pipeline
+   run; the engine-level fallback counters ride along under serve.* keys *)
+let op_metrics srv =
+  require_not_busy srv "metrics";
+  [ ("metrics", Fsam_obs.Metrics.to_json ()) ] @ serve_fallback_json srv
 
 (* -- dispatch -------------------------------------------------------------- *)
 
@@ -356,10 +491,11 @@ let rec handle_request ?(depth = 0) srv req =
        | "races" -> Ok (op, op_races srv)
        | "explain" -> Ok (op, op_explain srv req)
        | "edit" -> Ok (op, op_edit srv req)
+       | "edit-wait" -> Ok (op, op_edit_wait srv)
        | "snapshot" -> Ok (op, op_snapshot srv req)
        | "restore" -> Ok (op, op_restore srv req)
        | "status" -> Ok (op, op_status srv)
-       | "metrics" -> Ok (op, op_metrics ())
+       | "metrics" -> Ok (op, op_metrics srv)
        | "batch" ->
          if depth > 0 then Error (op, "bad_request", "nested batch requests")
          else (
@@ -373,6 +509,8 @@ let rec handle_request ?(depth = 0) srv req =
                  ] )
            | _ -> Error (op, "bad_request", "batch needs a \"requests\" list"))
        | "shutdown" ->
+         (* don't leave a spawned edit domain running across process exit *)
+         if Engine.busy srv.eng then ignore (Engine.edit_wait srv.eng);
          srv.shutdown <- true;
          Ok (op, [ ("bye", J.Bool true) ])
        | op -> Error (op, "unknown_op", Printf.sprintf "unknown op %S" op)

@@ -118,6 +118,135 @@ let test_edit_jobs_invariant () =
     | _ -> Alcotest.failf "seed %d: edit viability differed across jobs" seed
   done
 
+(* -- staged warm-edit sequence: per-phase reuse and invalidation ----------- *)
+
+(* One multithreaded program, three staged edits that exercise each guard of
+   the incremental pre-phases: a shape-preserving pointer retarget (every
+   phase must reuse), a fork-target edit (must invalidate the thread model
+   and MHP), and a lock-operand edit (must invalidate the lock spans but
+   keep the thread model). Every edit stays differential-certified. *)
+let mt_source ~target ~lock_var ~global =
+  Printf.sprintf
+    "int g1;\n\
+     int g2;\n\
+     int shared;\n\
+     lock_t m1;\n\
+     lock_t m2;\n\
+     void worker_a(int *p) {\n\
+    \  lock(&m1);\n\
+    \  *p = 1;\n\
+    \  unlock(&m1);\n\
+     }\n\
+     void worker_b(int *p) {\n\
+    \  lock(&m2);\n\
+    \  *p = 2;\n\
+    \  unlock(&m2);\n\
+     }\n\
+     int main() {\n\
+    \  int *q;\n\
+    \  int *s;\n\
+    \  q = &%s;\n\
+    \  s = &shared;\n\
+    \  *q = 7;\n\
+    \  fork(null, %s, s);\n\
+    \  lock(&%s);\n\
+    \  *s = 3;\n\
+    \  unlock(&%s);\n\
+    \  return 0;\n\
+     }\n"
+    global target lock_var lock_var
+
+let mt_stages =
+  [
+    (* retarget a points-to edge; identical statement shape *)
+    ("retarget", mt_source ~target:"worker_a" ~lock_var:"m1" ~global:"g2");
+    (* move the fork to the other worker: a sync-statement edit *)
+    ("fork-site", mt_source ~target:"worker_b" ~lock_var:"m1" ~global:"g2");
+    (* guard the main-thread store with the other mutex *)
+    ("lock", mt_source ~target:"worker_b" ~lock_var:"m2" ~global:"g2");
+  ]
+
+let phases_exn ~stage (info : Engine.edit_info) =
+  match info.Engine.e_phases with
+  | Some p -> p
+  | None -> Alcotest.failf "%s: edit ran fully cold (no phase summary)" stage
+
+let test_edit_sequence_phases () =
+  let eng = Engine.create ~differential:true () in
+  (match Engine.load eng (mt_source ~target:"worker_a" ~lock_var:"m1" ~global:"g1") with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok _ -> ());
+  let apply (stage, src) =
+    match Engine.edit_source eng src with
+    | Error e -> Alcotest.failf "%s: edit failed: %s" stage e
+    | Ok info ->
+      if info.Engine.e_mode <> `Incremental then
+        Alcotest.failf "%s: expected an incremental edit" stage;
+      Alcotest.(check (option bool))
+        (stage ^ ": certified identical to cold")
+        (Some true) info.Engine.e_identical;
+      (stage, info)
+  in
+  (match apply (List.nth mt_stages 0) with
+  | stage, info ->
+    let p = phases_exn ~stage info in
+    Alcotest.(check (list string)) (stage ^ ": no fallbacks") [] info.Engine.e_fallbacks;
+    Alcotest.(check bool)
+      (stage ^ ": every pre-phase reused")
+      true
+      (p.Engine.ph_andersen_warm && p.Engine.ph_tm_reused && p.Engine.ph_mhp_reused
+     && p.Engine.ph_locks_reused && p.Engine.ph_svfg_patched));
+  (match apply (List.nth mt_stages 1) with
+  | stage, info ->
+    let p = phases_exn ~stage info in
+    Alcotest.(check bool) (stage ^ ": thread model invalidated") false p.Engine.ph_tm_reused;
+    Alcotest.(check bool) (stage ^ ": MHP invalidated") false p.Engine.ph_mhp_reused;
+    Alcotest.(check bool)
+      (stage ^ ": a tm_* fallback was counted")
+      true
+      (List.exists
+         (fun k -> String.length k >= 3 && String.sub k 0 3 = "tm_")
+         info.Engine.e_fallbacks));
+  match apply (List.nth mt_stages 2) with
+  | stage, info ->
+    let p = phases_exn ~stage info in
+    Alcotest.(check bool) (stage ^ ": thread model still reused") true p.Engine.ph_tm_reused;
+    Alcotest.(check bool) (stage ^ ": MHP still reused") true p.Engine.ph_mhp_reused;
+    Alcotest.(check bool) (stage ^ ": lock spans invalidated") false p.Engine.ph_locks_reused;
+    (* lowering materialises [&m2] into a temp, so depending on the shape
+       the guard trips either on the lock statement itself or on its
+       operand's points-to set; both keys mean the spans were invalidated *)
+    Alcotest.(check bool)
+      (stage ^ ": a locks_* fallback was counted")
+      true
+      (List.exists
+         (fun k -> List.mem k [ "locks_edit"; "locks_operand_drift" ])
+         info.Engine.e_fallbacks)
+
+(* The same staged sequence at --jobs 1/2/4: each edit must stay certified
+   identical to its cold reference at that jobs value, and the SVFG
+   fingerprints after every stage must agree byte-for-byte across jobs. *)
+let test_edit_sequence_jobs () =
+  let run jobs =
+    let eng = Engine.create ~jobs ~differential:true () in
+    (match Engine.load eng (mt_source ~target:"worker_a" ~lock_var:"m1" ~global:"g1") with
+    | Error e -> Alcotest.failf "jobs %d: load failed: %s" jobs e
+    | Ok li -> ignore li);
+    List.map
+      (fun (stage, src) ->
+        match Engine.edit_source eng src with
+        | Error e -> Alcotest.failf "jobs %d %s: edit failed: %s" jobs stage e
+        | Ok info ->
+          Alcotest.(check (option bool))
+            (Printf.sprintf "jobs %d %s: identical" jobs stage)
+            (Some true) info.Engine.e_identical;
+          Svfg.digest (Engine.driver eng).D.svfg)
+      mt_stages
+  in
+  let d1 = run 1 in
+  Alcotest.(check (list string)) "digests: jobs 1 vs 2" d1 (run 2);
+  Alcotest.(check (list string)) "digests: jobs 1 vs 4" d1 (run 4)
+
 (* -- snapshot / restore ---------------------------------------------------- *)
 
 let test_snapshot_roundtrip () =
@@ -312,6 +441,8 @@ let suite =
   [
     Alcotest.test_case "edit-differential" `Slow test_edit_differential;
     Alcotest.test_case "edit-jobs-invariant" `Slow test_edit_jobs_invariant;
+    Alcotest.test_case "edit-sequence-phases" `Quick test_edit_sequence_phases;
+    Alcotest.test_case "edit-sequence-jobs" `Quick test_edit_sequence_jobs;
     Alcotest.test_case "snapshot-roundtrip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot-rejects-garbage" `Quick test_snapshot_rejects_garbage;
     Alcotest.test_case "protocol-basics" `Quick test_protocol_basics;
