@@ -904,6 +904,72 @@ let serve_append_edit source ~fn =
 let pre_work_of (w : Eng.work) =
   w.Eng.wk_andersen_props + w.Eng.wk_mhp_summaries + w.Eng.wk_svfg_pairs
 
+(* Observability overhead: the identical resident-query stream through the
+   protocol layer with the full telemetry stack (per-request histograms,
+   flight recorder, slow-log threshold at its default) vs disabled.
+   Queries are the per-request hot path, so this bounds the tax.
+   Interleaved best-of-batches: a resident query is ~100us, so a sequential
+   A-then-B comparison is dominated by GC/scheduler drift; alternating
+   batches see the same machine state, and the minimum batch mean is the
+   honest floor for each config. Returns (on_us, off_us) per query. *)
+let serve_obs_measure ~large ~source =
+  let module P = Fsam_serve.Protocol in
+  let module St = Fsam_serve.Stats in
+  let obs_batches, obs_per_batch = if large then (4, 125) else (8, 500) in
+  let mk ~obs =
+    let stats =
+      if obs then St.create ~flight_cap:256 ~slow_ms:100.0 ()
+      else St.create ~flight_cap:0 ~slow_ms:(-1.0) ()
+    in
+    let srv = P.create ~stats (Eng.create ()) in
+    ignore
+      (P.handle_line srv
+         (J.to_string ~minify:true
+            (J.Obj [ ("id", J.Int 0); ("op", J.String "load"); ("source", J.String source) ])));
+    (srv, stats)
+  in
+  let srv_on, stats_on = mk ~obs:true in
+  let srv_off, stats_off = mk ~obs:false in
+  let q =
+    J.to_string ~minify:true
+      (J.Obj [ ("id", J.Int 1); ("op", J.String "points-to"); ("var", J.String "out") ])
+  in
+  let batch srv =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to obs_per_batch do
+      ignore (P.handle_line srv q)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int obs_per_batch
+  in
+  ignore (batch srv_on);
+  ignore (batch srv_off);
+  let best_on = ref infinity and best_off = ref infinity in
+  for _ = 1 to obs_batches do
+    best_on := Float.min !best_on (batch srv_on);
+    best_off := Float.min !best_off (batch srv_off)
+  done;
+  St.close stats_on;
+  St.close stats_off;
+  (!best_on, !best_off)
+
+(* Standalone entry for the measurement above ([--only serveobs]): two
+   resident daemons (telemetry on / off) at the chosen --size, without the
+   rest of the serve tier — at paper scale that tier costs tens of minutes,
+   this costs two loads. Print-only: no BENCH file, no gate row. *)
+let serve_obs_bench () =
+  let large = !size = "large" in
+  let name = if large then "synth_large" else "synth_quick" in
+  let params =
+    if large then Fsam_workloads.Minic_synth.large else Fsam_workloads.Minic_synth.quick
+  in
+  Printf.printf "Serve observability-overhead tier: resident queries on %s.\n%!" name;
+  let source = Fsam_workloads.Minic_synth.generate params in
+  let on_us, off_us = serve_obs_measure ~large ~source in
+  Printf.printf
+    "  observability tax on resident queries: %.1fus on vs %.1fus off (%+.1f%%)\n\n%!"
+    on_us off_us
+    (100. *. (on_us -. off_us) /. Float.max 1e-9 off_us)
+
 (* Replays a scripted edit+query stream against the resident engine and
    persists the exact warm/cold work counters per edit — the deterministic
    trajectory of the incremental pre-phases. The small tier (synth quick)
@@ -1112,8 +1178,13 @@ let serve_bench () =
   in
   let warm_speedup = load_ref_wall /. Float.max 1e-9 warm_edit_wall in
   Printf.printf
-    "  mean warm (replace) edit: %.3fs vs cold load %.3fs — %.1fx; query mean %.0fus\n\n%!"
+    "  mean warm (replace) edit: %.3fs vs cold load %.3fs — %.1fx; query mean %.0fus\n%!"
     warm_edit_wall load_ref_wall warm_speedup (mean !query_us);
+  let obs_on_us, obs_off_us = serve_obs_measure ~large ~source in
+  let obs_overhead_pct = 100. *. (obs_on_us -. obs_off_us) /. Float.max 1e-9 obs_off_us in
+  Printf.printf
+    "  observability tax on resident queries: %.1fus on vs %.1fus off (%+.1f%%)\n\n%!"
+    obs_on_us obs_off_us obs_overhead_pct;
   write_bench
     (if large then "BENCH_serve_large.json" else "BENCH_serve.json")
     (J.Obj
@@ -1140,6 +1211,9 @@ let serve_bench () =
                    ("mean_query_us", J.Float (mean !query_us));
                    ("warm_edit_wall_s", J.Float warm_edit_wall);
                    ("warm_speedup", J.Float warm_speedup);
+                   ("obs_query_on_us", J.Float obs_on_us);
+                   ("obs_query_off_us", J.Float obs_off_us);
+                   ("obs_overhead_pct", J.Float obs_overhead_pct);
                  ];
              ] );
        ])
@@ -1264,6 +1338,7 @@ let () =
       | "vf" -> vf ()
       | "prov" -> prov_bench ()
       | "serve" -> serve_bench ()
+      | "serveobs" -> serve_obs_bench ()
       | "micro" -> micro ()
       | "all" ->
         table1 ();
@@ -1277,7 +1352,7 @@ let () =
         micro ()
       | other ->
         Printf.eprintf
-          "unknown command %S (table1|table2|figure12|sched|par|vf|prov|serve|micro|all)\n"
+          "unknown command %S (table1|table2|figure12|sched|par|vf|prov|serve|serveobs|micro|all)\n"
           other;
         exit 1)
     cmds

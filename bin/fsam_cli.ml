@@ -825,7 +825,8 @@ let interp_cmd =
 
 (* -- serve --------------------------------------------------------------------- *)
 
-let serve program jobs differential provenance batch socket crash_telemetry =
+let serve program jobs differential provenance batch socket crash_telemetry slow_ms
+    slow_log flight stats_socket =
   let eng = Fsam_serve.Engine.create ~jobs ~provenance ~differential () in
   (match program with
   | None -> ()
@@ -849,14 +850,33 @@ let serve program jobs differential provenance batch socket crash_telemetry =
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 1));
-  let srv = Fsam_serve.Protocol.create ?crash_telemetry eng in
-  match (batch, socket) with
-  | Some _, Some _ ->
-    Printf.eprintf "error: --batch and --socket are mutually exclusive\n";
-    exit 1
-  | Some file, None -> Fsam_serve.Protocol.serve_batch srv file
-  | None, Some path -> Fsam_serve.Protocol.serve_socket srv path
-  | None, None -> Fsam_serve.Protocol.serve_stdio srv
+  let stats = Fsam_serve.Stats.create ~flight_cap:flight ~slow_ms ?slow_log () in
+  let srv = Fsam_serve.Protocol.create ?crash_telemetry ~stats eng in
+  Fsam_serve.Protocol.install_sigusr1 srv;
+  let scraper =
+    match stats_socket with
+    | None -> None
+    | Some path -> (
+      try Some (Fsam_serve.Protocol.start_stats_socket srv path)
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot bind stats socket %s: %s\n" path
+          (Unix.error_message e);
+        exit 1)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match scraper with
+      | Some s -> Fsam_serve.Protocol.stop_stats_socket s
+      | None -> ());
+      Fsam_serve.Stats.close stats)
+    (fun () ->
+      match (batch, socket) with
+      | Some _, Some _ ->
+        Printf.eprintf "error: --batch and --socket are mutually exclusive\n";
+        exit 1
+      | Some file, None -> Fsam_serve.Protocol.serve_batch srv file
+      | None, Some path -> Fsam_serve.Protocol.serve_socket srv path
+      | None, None -> Fsam_serve.Protocol.serve_stdio srv)
 
 let serve_cmd =
   let program =
@@ -887,6 +907,32 @@ let serve_cmd =
          & info [ "crash-telemetry" ] ~docv:"FILE"
              ~doc:"Arm a telemetry crash flush to FILE around each request.")
   in
+  let slow_ms =
+    Arg.(value & opt float 100.0
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-query threshold: requests strictly over MS emit a \
+                   structured NDJSON line (params and phase breakdown). \
+                   Negative disables the log.")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None
+         & info [ "slow-log" ] ~docv:"FILE"
+             ~doc:"Append slow-query lines to FILE instead of stderr.")
+  in
+  let flight =
+    Arg.(value & opt int 256
+         & info [ "flight" ] ~docv:"N"
+             ~doc:"Flight-recorder capacity: journal the last N request \
+                   summaries (dumped by the $(b,dump) op, SIGUSR1, and the \
+                   crash flush). 0 disables the recorder.")
+  in
+  let stats_socket =
+    Arg.(value & opt (some string) None
+         & info [ "stats-socket" ] ~docv:"PATH"
+             ~doc:"Serve a Prometheus text exposition on a dedicated \
+                   Unix-domain socket (one scrape per connection), so \
+                   scrapers never contend with query traffic.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Resident incremental-analysis daemon (NDJSON over stdin/stdout)"
@@ -906,7 +952,99 @@ let serve_cmd =
          ])
     Term.(
       const serve $ program $ jobs_arg $ differential $ provenance_arg $ batch
-      $ socket $ crash_telemetry)
+      $ socket $ crash_telemetry $ slow_ms $ slow_log $ flight $ stats_socket)
+
+(* -- top ----------------------------------------------------------------------- *)
+
+let top socket interval count json =
+  let module J = Fsam_obs.Json in
+  let poll () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+        output_string oc
+          "{\"id\":\"top\",\"op\":\"status\"}\n{\"id\":\"top\",\"op\":\"stats\"}\n";
+        flush oc;
+        let status_line = input_line ic in
+        let stats_line = input_line ic in
+        let parse what line =
+          match J.of_string line with
+          | Ok j -> j
+          | Error e ->
+            Printf.eprintf "error: bad %s reply: %s\n" what e;
+            exit 1
+        in
+        (parse "status" status_line, parse "stats" stats_line))
+  in
+  let prev = ref None in
+  let rec loop remaining =
+    if remaining <> Some 0 then begin
+      (match poll () with
+      | status, stats ->
+        let doc =
+          Fsam_serve.Topview.doc_of ~now:(Unix.gettimeofday ()) ?prev:!prev ~status
+            ~stats ()
+        in
+        prev := Some (Fsam_serve.Topview.prev_of doc);
+        if json then print_endline (J.to_string ~minify:true doc)
+        else begin
+          (* clear screen + home, like top(1) *)
+          print_string "\027[2J\027[H";
+          print_string (Fsam_serve.Topview.render doc)
+        end;
+        flush stdout
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot poll %s: %s\n" socket (Unix.error_message e);
+        exit 1
+      | exception End_of_file ->
+        Printf.eprintf "error: daemon closed the connection mid-poll\n";
+        exit 1);
+      let remaining = Option.map (fun n -> n - 1) remaining in
+      if remaining <> Some 0 then Unix.sleepf interval;
+      loop remaining
+    end
+  in
+  loop (if count = 0 then None else Some count)
+
+let top_cmd =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the running daemon (its --socket).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Render N samples then exit (0 = run until interrupted).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print one minified fsam.top/1 JSON document per sample \
+                   instead of the dashboard.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard over a running fsam serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Polls a running daemon's $(b,status) and $(b,stats) ops over \
+              its Unix socket (a fresh connection per sample, so queries \
+              are never blocked) and renders request rates, per-op latency \
+              quantiles, warm/cold fallback reasons, last-edit phase walls \
+              and GC pressure. With $(b,--json), emits one fsam.top/1 \
+              document per sample for scripting.";
+         ])
+    Term.(const top $ socket $ interval $ count $ json)
 
 (* -- list ---------------------------------------------------------------------- *)
 
@@ -945,5 +1083,6 @@ let () =
             dot_cmd;
             interp_cmd;
             serve_cmd;
+            top_cmd;
             list_cmd;
           ]))

@@ -66,12 +66,18 @@ let flush_now () =
     pending := None;
     let doc =
       J.Obj
-        [
-          ("schema", J.String schema);
-          ("partial", J.Bool true);
-          ("metrics", Obs.Metrics.to_json ());
-          ("spans", J.List (List.map Obs.Span.to_json (Obs.Span.snapshot ())));
-        ]
+        ([
+           ("schema", J.String schema);
+           ("partial", J.Bool true);
+           ("metrics", Obs.Metrics.to_json ());
+           ("spans", J.List (List.map Obs.Span.to_json (Obs.Span.snapshot ())));
+         ]
+        (* a crashing daemon leaves its last-N requests on disk, not just
+           the partial trace *)
+        @
+        match Obs.Flight.current () with
+        | Some f when Obs.Flight.recorded f > 0 -> [ ("flight", Obs.Flight.to_json f) ]
+        | _ -> [])
     in
     (try write_json path doc with Sys_error _ -> ())
 

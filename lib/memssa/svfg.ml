@@ -791,6 +791,16 @@ let node_key t i =
    interns) digests equal to a cold rebuild iff they denote the same graph.
    This is the identity the jobs-invariance tests and the serve
    differential mode both check. *)
+(* (live cells, tombstoned cells) over the pred/succ index arenas; (0, 0)
+   before [index_edges] materializes them. Observability only. *)
+let arena_occupancy t =
+  let occ = function
+    | Some a -> (Arena.Dyn.live a, Arena.Dyn.tombstones a)
+    | None -> (0, 0)
+  in
+  let pl, pt = occ t.obl_pred and sl, st = occ t.obl_succ in
+  (pl + sl, pt + st)
+
 let digest t =
   let edges =
     Hashtbl.fold

@@ -75,6 +75,11 @@ val n_thread_aware_edges : t -> int
 val racy_objs : t -> int -> Fsam_dsa.Iset.t
 val prog : t -> Prog.t
 
+val arena_occupancy : t -> int * int
+(** [(live, tombstones)] cell counts summed over the arena-backed pred/succ
+    edge indexes; [(0, 0)] before they are materialized. Observability
+    only. *)
+
 val digest : t -> string
 (** Hex digest of the graph's canonical structural fingerprint (edge
     counts, sorted structural edge triples, racy-object sets). Keys are

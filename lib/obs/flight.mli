@@ -1,0 +1,62 @@
+(** Flight recorder: fixed-size ring over the last N request summaries.
+
+    Single-writer (the daemon's protocol thread); [note] fills the slot
+    before bumping the logical count, so same-thread readers (the [dump]
+    op, the crash flush, a SIGUSR1 handler) never observe a torn entry.
+    Overwrites the oldest entry once full — [dropped] says how many fell
+    off the tail. *)
+
+type t
+
+type entry = {
+  f_seq : int;          (** request id *)
+  f_t_us : int;         (** monotonic completion timestamp, microseconds *)
+  f_op : string;
+  f_us : int;           (** wall latency, microseconds *)
+  f_cpu_us : int;       (** cpu latency, microseconds *)
+  f_ok : bool;
+  f_err : string option;  (** error code when [not f_ok] *)
+  f_gen : int;          (** engine generation that answered *)
+  f_dirty : int;        (** changed functions for edits; [-1] when n/a *)
+  f_bytes_in : int;
+  f_bytes_out : int;
+}
+
+val create : ?cap:int -> unit -> t
+(** Default capacity 256 entries. Raises [Invalid_argument] on [cap <= 0]. *)
+
+val note :
+  t ->
+  seq:int ->
+  op:string ->
+  us:int ->
+  cpu_us:int ->
+  ok:bool ->
+  ?err:string ->
+  gen:int ->
+  dirty:int ->
+  bytes_in:int ->
+  bytes_out:int ->
+  unit ->
+  unit
+
+val cap : t -> int
+val recorded : t -> int
+(** Entries ever recorded (not capped). *)
+
+val dropped : t -> int
+(** [max 0 (recorded - cap)]: how many entries the ring has overwritten. *)
+
+val entries : t -> entry list
+(** The live window, oldest first. *)
+
+val entry_json : entry -> Json.t
+val to_json : t -> Json.t
+(** [{"cap", "recorded", "dropped", "entries": [...]}], entries oldest
+    first. *)
+
+val set_current : t option -> unit
+(** Publish the daemon's recorder for the crash-flush path
+    ([Telemetry.flush_now] includes the tail of the current recorder). *)
+
+val current : unit -> t option

@@ -60,6 +60,10 @@ type t = {
           registry on every run *)
   mutable fallback_total : int;
   mutable pending : pending option;
+  mutable generation : int;
+      (** bumped on every install (load, edit, restore) — 0 = nothing
+          loaded yet *)
+  mutable gen_at_us : int;  (** monotonic timestamp of the last install *)
 }
 
 and pending = { p_domain : ((gen * edit_info), string) result Domain.t }
@@ -125,10 +129,20 @@ let create ?(jobs = 1) ?(provenance = false) ?(differential = false) () =
     fallbacks = Hashtbl.create 16;
     fallback_total = 0;
     pending = None;
+    generation = 0;
+    gen_at_us = 0;
   }
 
 let loaded t = t.gen <> None
 let busy t = t.pending <> None
+
+let set_gen t g =
+  t.gen <- Some g;
+  t.generation <- t.generation + 1;
+  t.gen_at_us <- Fsam_obs.Monotonic.now_us ()
+
+let generation t = t.generation
+let gen_age_us t = if t.generation = 0 then 0 else Fsam_obs.Monotonic.elapsed_us ~since_us:t.gen_at_us
 
 let gen_exn t =
   match t.gen with Some g -> g | None -> invalid_arg "Engine: no program loaded"
@@ -211,7 +225,7 @@ let load t source =
       match run_cold t ~source:(lazy source) ~ast with
       | g ->
         let info = info_of g in
-        t.gen <- Some g;
+        set_gen t g;
         Ok info
       | exception Lower.Error e -> Error e)
 
@@ -619,7 +633,7 @@ let compute_edit t ~old new_ast =
 let install t = function
   | Error e -> Error e
   | Ok (g, info) ->
-    t.gen <- Some g;
+    set_gen t g;
     List.iter (fun key -> note_fallback t key) info.e_fallbacks;
     Ok info
 
@@ -817,7 +831,7 @@ let restore t path =
           mk_gen t ~source:(lazy payload.sp_source) ~ast ~d ~singleton:!captured
         in
         let info = info_of g in
-        t.gen <- Some g;
+        set_gen t g;
         Ok info
       end
     with

@@ -72,6 +72,14 @@ val busy : t -> bool
     result, queries answer from the pinned previous generation and
     mutating operations are rejected. *)
 
+val generation : t -> int
+(** Monotonic generation number: bumped on every install (load, edit,
+    restore); 0 until the first load. *)
+
+val gen_age_us : t -> int
+(** Microseconds since the resident generation was installed; 0 before the
+    first load. *)
+
 val driver : t -> Fsam_core.Driver.t
 (** Raises [Invalid_argument] when nothing is loaded. *)
 

@@ -19,25 +19,34 @@ type t = {
   crash_telemetry : string option;
       (** armed around each request so a crash mid-analysis still flushes a
           partial telemetry document; disarmed (idempotently) on reply *)
+  stats : Stats.t;
+      (** per-request telemetry: latency histograms, byte/error counters,
+          flight recorder, slow-query log — survives pipeline registry
+          resets *)
   op_stats : (string, op_stat) Hashtbl.t;
       (** per-op request counts and wall time — kept here because the
           pipeline resets the global metrics registry on every run *)
   mutable requests : int;
+      (** doubles as the monotonic request id ([seq]) echoed in every
+          reply *)
   mutable last_edit : Engine.edit_info option;
       (** most recent completed edit — its per-phase breakdown is echoed in
           [status] replies *)
   mutable shutdown : bool;
 }
 
-let create ?crash_telemetry eng =
+let create ?crash_telemetry ?stats eng =
   {
     eng;
     crash_telemetry;
+    stats = (match stats with Some s -> s | None -> Stats.create ());
     op_stats = Hashtbl.create 16;
     requests = 0;
     last_edit = None;
     shutdown = false;
   }
+
+let stats t = t.stats
 
 (* -- request plumbing ------------------------------------------------------ *)
 
@@ -399,7 +408,23 @@ let serve_fallback_json srv =
       J.Obj (List.map (fun (k, n) -> (k, J.Int n)) (Engine.fallback_counts srv.eng)) );
   ]
 
+(* Engine-derived gauges touch resident-generation structures, so they are
+   refreshed here — on the protocol thread — and the scraper domain serves
+   the last refresh. [Iset.live_nodes] walks the striped intern table, so
+   it only runs on the explicit observability ops, never per request. *)
+let refresh_engine_gauges srv =
+  let arena =
+    if Engine.loaded srv.eng then
+      Fsam_memssa.Svfg.arena_occupancy (Engine.driver srv.eng).D.svfg
+    else (0, 0)
+  in
+  Stats.refresh_engine_gauges srv.stats
+    ~generation:(Engine.generation srv.eng)
+    ~gen_age_us:(Engine.gen_age_us srv.eng)
+    ~busy:(Engine.busy srv.eng) ~arena ~iset_live:(Iset.live_nodes ())
+
 let op_status srv =
+  refresh_engine_gauges srv;
   let ops =
     Hashtbl.fold (fun op s acc -> (op, s) :: acc) srv.op_stats []
     |> List.sort compare
@@ -410,6 +435,11 @@ let op_status srv =
     ("loaded", J.Bool (Engine.loaded srv.eng));
     ("busy", J.Bool (Engine.busy srv.eng));
     ("requests", J.Int srv.requests);
+    ("uptime_s", J.Float (Stats.uptime_s srv.stats));
+    ("pid", J.Int (Unix.getpid ()));
+    ("rss_kb", J.Int (Stats.rss_kb ()));
+    ("generation", J.Int (Engine.generation srv.eng));
+    ("generation_age_s", J.Float (float_of_int (Engine.gen_age_us srv.eng) /. 1e6));
   ]
   @ (if Engine.loaded srv.eng then begin
        let d = Engine.driver srv.eng in
@@ -431,19 +461,45 @@ let op_status srv =
    run; the engine-level fallback counters ride along under serve.* keys *)
 let op_metrics srv =
   require_not_busy srv "metrics";
-  [ ("metrics", Fsam_obs.Metrics.to_json ()) ] @ serve_fallback_json srv
+  [ ("metrics", Fsam_obs.Metrics.to_json ()); ("serve_metrics", Stats.to_json srv.stats) ]
+  @ serve_fallback_json srv
+
+(* Prometheus exposition: always includes the serve registry; the pipeline's
+   global registry rides along only when no in-flight edit owns it, so the
+   op — unlike [metrics] — never has to wait. *)
+let op_stats srv =
+  refresh_engine_gauges srv;
+  let extra_regs = if Engine.busy srv.eng then [] else [ Fsam_obs.Metrics.global ] in
+  [
+    ("prometheus", J.String (Stats.to_prometheus ~extra_regs srv.stats));
+    ("serve_metrics", Stats.to_json srv.stats);
+    ("slow_logged", J.Int (Stats.slow_logged srv.stats));
+  ]
+  @ serve_fallback_json srv
+
+let op_dump srv =
+  [
+    ( "flight",
+      match Stats.flight srv.stats with
+      | Some f -> Fsam_obs.Flight.to_json f
+      | None -> J.Null );
+  ]
 
 (* -- dispatch -------------------------------------------------------------- *)
 
-let ok_reply ~id ~us fields =
-  J.Obj (("id", id) :: ("ok", J.Bool true) :: ("us", J.Int us) :: fields)
+let ok_reply ~id ~seq ~us ~cpu_us fields =
+  J.Obj
+    (("id", id) :: ("ok", J.Bool true) :: ("seq", J.Int seq) :: ("us", J.Int us)
+    :: ("cpu_us", J.Int cpu_us) :: fields)
 
-let err_reply ~id ~us code msg =
+let err_reply ~id ~seq ~us ~cpu_us code msg =
   J.Obj
     [
       ("id", id);
       ("ok", J.Bool false);
+      ("seq", J.Int seq);
       ("us", J.Int us);
+      ("cpu_us", J.Int cpu_us);
       ("error", J.Obj [ ("code", J.String code); ("message", J.String msg) ]);
     ]
 
@@ -459,10 +515,23 @@ let note_op srv op us =
   s.os_count <- s.os_count + 1;
   s.os_us <- s.os_us + us
 
-let rec handle_request ?(depth = 0) srv req =
+(* The edit reply already carries its phase breakdown and dirty-function
+   count (PR 9); the flight recorder and slow-query log lift them out of
+   the result fields rather than recomputing. *)
+let dirty_of_fields fields =
+  match List.assoc_opt "incremental" fields with
+  | Some (J.Obj kvs) -> (
+    match List.assoc_opt "changed_funcs" kvs with Some (J.Int n) -> n | _ -> -1)
+  | _ -> -1
+
+let cpu_now_us () = int_of_float (Sys.time () *. 1e6)
+
+let rec handle_request ?(depth = 0) ?(bytes_in = 0) srv req =
   let id = Option.value ~default:J.Null (field req "id") in
   let t0 = Mono.now_us () in
+  let c0 = cpu_now_us () in
   srv.requests <- srv.requests + 1;
+  let seq = srv.requests in
   (* arm the crash flush for the duration of the request: if the pipeline
      dies mid-edit the partial telemetry still lands on disk. Arming is
      idempotent; the disarm below must leave [T.armed () = false] between
@@ -470,14 +539,25 @@ let rec handle_request ?(depth = 0) srv req =
   (match srv.crash_telemetry with Some p -> T.flush_at_exit p | None -> ());
   let finish fields_or_err =
     let us = Mono.elapsed_us ~since_us:t0 in
+    let cpu_us = max 0 (cpu_now_us () - c0) in
     (match srv.crash_telemetry with Some _ -> T.mark_flushed () | None -> ());
-    match fields_or_err with
-    | Ok (op, fields) ->
-      note_op srv op us;
-      ok_reply ~id ~us fields
-    | Error (op, code, msg) ->
-      note_op srv op us;
-      err_reply ~id ~us code msg
+    let op, reply, err, dirty, phases =
+      match fields_or_err with
+      | Ok (op, fields) ->
+        note_op srv op us;
+        ( op,
+          ok_reply ~id ~seq ~us ~cpu_us fields,
+          None,
+          dirty_of_fields fields,
+          List.assoc_opt "phases" fields )
+      | Error (op, code, msg) ->
+        note_op srv op us;
+        (op, err_reply ~id ~seq ~us ~cpu_us code msg, Some code, -1, None)
+    in
+    let bytes_out = String.length (J.to_string ~minify:true reply) in
+    Stats.note srv.stats ~seq ~op ~us ~cpu_us ~ok:(err = None) ~err
+      ~gen:(Engine.generation srv.eng) ~dirty ~bytes_in ~bytes_out ~req ~phases;
+    reply
   in
   let op = match str_field req "op" with Some op -> op | None -> "" in
   finish
@@ -496,6 +576,8 @@ let rec handle_request ?(depth = 0) srv req =
        | "restore" -> Ok (op, op_restore srv req)
        | "status" -> Ok (op, op_status srv)
        | "metrics" -> Ok (op, op_metrics srv)
+       | "stats" -> Ok (op, op_stats srv)
+       | "dump" -> Ok (op, op_dump srv)
        | "batch" ->
          if depth > 0 then Error (op, "bad_request", "nested batch requests")
          else (
@@ -520,8 +602,11 @@ let rec handle_request ?(depth = 0) srv req =
 
 let handle_line srv line =
   match J.of_string line with
-  | Ok req -> handle_request srv req
-  | Error e -> err_reply ~id:J.Null ~us:0 "bad_request" ("invalid JSON: " ^ e)
+  | Ok req -> handle_request ~bytes_in:(String.length line) srv req
+  | Error e ->
+    srv.requests <- srv.requests + 1;
+    err_reply ~id:J.Null ~seq:srv.requests ~us:0 ~cpu_us:0 "bad_request"
+      ("invalid JSON: " ^ e)
 
 (* -- server loops ---------------------------------------------------------- *)
 
@@ -556,11 +641,85 @@ let serve_socket srv path =
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 1;
+      (* a SIGUSR1 flight dump interrupts [accept] with EINTR — retry, the
+         handler already ran at the safepoint *)
+      let rec accept_retry () =
+        try Unix.accept sock
+        with Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry ()
+      in
       while not srv.shutdown do
-        let fd, _ = Unix.accept sock in
+        let fd, _ = accept_retry () in
         let ic = Unix.in_channel_of_descr fd in
         let oc = Unix.out_channel_of_descr fd in
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () -> serve_channels srv ic oc)
       done)
+
+(* -- out-of-band observability --------------------------------------------- *)
+
+let flight_dump_json srv =
+  J.Obj
+    [
+      ("schema", J.String "fsam.flightdump/1");
+      ( "flight",
+        match Stats.flight srv.stats with
+        | Some f -> Fsam_obs.Flight.to_json f
+        | None -> J.Null );
+    ]
+
+(* SIGUSR1 → flight dump on stderr. The handler runs at a safepoint of the
+   protocol thread — the ring's single writer — so it never reads a torn
+   entry. No-op on platforms without the signal. *)
+let install_sigusr1 srv =
+  try
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           prerr_endline (J.to_string ~minify:true (flight_dump_json srv));
+           flush stderr))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* The [--stats-socket] scraper endpoint: a spawned domain serving the
+   Prometheus exposition — one scrape per connection — so monitoring never
+   contends with query traffic. It renders only the serve registry (under
+   its mutex) plus the domain-safe process gauges; engine-derived gauges
+   are whatever the protocol thread last refreshed. *)
+type stats_server = {
+  ss_stop : bool Atomic.t;
+  ss_sock : Unix.file_descr;
+  ss_path : string;
+  ss_domain : unit Domain.t;
+}
+
+let start_stats_socket srv path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 4;
+  let stop = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          (* poll with a timeout so shutdown never hangs in [accept] *)
+          match Unix.select [ sock ] [] [] 0.25 with
+          | [ _ ], _, _ -> (
+            match Unix.accept sock with
+            | fd, _ ->
+              (try
+                 let text = Stats.to_prometheus srv.stats in
+                 ignore (Unix.write_substring fd text 0 (String.length text))
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ())
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        done)
+  in
+  { ss_stop = stop; ss_sock = sock; ss_path = path; ss_domain = dom }
+
+let stop_stats_socket ss =
+  Atomic.set ss.ss_stop true;
+  Domain.join ss.ss_domain;
+  (try Unix.close ss.ss_sock with Unix.Unix_error _ -> ());
+  try Unix.unlink ss.ss_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,140 @@
+(* The data model and renderer behind [fsam top]: turns one polled
+   [status] + [stats] reply pair (plus the previous poll, for rates) into
+   a stable JSON document, and renders that document as a terminal
+   dashboard. Pure — the CLI owns the socket and the refresh loop — so the
+   schema round-trips under test without a daemon. *)
+
+module J = Fsam_obs.Json
+
+let schema = "fsam.top/1"
+
+let jint ?(default = 0) j name =
+  match J.member name j with
+  | Some (J.Int i) -> i
+  | Some (J.Float f) -> int_of_float f
+  | _ -> default
+
+let jfloat ?(default = 0.0) j name =
+  match J.member name j with
+  | Some (J.Float f) -> f
+  | Some (J.Int i) -> float_of_int i
+  | _ -> default
+
+let jbool j name = match J.member name j with Some (J.Bool b) -> b | _ -> false
+
+let jobj j name = match J.member name j with Some (J.Obj kvs) -> kvs | _ -> []
+
+(* per-op latency rows out of the serve registry's histogram summaries *)
+let ops_of_stats stats =
+  let prefix = "serve.req." and suffix = ".latency_us" in
+  let histos = jobj (J.Obj (jobj stats "serve_metrics")) "histograms" in
+  List.filter_map
+    (fun (name, h) ->
+      let plen = String.length prefix and slen = String.length suffix in
+      let n = String.length name in
+      if n > plen + slen
+         && String.sub name 0 plen = prefix
+         && String.sub name (n - slen) slen = suffix
+      then begin
+        let op = String.sub name plen (n - plen - slen) in
+        let count = jint h "count" and sum = jint h "sum" in
+        Some
+          (J.Obj
+             [
+               ("op", J.String op);
+               ("count", J.Int count);
+               ("mean_us", J.Int (if count = 0 then 0 else sum / count));
+               ("p50_us", J.Int (jint h "p50"));
+               ("p95_us", J.Int (jint h "p95"));
+               ("p99_us", J.Int (jint h "p99"));
+             ])
+      end
+      else None)
+    histos
+
+let gauge stats name = jint (J.Obj (jobj (J.Obj (jobj stats "serve_metrics")) "gauges")) name
+
+(* [prev]: (timestamp, total requests) of the previous poll *)
+let doc_of ~now ?prev ~status ~stats () =
+  let requests = jint status "requests" in
+  let rate =
+    match prev with
+    | Some (t_prev, req_prev) when now > t_prev ->
+      float_of_int (requests - req_prev) /. (now -. t_prev)
+    | _ -> 0.0
+  in
+  let phases =
+    match J.member "last_edit" status with
+    | Some le -> ( match J.member "phases" le with Some p -> p | None -> J.Null)
+    | None -> J.Null
+  in
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("ts", J.Float now);
+      ("pid", J.Int (jint status "pid"));
+      ("uptime_s", J.Float (jfloat status "uptime_s"));
+      ("loaded", J.Bool (jbool status "loaded"));
+      ("busy", J.Bool (jbool status "busy"));
+      ("generation", J.Int (jint status "generation"));
+      ("generation_age_s", J.Float (jfloat status "generation_age_s"));
+      ("requests", J.Int requests);
+      ("requests_per_s", J.Float rate);
+      ("rss_kb", J.Int (jint status "rss_kb"));
+      ("gc_heap_words", J.Int (gauge stats "serve.gc.heap_words"));
+      ("gc_major_collections", J.Int (gauge stats "serve.gc.major_collections"));
+      ("slow_logged", J.Int (jint stats "slow_logged"));
+      ("fallback_cold", J.Int (jint status "serve.fallback_cold"));
+      ("fallback_reasons", J.Obj (jobj status "serve.fallback_reasons"));
+      ("ops", J.List (ops_of_stats stats));
+      ("last_edit_phases", phases);
+    ]
+
+let prev_of doc = (jfloat doc "ts", jint doc "requests")
+
+(* -- terminal rendering ---------------------------------------------------- *)
+
+let render doc =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "fsam top — pid %d  up %.0fs  gen %d (age %.0fs)  %s%s" (jint doc "pid")
+    (jfloat doc "uptime_s") (jint doc "generation")
+    (jfloat doc "generation_age_s")
+    (if jbool doc "loaded" then "loaded" else "no program")
+    (if jbool doc "busy" then "  [edit in flight]" else "");
+  line "requests %d (%.1f/s)  slow %d  rss %d kB  heap %dw  major-gc %d"
+    (jint doc "requests")
+    (jfloat doc "requests_per_s")
+    (jint doc "slow_logged") (jint doc "rss_kb") (jint doc "gc_heap_words")
+    (jint doc "gc_major_collections");
+  line "";
+  line "%-12s %8s %10s %10s %10s %10s" "op" "count" "mean_us" "p50_us" "p95_us" "p99_us";
+  (match J.member "ops" doc with
+  | Some (J.List ops) ->
+    List.iter
+      (fun o ->
+        line "%-12s %8d %10d %10d %10d %10d"
+          (match J.member "op" o with Some (J.String s) -> s | _ -> "?")
+          (jint o "count") (jint o "mean_us") (jint o "p50_us") (jint o "p95_us")
+          (jint o "p99_us"))
+      ops
+  | _ -> ());
+  let reasons = jobj doc "fallback_reasons" in
+  if jint doc "fallback_cold" > 0 || reasons <> [] then begin
+    line "";
+    line "cold fallbacks: %d" (jint doc "fallback_cold");
+    List.iter (fun (k, v) -> line "  %-40s %d" k (match v with J.Int i -> i | _ -> 0)) reasons
+  end;
+  (match J.member "last_edit_phases" doc with
+  | Some (J.Obj kvs) ->
+    line "";
+    line "last edit phase walls (s):";
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | J.Float f -> line "  %-16s %8.4f" k f
+        | J.Bool bv -> line "  %-16s %8s" k (if bv then "reused" else "recomputed")
+        | _ -> ())
+      kvs
+  | _ -> ());
+  Buffer.contents b

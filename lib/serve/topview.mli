@@ -1,0 +1,25 @@
+(** Data model and renderer behind [fsam top]: one polled [status] +
+    [stats] reply pair becomes a stable [fsam.top/1] JSON document; the
+    document renders as a terminal dashboard. Pure, so the schema
+    round-trips under test without a daemon. *)
+
+val schema : string
+(** ["fsam.top/1"]. *)
+
+val doc_of :
+  now:float ->
+  ?prev:float * int ->
+  status:Fsam_obs.Json.t ->
+  stats:Fsam_obs.Json.t ->
+  unit ->
+  Fsam_obs.Json.t
+(** Build the dashboard document from one poll. [prev] — [(ts, requests)]
+    of the previous poll, see {!prev_of} — enables the request-rate
+    field. Missing reply fields degrade to zeros, never raise. *)
+
+val prev_of : Fsam_obs.Json.t -> float * int
+(** The [(ts, requests)] pair a later {!doc_of} wants as [prev]. *)
+
+val render : Fsam_obs.Json.t -> string
+(** Multi-line terminal dashboard (no escape codes — the CLI owns screen
+    clearing). *)

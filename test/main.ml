@@ -29,4 +29,5 @@ let () =
       ("prov", Test_prov.suite);
       ("profile", Test_profile.suite);
       ("serve", Test_serve.suite);
+      ("flight", Test_flight.suite);
     ]

@@ -53,14 +53,18 @@ let check name ok =
     Printf.printf "FAIL  %s\n%!" name
   end
 
-type daemon = { ic : in_channel; oc : out_channel }
+type daemon = { ic : in_channel; oc : out_channel; mutable last_seq : int }
 
 let start args =
   let argv = Array.of_list (bin :: "serve" :: args) in
   let ic, oc = Unix.open_process_args bin argv in
-  { ic; oc }
+  { ic; oc; last_seq = 0 }
 
 let stop d = ignore (Unix.close_process (d.ic, d.oc))
+
+(* every reply — including error replies — must echo a strictly increasing
+   request id; violations are tallied and gated once at the end *)
+let seq_violations = ref 0
 
 let request d obj =
   output_string d.oc (J.to_string ~minify:true (J.Obj obj));
@@ -69,7 +73,11 @@ let request d obj =
   match input_line d.ic with
   | line -> (
     match J.of_string line with
-    | Ok reply -> reply
+    | Ok reply ->
+      (match J.member "seq" reply with
+      | Some (J.Int s) when s > d.last_seq -> d.last_seq <- s
+      | _ -> incr seq_violations);
+      reply
     | Error e -> failwith (Printf.sprintf "unparsable reply %S: %s" line e))
   | exception End_of_file -> failwith "daemon closed the connection"
 
@@ -161,6 +169,113 @@ let append_edit source ~fn =
   if not !found then failwith (Printf.sprintf "no %s in synth source" fn);
   Fsam_frontend.Pretty.to_string ast'
 
+(* Strict checker for the Prometheus text subset the daemon emits: TYPE
+   comments, plain [name value] samples, histogram buckets with an [le]
+   label; names [a-zA-Z_:][a-zA-Z0-9_:]*; buckets cumulative with a +Inf
+   bucket equal to _count and a _sum sample. Returns violations. *)
+let check_prometheus text =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let name_ok s =
+    s <> ""
+    && (let c = s.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':')
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+           || c = '_' || c = ':')
+         s
+  in
+  let buckets = Hashtbl.create 16 and samples = Hashtbl.create 16 in
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ _; _; name; kind ] ->
+          if not (name_ok name) then err "bad TYPE name %S" name;
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+            err "bad TYPE kind %S" kind;
+          Hashtbl.replace typed name kind
+        | _ -> err "malformed TYPE line %S" line
+      end
+      else if line.[0] = '#' then ()
+      else
+        match String.index_opt line ' ' with
+        | None -> err "sample without value: %S" line
+        | Some sp -> (
+          let lhs = String.sub line 0 sp in
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          let v =
+            match float_of_string_opt value with
+            | Some v -> v
+            | None ->
+              err "non-numeric value %S in %S" value line;
+              nan
+          in
+          match String.index_opt lhs '{' with
+          | None ->
+            if not (name_ok lhs) then err "bad sample name %S" lhs;
+            Hashtbl.replace samples lhs v
+          | Some lb -> (
+            let name = String.sub lhs 0 lb in
+            let labels = String.sub lhs lb (String.length lhs - lb) in
+            if not (name_ok name) then err "bad sample name %S" name;
+            if
+              not
+                (String.length name > 7
+                && String.sub name (String.length name - 7) 7 = "_bucket")
+            then err "labels on non-bucket sample %S" lhs
+            else
+              let base = String.sub name 0 (String.length name - 7) in
+              match
+                if
+                  String.length labels > 6
+                  && String.sub labels 0 5 = "{le=\""
+                  && labels.[String.length labels - 2] = '"'
+                  && labels.[String.length labels - 1] = '}'
+                then Some (String.sub labels 5 (String.length labels - 7))
+                else None
+              with
+              | None -> err "bucket without le label: %S" lhs
+              | Some le ->
+                let prev = try Hashtbl.find buckets base with Not_found -> [] in
+                Hashtbl.replace buckets base (prev @ [ (le, v) ]))))
+    (String.split_on_char '\n' text);
+  Hashtbl.iter
+    (fun base bs ->
+      (match Hashtbl.find_opt typed base with
+      | Some "histogram" -> ()
+      | _ -> err "histogram %s has buckets but no histogram TYPE" base);
+      let cum = List.map snd bs in
+      if not (List.for_all2 (fun a b -> a <= b) cum (List.tl cum @ [ infinity ])) then
+        err "%s buckets not cumulative" base;
+      (match List.rev bs with
+      | ("+Inf", v) :: _ -> (
+        match Hashtbl.find_opt samples (base ^ "_count") with
+        | Some c when c = v -> ()
+        | Some c -> err "%s +Inf bucket %f <> count %f" base v c
+        | None -> err "%s missing _count" base)
+      | _ -> err "%s last bucket is not +Inf" base);
+      if Hashtbl.find_opt samples (base ^ "_sum") = None then err "%s missing _sum" base)
+    buckets;
+  List.rev !errs
+
+(* the value of a plain [name value] sample in an exposition, if present *)
+let sample_value text name =
+  List.find_map
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some sp when String.sub line 0 sp = name ->
+        float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1))
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+(* byte-identity of the named analysis fields between two replies *)
+let fields_identical names a b =
+  List.for_all (fun n -> J.equal (Option.value ~default:J.Null (J.member n a))
+                           (Option.value ~default:J.Null (J.member n b))) names
+
 let all_phases_reused reply =
   List.for_all
     (fun k -> bool_at reply [ "phases"; k ] = Some true)
@@ -168,10 +283,13 @@ let all_phases_reused reply =
 
 let () =
   let snap = Filename.temp_file "fsam_smoke" ".snap" in
+  let slowlog = Filename.temp_file "fsam_smoke" ".slow" in
   let source = Fsam_workloads.Minic_synth.generate Fsam_workloads.Minic_synth.quick in
 
-  (* -- daemon #1: load, query, warm edits (differential), snapshot --------- *)
-  let d1 = start [ "--differential" ] in
+  (* -- daemon #1: load, query, warm edits (differential), snapshot ---------
+     --slow-ms 0 makes every request an "injected slow query": the slow log
+     must fill with fsam.slow/1 lines. *)
+  let d1 = start [ "--differential"; "--slow-ms"; "0"; "--slow-log"; slowlog ] in
   let r = request d1 [ ("id", J.Int 1); ("op", J.String "load"); ("source", J.String source) ] in
   check "load synth quick" (is_ok r);
   let load_us = us_of r in
@@ -237,6 +355,16 @@ let () =
   check "status mid-edit reports busy" (is_ok r && J.member "busy" r = Some (J.Bool true));
   let r = request d1 [ ("id", J.Int 10); ("op", J.String "metrics") ] in
   check "metrics refused mid-edit" (error_code r = Some "edit_in_flight");
+  (* the stats op stays available mid-edit (serve registry only) and the
+     scrape must already be well-formed exposition text *)
+  let r = request d1 [ ("id", J.Int 10); ("op", J.String "stats") ] in
+  check "stats op answers mid-edit" (is_ok r);
+  (match str_field r "prometheus" with
+  | Some text ->
+    let errs = check_prometheus text in
+    List.iter (fun e -> Printf.printf "      prometheus: %s\n%!" e) errs;
+    check "mid-edit scrape passes strict format check" (errs = [])
+  | None -> check "mid-edit scrape passes strict format check" false);
   let r = request d1 [ ("id", J.Int 11); ("op", J.String "edit-wait") ] in
   check "edit-wait completes the async edit"
     (is_ok r && str_field r "mode" = Some "incremental"
@@ -248,11 +376,89 @@ let () =
   check "races after async edit" (is_ok r);
   let races_after_edit = int_field r "count" in
 
+  (* idle stats scrape: per-op latency histograms populated, process gauges
+     present, strict format still clean *)
+  let r = request d1 [ ("id", J.Int 12); ("op", J.String "stats") ] in
+  check "stats op after edits" (is_ok r);
+  (match str_field r "prometheus" with
+  | Some text ->
+    let errs = check_prometheus text in
+    List.iter (fun e -> Printf.printf "      prometheus: %s\n%!" e) errs;
+    check "idle scrape passes strict format check" (errs = []);
+    check "per-op latency histograms populated"
+      (match sample_value text "serve_req_points_to_latency_us_count" with
+      | Some c -> c >= 2.0
+      | None -> false);
+    check "process gauges exported"
+      ((match sample_value text "serve_pid" with Some p -> p > 0.0 | None -> false)
+      && (match sample_value text "serve_rss_kb" with Some r -> r > 0.0 | None -> false)
+      && sample_value text "serve_uptime_s" <> None);
+    check "requests counter matches traffic"
+      (match sample_value text "serve_requests_total" with
+      | Some c -> c >= 12.0
+      | None -> false)
+  | None -> check "idle scrape passes strict format check" false);
+
+  (* flight recorder: the dump op journals the tail of everything above;
+     persist it as the CI artifact *)
+  let r = request d1 [ ("id", J.Int 12); ("op", J.String "dump") ] in
+  check "dump op returns flight journal"
+    (is_ok r
+    &&
+    match J.member "flight" r with
+    | Some fj -> (
+      match (J.member "entries" fj, J.member "recorded" fj) with
+      | Some (J.List (_ :: _ as es)), Some (J.Int n) ->
+        n >= List.length es
+        &&
+        (* entries oldest-first with strictly increasing request ids *)
+        let seqs =
+          List.filter_map
+            (fun e -> match J.member "seq" e with Some (J.Int s) -> Some s | _ -> None)
+            es
+        in
+        List.length seqs = List.length es
+        && List.for_all2 ( < ) (0 :: seqs) (seqs @ [ max_int ])
+      | _ -> false)
+    | None -> false);
+  let artifact =
+    Option.value ~default:"serve_smoke_flight.json" (Sys.getenv_opt "FSAM_FLIGHT_ARTIFACT")
+  in
+  (let oc = open_out artifact in
+   output_string oc (J.to_string (Option.value ~default:J.Null (J.member "flight" r)));
+   output_char oc '\n';
+   close_out oc);
+  Printf.printf "      flight journal written to %s\n%!" artifact;
+
   let r = request d1 [ ("id", J.Int 12); ("op", J.String "snapshot"); ("path", J.String snap) ] in
   check "snapshot saved" (is_ok r);
   let r = request d1 [ ("id", J.Int 13); ("op", J.String "shutdown") ] in
   check "daemon 1 shutdown" (is_ok r);
   stop d1;
+
+  (* the injected slow queries must have produced parseable fsam.slow/1
+     NDJSON lines *)
+  let slow_lines =
+    let ic = open_in slowlog in
+    let rec go acc = match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file -> close_in ic; List.rev acc
+    in
+    go []
+  in
+  check "slow log emitted under injected slow queries" (List.length slow_lines > 0);
+  check "slow log lines are fsam.slow/1 documents"
+    (slow_lines <> []
+    && List.for_all
+         (fun l ->
+           match J.of_string l with
+           | Ok doc ->
+             J.member "schema" doc = Some (J.String "fsam.slow/1")
+             && J.member "op" doc <> None
+             && (match J.member "us" doc with Some (J.Int u) -> u > 0 | _ -> false)
+           | Error _ -> false)
+         slow_lines);
+  Sys.remove slowlog;
 
   (* -- daemon #2: restart cold, restore the snapshot, re-query ------------- *)
   let d2 = start [] in
@@ -299,6 +505,41 @@ let () =
   check "daemon 2 shutdown" (is_ok r);
   stop d2;
   Sys.remove snap;
+
+  (* -- observability on/off byte-identity, at --jobs 1/2/4 ------------------
+     the full telemetry stack (flight recorder + slow log on every request)
+     must not perturb a single analysis result *)
+  List.iter
+    (fun jobs ->
+       let n = string_of_int jobs in
+       let slowtmp = Filename.temp_file "fsam_smoke" ".slow2" in
+       let d_on = start [ "--jobs"; n; "--slow-ms"; "0"; "--slow-log"; slowtmp ] in
+       let d_off = start [ "--jobs"; n; "--flight"; "0"; "--slow-ms=-1" ] in
+       let both obj = (request d_on obj, request d_off obj) in
+       let step name fields obj =
+         let a, b = both obj in
+         check (Printf.sprintf "obs on/off identical: %s (jobs %d)" name jobs)
+           (is_ok a && is_ok b && fields_identical fields a b)
+       in
+       step "load" [ "svfg_digest"; "propagations"; "races"; "funcs"; "stmts" ]
+         [ ("id", J.Int 1); ("op", J.String "load"); ("source", J.String source) ];
+       step "points-to" [ "var"; "var_id"; "objects" ]
+         [ ("id", J.Int 2); ("op", J.String "points-to"); ("var", J.String "out") ];
+       step "races" [ "count"; "races" ] [ ("id", J.Int 3); ("op", J.String "races") ];
+       step "warm edit" [ "mode"; "propagations" ]
+         [ ("id", J.Int 4); ("op", J.String "edit");
+           ("source", J.String (replace_edit source ~fn:"f1_1")) ];
+       step "points-to after edit" [ "var"; "var_id"; "objects" ]
+         [ ("id", J.Int 5); ("op", J.String "points-to"); ("var", J.String "out") ];
+       step "races after edit" [ "count"; "races" ]
+         [ ("id", J.Int 6); ("op", J.String "races") ];
+       ignore (both [ ("id", J.Int 7); ("op", J.String "shutdown") ]);
+       stop d_on;
+       stop d_off;
+       (try Sys.remove slowtmp with Sys_error _ -> ()))
+    [ 1; 2; 4 ];
+
+  check "seq echoed strictly increasing on every reply" (!seq_violations = 0);
 
   let speedup = float_of_int load_us /. float_of_int (max 1 warm_edit_us) in
   Printf.printf "\nwarm-vs-cold latency (synth quick, single-function edit):\n";
